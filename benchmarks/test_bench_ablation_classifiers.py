@@ -1,0 +1,16 @@
+"""Ablation — the Section V-C model-selection comparison."""
+
+from conftest import run_and_render
+from repro.experiments.ablations import run_classifier_comparison
+
+
+def test_bench_ablation_classifiers(benchmark, medium_context):
+    result = run_and_render(benchmark, run_classifier_comparison,
+                            medium_context, n_folds=10)
+    # Every candidate learns the task; the LAD tree is competitive
+    # with the best (the paper picked it).
+    for name, metrics in result.summary.items():
+        assert metrics["auc"] > 0.8, name
+    lad = result.summary["lad-tree"]["auc"]
+    best = result.summary[result.best_model()]["auc"]
+    assert lad >= best - 0.05

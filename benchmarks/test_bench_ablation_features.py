@@ -1,0 +1,13 @@
+"""Ablation — tree-structure vs cache-hit-rate feature families."""
+
+from conftest import run_and_render
+from repro.experiments.ablations import run_feature_ablation
+
+
+def test_bench_ablation_features(benchmark, medium_context):
+    result = run_and_render(benchmark, run_feature_ablation,
+                            medium_context, n_folds=10)
+    both = result.aucs["both families"]
+    assert both >= result.aucs["tree-structure only"] - 0.05
+    assert both >= result.aucs["cache-hit-rate only"] - 0.05
+    assert result.aucs["cache-hit-rate only"] > 0.8

@@ -1,0 +1,12 @@
+"""Ablation — miner threshold sweep around the paper's theta=0.9."""
+
+from conftest import run_and_render
+from repro.experiments.ablations import run_threshold_sweep
+
+
+def test_bench_ablation_threshold(benchmark, medium_context):
+    result = run_and_render(benchmark, run_threshold_sweep, medium_context,
+                            thresholds=(0.5, 0.7, 0.9, 0.99))
+    theta_09 = next(row for row in result.rows if row[0] == 0.9)
+    assert theta_09[1] > 0.8  # precision
+    assert theta_09[2] > 0.6  # recall

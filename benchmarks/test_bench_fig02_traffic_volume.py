@@ -1,0 +1,15 @@
+"""Figure 2 — RR volume above/below the RDNS cluster over six days."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig02_traffic_volume
+
+
+def test_bench_fig02_traffic_volume(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig02_traffic_volume,
+                            medium_context)
+    # Paper shape: less traffic above than below; NXDOMAIN is a much
+    # larger share of the upstream stream; clear diurnal swing.
+    assert result.mean_above_below_ratio < 0.75
+    assert (result.mean_nxdomain_share_above
+            > 1.5 * result.mean_nxdomain_share_below)
+    assert result.diurnal_peak_to_trough() > 2.0

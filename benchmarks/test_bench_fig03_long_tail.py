@@ -1,0 +1,11 @@
+"""Figure 3 — lookup-volume distribution and DHR CDF long tails."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig03_long_tail
+
+
+def test_bench_fig03_long_tail(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig03_long_tail, medium_context)
+    # Paper: >90% of RRs get fewer than 10 lookups; ~89% zero DHR.
+    assert result.low_volume_fraction > 0.85
+    assert result.zero_dhr_fraction > 0.6

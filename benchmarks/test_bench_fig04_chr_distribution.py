@@ -1,0 +1,12 @@
+"""Figure 4 — cache-hit-rate distribution, one day and year-pooled."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig04_chr_distribution
+
+
+def test_bench_fig04_chr_distribution(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig04_chr_distribution,
+                            medium_context)
+    # Paper: the majority of CHR samples sit below 0.5 (58% on 11/10).
+    assert result.below_half_fraction > 0.5
+    assert len(result.year_cdf) > len(result.day_cdf)

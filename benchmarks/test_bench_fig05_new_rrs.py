@@ -1,0 +1,14 @@
+"""Figure 5 — deduplicated new RRs per day over the 13-day window."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig05_new_rrs
+
+
+def test_bench_fig05_new_rrs(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig05_new_rrs, medium_context)
+    # Paper: new RRs per day decline (~30%) as the database warms;
+    # Google's series does not collapse.
+    assert len(result.report.days) == 13
+    assert result.report.overall_decline() > 0.05
+    days = result.report.days
+    assert days[-1].new_google > 0.5 * days[0].new_google

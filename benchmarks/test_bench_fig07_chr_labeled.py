@@ -1,0 +1,13 @@
+"""Figure 7 — CHR distributions of disposable vs non-disposable zones."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig07_chr_labeled
+
+
+def test_bench_fig07_chr_labeled(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig07_chr_labeled,
+                            medium_context)
+    # Paper: ~90% of disposable CHR samples are zero; non-disposable
+    # zones keep a "natural" spread with high-CHR mass.
+    assert result.split.disposable_zero_fraction > 0.85
+    assert result.split.non_disposable_fraction_above(0.58) > 0.1

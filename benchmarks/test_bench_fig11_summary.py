@@ -1,0 +1,14 @@
+"""Figure 11 — the measurement-results summary table."""
+
+from conftest import run_and_render
+from repro.experiments.tables import run_fig11_summary
+
+
+def test_bench_fig11_summary(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig11_summary, medium_context)
+    # Paper: 97% TP / 1% FP; growth in all three population shares.
+    assert result.tpr_at_05 > 0.9
+    assert result.fpr_at_05 < 0.05
+    assert result.queried_last > result.queried_first
+    assert result.resolved_last > result.resolved_first
+    assert result.rr_last > result.rr_first

@@ -1,0 +1,13 @@
+"""Figure 12 — ROC curve of the LAD tree under 10-fold CV."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig12_roc
+
+
+def test_bench_fig12_roc(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig12_roc, medium_context)
+    # Paper: theta=0.5 -> 97% TPR / 1% FPR; theta=0.9 -> 92.4% / 0.6%.
+    assert result.tpr_at_05 > 0.9
+    assert result.fpr_at_05 < 0.05
+    assert result.fpr_at_09 <= result.fpr_at_05 + 1e-9
+    assert result.auc > 0.95

@@ -1,0 +1,15 @@
+"""Figure 13 — growth of disposable zones across the year."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig13_growth
+
+
+def test_bench_fig13_growth(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig13_growth, medium_context)
+    # Paper: queried 23.1->27.6%, resolved 27.6->37.2%, RRs 38.3->65.5%.
+    series = result.series
+    assert series.queried_growth() > 0.0
+    assert series.resolved_growth() > 0.0
+    assert series.rr_growth() > 0.0
+    assert series.is_monotonic_increasing("resolved_fraction", slack=0.03)
+    assert 0.1 < series.first.queried_fraction < 0.45

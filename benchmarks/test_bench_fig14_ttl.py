@@ -1,0 +1,13 @@
+"""Figure 14 — TTL histogram of disposable domains, Feb vs Dec."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig14_ttl
+
+
+def test_bench_fig14_ttl(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig14_ttl, medium_context)
+    # Paper: February's mass sits at TTL=1s (28% of disposable
+    # domains); by December operators moved to 300s.
+    assert result.february.mode() == 1
+    assert result.december.mode() == 300
+    assert result.december.total > result.february.total

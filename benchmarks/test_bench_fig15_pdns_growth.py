@@ -1,0 +1,16 @@
+"""Figure 15 — new RRs over 13 days split by disposability."""
+
+from conftest import run_and_render
+from repro.experiments.figures import run_fig15_pdns_growth
+
+
+def test_bench_fig15_pdns_growth(benchmark, medium_context):
+    result = run_and_render(benchmark, run_fig15_pdns_growth,
+                            medium_context)
+    # Paper: 88% of unique RRs disposable after the window; the
+    # non-disposable new-RR series collapses while disposable holds.
+    assert result.report.disposable_fraction > 0.4
+    days = result.report.days
+    nd_drop = 1 - days[-1].new_non_disposable / days[0].new_non_disposable
+    d_drop = 1 - days[-1].new_disposable / max(days[0].new_disposable, 1)
+    assert nd_drop > d_drop

@@ -1,0 +1,16 @@
+"""Section VI-A — cache pressure from disposable churn."""
+
+from conftest import run_and_render
+from repro.experiments.impact_runs import run_sec6a_cache_pressure
+
+
+def test_bench_sec6a_cache_pressure(benchmark, medium_context):
+    capacities = [1_500, 6_000, 25_000]
+    result = run_and_render(benchmark, run_sec6a_cache_pressure,
+                            medium_context, capacities=capacities,
+                            n_events=30_000)
+    # Paper: disposable load prematurely evicts useful records; the
+    # effect grows as the cache shrinks relative to the churn.
+    degradations = result.degradation_series()
+    assert degradations[0] >= degradations[-1] - 0.02
+    assert all(d >= -0.01 for d in degradations)

@@ -1,0 +1,16 @@
+"""Section VI-B — DNSSEC validation cost and the wildcard mitigation."""
+
+from conftest import run_and_render
+from repro.experiments.impact_runs import run_sec6b_dnssec
+
+
+def test_bench_sec6b_dnssec(benchmark, medium_context):
+    result = run_and_render(benchmark, run_sec6b_dnssec, medium_context,
+                            n_events=30_000)
+    # Paper: each disposable query forces a never-reused validation;
+    # wildcard signing collapses them.
+    study = result.study
+    assert study.wildcard_savings() > 0.2
+    per_name = study.scenarios["per-name"]
+    wildcard = study.scenarios["wildcard"]
+    assert wildcard.disposable_validations < per_name.disposable_validations * 0.1

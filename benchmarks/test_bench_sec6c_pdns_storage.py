@@ -1,0 +1,13 @@
+"""Section VI-C — passive-DNS storage growth and wildcard filtering."""
+
+from conftest import run_and_render
+from repro.experiments.impact_runs import run_sec6c_pdns_storage
+
+
+def test_bench_sec6c_pdns_storage(benchmark, medium_context):
+    result = run_and_render(benchmark, run_sec6c_pdns_storage,
+                            medium_context)
+    # Paper: 88% of stored unique RRs disposable; wildcard rows shrink
+    # the disposable portion to ~0.7%.
+    assert result.result.disposable_fraction > 0.4
+    assert result.result.reduction_ratio < 0.7

@@ -1,0 +1,32 @@
+"""Substrate microbenchmark — LRU cache ops throughput."""
+
+import numpy as np
+
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+
+def churn(cache: LruDnsCache, names, now0: float = 0.0) -> int:
+    hits = 0
+    for i, name in enumerate(names):
+        now = now0 + i * 0.01
+        question = Question(name)
+        if cache.lookup(question, now) is None:
+            response = Response(question, RCode.NOERROR,
+                                [ResourceRecord(name, RRType.A, 300, "1.1.1.1")])
+            cache.insert(response, now)
+        else:
+            hits += 1
+    return hits
+
+
+def test_bench_substrate_cache(benchmark):
+    rng = np.random.default_rng(0)
+    names = [f"n{int(i)}.bench.com" for i in rng.zipf(1.3, 20_000) % 5_000]
+
+    def run():
+        cache = LruDnsCache(2_000)
+        return churn(cache, names)
+
+    hits = benchmark(run)
+    assert hits > 0

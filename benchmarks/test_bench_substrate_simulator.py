@@ -1,0 +1,27 @@
+"""Substrate microbenchmark — end-to-end simulated-day throughput."""
+
+from repro.traffic.population import PopulationConfig
+from repro.traffic.simulate import (MeasurementDate, SimulatorConfig,
+                                    TraceSimulator)
+from repro.traffic.workload import WorkloadConfig
+
+
+def test_bench_substrate_simulator(benchmark):
+    config = SimulatorConfig(
+        cache_capacity=8_000,
+        population=PopulationConfig(n_popular_sites=80,
+                                    n_longtail_sites=1_500,
+                                    n_extra_disposable=20,
+                                    cdn_objects=4_000),
+        workload=WorkloadConfig(events_per_day=15_000, n_clients=200))
+    simulator = TraceSimulator(config)
+    counter = {"day": 0}
+
+    def run_one_day():
+        counter["day"] += 1
+        date = MeasurementDate(f"bench-{counter['day']}",
+                               100 + counter["day"], 0.5)
+        return simulator.run_day(date)
+
+    dataset = benchmark(run_one_day)
+    assert dataset.below_volume() >= 15_000

@@ -1,0 +1,16 @@
+"""Table I — disposable RRs in the low-lookup-volume tail."""
+
+from conftest import run_and_render
+from repro.experiments.tables import run_table1_lookup_tail
+
+
+def test_bench_table1_lookup_tail(benchmark, medium_context):
+    result = run_and_render(benchmark, run_table1_lookup_tail,
+                            medium_context)
+    # Paper: tail 90-94% of RRs; disposable share of tail grows
+    # 28->57%; 96-98% of disposable RRs live in the tail.
+    for row in result.rows:
+        assert row.tail_fraction > 0.8
+        assert row.disposable_in_tail_fraction > 0.9
+    series = result.disposable_share_series()
+    assert series[-1] > series[0]

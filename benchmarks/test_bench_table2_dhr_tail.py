@@ -1,0 +1,15 @@
+"""Table II — disposable RRs in the zero-domain-hit-rate tail."""
+
+from conftest import run_and_render
+from repro.experiments.tables import run_table2_dhr_tail
+
+
+def test_bench_table2_dhr_tail(benchmark, medium_context):
+    result = run_and_render(benchmark, run_table2_dhr_tail, medium_context)
+    # Paper: tail 89-94%; disposable share grows; ~96% of disposable
+    # RRs have zero DHR.
+    for row in result.rows:
+        assert row.tail_fraction > 0.55
+        assert row.disposable_in_tail_fraction > 0.85
+    series = result.disposable_share_series()
+    assert series[-1] > series[0]

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Section VI-B in action: disposable domains vs DNSSEC validation.
+
+Replays one day of queries against a validating resolver cluster under
+three signing regimes — conventional per-name signing, the paper's
+wildcard-signing mitigation for disposable zones, and a reference
+world where disposable sub-zones stay unsigned — and compares the
+signature-validation workload.
+
+Run:  python examples/dnssec_cost_study.py
+"""
+
+from repro.experiments.report import format_percent, format_table
+from repro.impact.dnssec_cost import run_dnssec_study
+from repro.traffic.simulate import (MeasurementDate, PopulationConfig,
+                                    SimulatorConfig, TraceSimulator,
+                                    WorkloadConfig)
+
+
+def main() -> None:
+    config = SimulatorConfig(
+        population=PopulationConfig(n_popular_sites=100,
+                                    n_longtail_sites=2_000,
+                                    n_extra_disposable=24,
+                                    cdn_objects=5_000),
+        workload=WorkloadConfig(events_per_day=25_000, n_clients=250))
+    simulator = TraceSimulator(config)
+    print("generating one late-2011 day of query events ...")
+    events = simulator.workload.generate_day(420, year_fraction=0.95)
+
+    all_apexes = {zone.apex for zone in simulator.authority.zones()}
+    disposable_apexes = {service.zone
+                         for service in simulator.population.services}
+    study = run_dnssec_study(simulator.authority, events, all_apexes,
+                             disposable_apexes, cache_capacity=8_000)
+
+    rows = []
+    for regime, s in study.scenarios.items():
+        rows.append((regime, s.validations,
+                     format_percent(s.validation_cache_hit_rate),
+                     s.disposable_validations,
+                     f"{s.signature_cache_bytes / 1024:.0f} KiB"))
+    print(format_table(
+        ["signing regime", "signature validations",
+         "validation-cache hit rate", "validations for disposable names",
+         "signature cache memory"], rows))
+
+    print(f"\nwildcard signing avoids "
+          f"{study.wildcard_savings():.1%} of the per-name regime's "
+          "validations — each disposable name no longer costs a "
+          "never-reused crypto operation plus cached signature bytes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro: reproduction of "DNS Noise: Measuring the Pervasiveness of
+Disposable Domains in Modern DNS Traffic" (DSN 2014).
+
+Subpackages
+-----------
+- :mod:`repro.core` — the disposable-zone mining system (the paper's
+  contribution): domain name tree, features, classifiers, Algorithm 1.
+- :mod:`repro.dns` — DNS substrate: authoritative hierarchy, TTL-aware
+  LRU caches, recursive resolver cluster, stub resolvers, DNSSEC model.
+- :mod:`repro.traffic` — synthetic ISP workload standing in for the
+  paper's Comcast traces.
+- :mod:`repro.pdns` — passive-DNS collection (fpDNS/rpDNS) and database.
+- :mod:`repro.analysis` — the measurement analytics behind each figure.
+- :mod:`repro.impact` — Section VI impact studies (cache, DNSSEC, pDNS).
+- :mod:`repro.experiments` — per-figure/table experiment runners.
+"""
+
+__all__ = ["__version__"]
+
+__version__ = "1.0.0"

@@ -1,0 +1,55 @@
+"""Empirical-CDF helpers shared by the distribution analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["EmpiricalCdf"]
+
+
+@dataclass
+class EmpiricalCdf:
+    """Empirical cumulative distribution of a sample."""
+
+    values: np.ndarray  # sorted
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "EmpiricalCdf":
+        values = np.sort(np.asarray(samples, dtype=float))
+        return cls(values=values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, x, side="right")
+                     / len(self.values))
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.quantile(self.values, q))
+
+    def evaluate(self, xs: Sequence[float]) -> np.ndarray:
+        """CDF values at each point of ``xs`` (for plotting/series)."""
+        xs = np.asarray(xs, dtype=float)
+        if len(self.values) == 0:
+            return np.zeros_like(xs)
+        return np.searchsorted(self.values, xs, side="right") / len(self.values)
+
+    def series(self, n_points: int = 11) -> list:
+        """(x, CDF(x)) pairs over an even grid of the value range."""
+        if len(self.values) == 0:
+            return []
+        lo, hi = float(self.values[0]), float(self.values[-1])
+        xs = np.linspace(lo, hi, n_points)
+        return list(zip(xs.tolist(), self.evaluate(xs).tolist()))

@@ -1,0 +1,76 @@
+"""Cache-hit-rate distribution analyses (Figures 4 and 7).
+
+Figure 4 shows the CHR distribution over all RRs is a skewed linear
+CDF (58 % of CHR samples below 0.5 on the paper's day).  Figure 7
+splits the distribution by zone class: ~90 % of disposable CHR samples
+are exactly zero while non-disposable zones keep a "natural" spread
+(45 % of samples above 0.58).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.core.hitrate import HitRateTable
+from repro.core.names import is_subdomain
+from repro.core.ranking import name_matches_groups
+
+__all__ = ["chr_cdf", "chr_cdf_for_zones", "ChrSplit", "chr_split"]
+
+
+def chr_cdf(hit_rates: HitRateTable) -> EmpiricalCdf:
+    """CDF of all CHR samples for the day (Figure 4a)."""
+    return EmpiricalCdf.from_samples(hit_rates.chr_values())
+
+
+def chr_cdf_for_zones(hit_rates: HitRateTable,
+                      zones: Iterable[str]) -> EmpiricalCdf:
+    """CDF of CHR samples restricted to RRs under any of ``zones``."""
+    zone_list = list(zones)
+    records = hit_rates.filter(
+        lambda key: any(is_subdomain(key[0], zone) for zone in zone_list))
+    return EmpiricalCdf.from_samples(hit_rates.chr_values(records))
+
+
+@dataclass(frozen=True)
+class ChrSplit:
+    """Disposable vs non-disposable CHR distributions (Figure 7)."""
+
+    day: str
+    disposable: EmpiricalCdf
+    non_disposable: EmpiricalCdf
+
+    @property
+    def disposable_zero_fraction(self) -> float:
+        """Paper: ~90 % of disposable CHR samples are zero."""
+        return self.disposable.at(0.0)
+
+    @property
+    def non_disposable_median(self) -> float:
+        return self.non_disposable.quantile(0.5)
+
+    def non_disposable_fraction_above(self, threshold: float) -> float:
+        """Paper: 45 % of non-disposable samples exceed 0.58."""
+        return 1.0 - self.non_disposable.at(threshold)
+
+
+def chr_split(hit_rates: HitRateTable,
+              disposable_groups: Set[Tuple[str, int]]) -> ChrSplit:
+    """Split the day's CHR samples by (zone, depth) disposability."""
+    disposable_records = []
+    other_records = []
+    for record in hit_rates.records():
+        if name_matches_groups(record.key[0], disposable_groups):
+            disposable_records.append(record)
+        else:
+            other_records.append(record)
+    return ChrSplit(
+        day=hit_rates.day,
+        disposable=EmpiricalCdf.from_samples(
+            hit_rates.chr_values(disposable_records)),
+        non_disposable=EmpiricalCdf.from_samples(
+            hit_rates.chr_values(other_records)))

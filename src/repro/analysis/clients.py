@@ -1,0 +1,78 @@
+"""Clients-per-name analysis.
+
+Section I characterises disposable domains as "only queried a few
+times by a handful of clients".  This module measures, from the
+below-the-resolvers fpDNS stream, how many distinct clients queried
+each resolved name, split by disposability — popular names are queried
+by a large share of the subscriber base, disposable names by one or
+two cohort members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.core.ranking import name_matches_groups
+from repro.pdns.records import FpDnsDataset
+
+__all__ = ["ClientSpreadReport", "clients_per_name"]
+
+
+@dataclass
+class ClientSpreadReport:
+    """Distinct-client counts per name, split by class."""
+
+    day: str
+    disposable_counts: np.ndarray
+    other_counts: np.ndarray
+
+    @property
+    def disposable_median(self) -> float:
+        if self.disposable_counts.size == 0:
+            return 0.0
+        return float(np.median(self.disposable_counts))
+
+    @property
+    def other_median(self) -> float:
+        if self.other_counts.size == 0:
+            return 0.0
+        return float(np.median(self.other_counts))
+
+    def disposable_handful_fraction(self, handful: int = 3) -> float:
+        """Share of disposable names queried by <= ``handful`` clients."""
+        if self.disposable_counts.size == 0:
+            return 0.0
+        return float(np.mean(self.disposable_counts <= handful))
+
+    def spread_ratio(self) -> float:
+        """Mean clients-per-name, non-disposable over disposable."""
+        if (self.disposable_counts.size == 0
+                or self.disposable_counts.mean() == 0):
+            return 0.0
+        return float(self.other_counts.mean()
+                     / self.disposable_counts.mean())
+
+
+def clients_per_name(dataset: FpDnsDataset,
+                     disposable_groups: Set[Tuple[str, int]]
+                     ) -> ClientSpreadReport:
+    """Count distinct querying clients per resolved name."""
+    clients_by_name: Dict[str, Set[int]] = {}
+    for entry in dataset.below:
+        if not entry.is_answer or entry.client_id is None:
+            continue
+        clients_by_name.setdefault(entry.qname, set()).add(entry.client_id)
+    disposable = []
+    other = []
+    for name, clients in clients_by_name.items():
+        if name_matches_groups(name, disposable_groups):
+            disposable.append(len(clients))
+        else:
+            other.append(len(clients))
+    return ClientSpreadReport(
+        day=dataset.day,
+        disposable_counts=np.array(sorted(disposable), dtype=int),
+        other_counts=np.array(sorted(other), dtype=int))

@@ -1,0 +1,136 @@
+"""One-call daily traffic report.
+
+Aggregates every per-day statistic the paper's Section III surveys —
+volumes above/below, NXDOMAIN split, population sizes, long-tail
+fractions, CHR spread, Google/Akamai shares, top zones by lookup
+volume — into a single renderable object.  This is the "panoramic view
+of real-world DNS messages" (Section III-C) as a reusable report,
+optionally annotated with the miner's disposable shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.tail import LOW_VOLUME_THRESHOLD
+from repro.analysis.volume import DayVolumeSummary, day_summary
+from repro.core.hitrate import HitRateTable, compute_hit_rates
+from repro.core.ranking import name_matches_groups
+from repro.core.suffix import SuffixList, default_suffix_list
+from repro.pdns.records import FpDnsDataset
+from repro.textutil import format_kv, format_percent, format_table
+
+__all__ = ["DailyTrafficReport", "build_daily_report"]
+
+
+@dataclass
+class DailyTrafficReport:
+    """Everything Section III measures about one day, in one object."""
+
+    day: str
+    volumes: DayVolumeSummary
+    queried_domains: int
+    resolved_domains: int
+    distinct_rrs: int
+    low_volume_tail_fraction: float
+    zero_dhr_fraction: float
+    chr_median: float
+    top_zones: List[Tuple[str, int]]          # (2LD, lookup volume)
+    disposable_queried_fraction: Optional[float] = None
+    disposable_resolved_fraction: Optional[float] = None
+    disposable_rr_fraction: Optional[float] = None
+
+    def render(self) -> str:
+        pairs = [
+            ("answers below / above the resolvers",
+             f"{self.volumes.below_total:,} / {self.volumes.above_total:,} "
+             f"(ratio {self.volumes.above_below_ratio:.2f})"),
+            ("NXDOMAIN share below / above",
+             f"{format_percent(self.volumes.nxdomain_share_below)} / "
+             f"{format_percent(self.volumes.nxdomain_share_above)}"),
+            ("distinct queried / resolved names",
+             f"{self.queried_domains:,} / {self.resolved_domains:,}"),
+            ("distinct resource records", f"{self.distinct_rrs:,}"),
+            (f"RRs with < {LOW_VOLUME_THRESHOLD} lookups",
+             format_percent(self.low_volume_tail_fraction)),
+            ("RRs with zero domain hit rate",
+             format_percent(self.zero_dhr_fraction)),
+            ("median cache hit rate sample", f"{self.chr_median:.3f}"),
+            ("google+akamai share of below traffic",
+             format_percent(self.volumes.google_akamai_share_below)),
+        ]
+        if self.disposable_resolved_fraction is not None:
+            pairs.extend([
+                ("disposable share of queried names",
+                 format_percent(self.disposable_queried_fraction or 0.0)),
+                ("disposable share of resolved names",
+                 format_percent(self.disposable_resolved_fraction)),
+                ("disposable share of distinct RRs",
+                 format_percent(self.disposable_rr_fraction or 0.0)),
+            ])
+        header = format_kv(pairs, title=f"Daily traffic report — {self.day}")
+        zones = format_table(["top 2LD zones by lookups", "volume"],
+                             self.top_zones)
+        return header + "\n\n" + zones
+
+
+def build_daily_report(dataset: FpDnsDataset,
+                       hit_rates: Optional[HitRateTable] = None,
+                       disposable_groups: Optional[Set[Tuple[str, int]]] = None,
+                       suffix_list: Optional[SuffixList] = None,
+                       top_n: int = 10) -> DailyTrafficReport:
+    """Compute the full report for one fpDNS day."""
+    if hit_rates is None:
+        hit_rates = compute_hit_rates(dataset)
+    suffixes = suffix_list or default_suffix_list()
+
+    lookup_counts = hit_rates.lookup_counts()
+    low_tail = (float(np.mean(lookup_counts < LOW_VOLUME_THRESHOLD))
+                if lookup_counts.size else 0.0)
+
+    # Top 2LDs by below-lookup volume.
+    per_2ld: Dict[str, int] = {}
+    for entry in dataset.below:
+        if not entry.is_answer:
+            continue
+        two_ld = suffixes.effective_2ld(entry.qname)
+        if two_ld is None:
+            continue
+        per_2ld[two_ld] = per_2ld.get(two_ld, 0) + 1
+    top_zones = sorted(per_2ld.items(), key=lambda kv: -kv[1])[:top_n]
+
+    queried = dataset.queried_domains()
+    resolved = dataset.resolved_domains()
+    rrs = dataset.distinct_rrs()
+
+    disposable_queried = disposable_resolved = disposable_rr = None
+    if disposable_groups is not None:
+        disposable_queried = (sum(
+            1 for name in queried
+            if name_matches_groups(name, disposable_groups))
+            / len(queried)) if queried else 0.0
+        disposable_resolved = (sum(
+            1 for name in resolved
+            if name_matches_groups(name, disposable_groups))
+            / len(resolved)) if resolved else 0.0
+        disposable_rr = (sum(
+            1 for (name, _, _) in rrs
+            if name_matches_groups(name, disposable_groups))
+            / len(rrs)) if rrs else 0.0
+
+    return DailyTrafficReport(
+        day=dataset.day,
+        volumes=day_summary(dataset),
+        queried_domains=len(queried),
+        resolved_domains=len(resolved),
+        distinct_rrs=len(rrs),
+        low_volume_tail_fraction=low_tail,
+        zero_dhr_fraction=hit_rates.zero_dhr_fraction(),
+        chr_median=hit_rates.chr_median(),
+        top_zones=top_zones,
+        disposable_queried_fraction=disposable_queried,
+        disposable_resolved_fraction=disposable_resolved,
+        disposable_rr_fraction=disposable_rr)

@@ -1,0 +1,136 @@
+"""Traffic-volume analysis (Figure 2).
+
+Produces the hourly resource-record volumes above and below the
+recursive servers, with the NXDOMAIN, Akamai and Google component
+series the paper overlays, plus day-level aggregates (the
+order-of-magnitude above/below gap, NXDOMAIN shares on each side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.names import is_subdomain
+from repro.dns.message import RCode
+from repro.pdns.records import FpDnsDataset, FpDnsEntry
+
+__all__ = ["ZONE_GROUPS", "VolumeSeries", "DayVolumeSummary",
+           "hourly_volumes", "day_summary", "multi_day_series"]
+
+# The paper's two reference zone groups (its footnote 1).
+ZONE_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "google": ("google.com",),
+    "akamai": ("akamai.com", "akamai.net", "akamaiedge.net", "akamaihd.net",
+               "edgesuite.net", "akamaitech.net", "akadns.net", "akam.net"),
+}
+
+
+def _in_group(name: str, zones: Sequence[str]) -> bool:
+    return any(is_subdomain(name, zone) for zone in zones)
+
+
+@dataclass
+class VolumeSeries:
+    """Per-bin volumes for one day and one side of the resolvers."""
+
+    day: str
+    side: str                      # "below" or "above"
+    bin_seconds: float
+    total: np.ndarray
+    nxdomain: np.ndarray
+    google: np.ndarray
+    akamai: np.ndarray
+
+    def peak_bin(self) -> int:
+        return int(np.argmax(self.total))
+
+    def trough_bin(self) -> int:
+        return int(np.argmin(self.total))
+
+
+def hourly_volumes(dataset: FpDnsDataset, side: str = "below",
+                   n_bins: int = 24,
+                   day_seconds: float = 86_400.0) -> VolumeSeries:
+    """Bin one stream of an fpDNS day into ``n_bins`` volume counts."""
+    if side == "below":
+        entries: List[FpDnsEntry] = dataset.below
+    elif side == "above":
+        entries = dataset.above
+    else:
+        raise ValueError(f"side must be 'below' or 'above', got {side!r}")
+
+    total = np.zeros(n_bins, dtype=int)
+    nxdomain = np.zeros(n_bins, dtype=int)
+    google = np.zeros(n_bins, dtype=int)
+    akamai = np.zeros(n_bins, dtype=int)
+    if entries:
+        base = min(entry.timestamp for entry in entries)
+        width = day_seconds / n_bins
+        for entry in entries:
+            index = min(int((entry.timestamp - base) / width), n_bins - 1)
+            total[index] += 1
+            if entry.rcode is RCode.NXDOMAIN:
+                nxdomain[index] += 1
+            if _in_group(entry.qname, ZONE_GROUPS["google"]):
+                google[index] += 1
+            elif _in_group(entry.qname, ZONE_GROUPS["akamai"]):
+                akamai[index] += 1
+    return VolumeSeries(day=dataset.day, side=side,
+                        bin_seconds=day_seconds / n_bins, total=total,
+                        nxdomain=nxdomain, google=google, akamai=akamai)
+
+
+@dataclass(frozen=True)
+class DayVolumeSummary:
+    """Aggregate volume facts for one day (the Figure 2 headline)."""
+
+    day: str
+    below_total: int
+    above_total: int
+    below_nxdomain: int
+    above_nxdomain: int
+    below_google: int
+    below_akamai: int
+
+    @property
+    def above_below_ratio(self) -> float:
+        return self.above_total / self.below_total if self.below_total else 0.0
+
+    @property
+    def nxdomain_share_below(self) -> float:
+        return (self.below_nxdomain / self.below_total
+                if self.below_total else 0.0)
+
+    @property
+    def nxdomain_share_above(self) -> float:
+        return (self.above_nxdomain / self.above_total
+                if self.above_total else 0.0)
+
+    @property
+    def google_akamai_share_below(self) -> float:
+        return ((self.below_google + self.below_akamai) / self.below_total
+                if self.below_total else 0.0)
+
+
+def day_summary(dataset: FpDnsDataset) -> DayVolumeSummary:
+    below_google = sum(1 for e in dataset.below
+                       if _in_group(e.qname, ZONE_GROUPS["google"]))
+    below_akamai = sum(1 for e in dataset.below
+                       if _in_group(e.qname, ZONE_GROUPS["akamai"]))
+    return DayVolumeSummary(
+        day=dataset.day,
+        below_total=dataset.below_volume(),
+        above_total=dataset.above_volume(),
+        below_nxdomain=dataset.nxdomain_volume_below(),
+        above_nxdomain=dataset.nxdomain_volume_above(),
+        below_google=below_google,
+        below_akamai=below_akamai)
+
+
+def multi_day_series(datasets: Iterable[FpDnsDataset]
+                     ) -> List[DayVolumeSummary]:
+    """Day summaries across a multi-day window (Figure 2's six days)."""
+    return [day_summary(dataset) for dataset in datasets]

@@ -1,0 +1,52 @@
+"""From-scratch classifiers for the disposable-zone miner.
+
+The paper selected a LAD decision tree after comparing it against
+naive Bayes, nearest neighbours, neural networks and logistic
+regression (Section V-C); all five are implemented here behind the
+shared :class:`BinaryClassifier` interface.
+"""
+
+from repro.core.classifier.base import BinaryClassifier, Standardizer
+from repro.core.classifier.cart import DecisionTreeClassifier
+from repro.core.classifier.knn import KNearestNeighbors
+from repro.core.classifier.lad_tree import LadTreeClassifier
+from repro.core.classifier.logistic import LogisticRegressionClassifier
+from repro.core.classifier.mlp import NeuralNetworkClassifier
+from repro.core.classifier.model_selection import (
+    ConfusionCounts,
+    CrossValidationResult,
+    RocCurve,
+    confusion_at,
+    cross_validate,
+    evaluate_classifiers,
+    roc_curve,
+    stratified_kfold_indices,
+)
+from repro.core.classifier.naive_bayes import GaussianNaiveBayes
+from repro.core.classifier.persistence import (ModelFormatError,
+                                               lad_tree_from_dict,
+                                               lad_tree_to_dict,
+                                               load_lad_tree, save_lad_tree)
+from repro.core.classifier.stump import RegressionStump
+
+__all__ = [
+    "BinaryClassifier",
+    "Standardizer",
+    "DecisionTreeClassifier",
+    "RegressionStump",
+    "LadTreeClassifier",
+    "GaussianNaiveBayes",
+    "ModelFormatError", "lad_tree_from_dict", "lad_tree_to_dict",
+    "load_lad_tree", "save_lad_tree",
+    "KNearestNeighbors",
+    "LogisticRegressionClassifier",
+    "NeuralNetworkClassifier",
+    "ConfusionCounts",
+    "CrossValidationResult",
+    "RocCurve",
+    "confusion_at",
+    "cross_validate",
+    "evaluate_classifiers",
+    "roc_curve",
+    "stratified_kfold_indices",
+]

@@ -1,0 +1,81 @@
+"""Shared classifier interface and feature standardisation.
+
+All learners implement the same minimal surface — ``fit(X, y)`` with
+``y`` in {0, 1} (1 = disposable) and ``predict_proba(X)`` returning
+P(disposable) per row — so the miner and the model-selection harness
+can treat them interchangeably, as the paper's WEKA pipeline did.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BinaryClassifier", "Standardizer", "check_training_data"]
+
+
+def check_training_data(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training set."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"y must be 1-D with len(X) rows, got {y.shape} vs {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError("empty training set")
+    bad = set(np.unique(y)) - {0, 1}
+    if bad:
+        raise ValueError(f"labels must be 0/1, found {sorted(bad)}")
+    return X, y
+
+
+class BinaryClassifier:
+    """Interface for binary (disposable vs non-disposable) classifiers."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinaryClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(class = 1) for each row of ``X``."""
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    def classify(self, x: np.ndarray) -> Tuple[float, str]:
+        """The paper's ``C(G_k) = (p, class)`` form for one vector.
+
+        Returns the confidence of the *predicted* class, together with
+        the class name (``"disposable"`` or ``"non-disposable"``).
+        """
+        p = float(self.predict_proba(np.asarray(x, dtype=float).reshape(1, -1))[0])
+        if p >= 0.5:
+            return p, "disposable"
+        return 1.0 - p, "non-disposable"
+
+
+class Standardizer:
+    """Column-wise (x - mean) / std scaling with constant-column safety."""
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("Standardizer used before fit()")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,147 @@
+"""CART-style binary decision tree (Gini impurity).
+
+Included alongside the paper's model-selection candidates as the most
+common decision-tree baseline: a greedy top-down tree with Gini splits,
+depth/leaf-size limits, and leaf class-probability estimates (Laplace
+smoothed).  Useful both as a comparison point and as a readable
+contrast to the boosted LAD tree the paper selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.classifier.base import BinaryClassifier, check_training_data
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """Internal or leaf node of the tree."""
+
+    probability: float                  # P(class=1) at this node
+    feature: int = -1                   # -1 marks a leaf
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _gini(positives: float, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    p = positives / total
+    return 2.0 * p * (1.0 - p)
+
+
+def _best_split(X: np.ndarray, y: np.ndarray, max_candidates: int):
+    """(feature, threshold, impurity decrease) or None."""
+    n, n_features = X.shape
+    total_pos = float(y.sum())
+    parent_impurity = _gini(total_pos, n)
+    best = None
+    best_gain = 1e-12
+    for j in range(n_features):
+        order = np.argsort(X[:, j], kind="stable")
+        col = X[order, j]
+        labels = y[order]
+        cum_pos = np.cumsum(labels)
+        distinct = np.nonzero(np.diff(col) > 0)[0]
+        if distinct.size == 0:
+            continue
+        if distinct.size > max_candidates:
+            pick = np.linspace(0, distinct.size - 1, max_candidates)
+            distinct = distinct[pick.astype(int)]
+        for i in distinct:
+            n_left = i + 1
+            n_right = n - n_left
+            pos_left = float(cum_pos[i])
+            pos_right = total_pos - pos_left
+            weighted = (n_left / n) * _gini(pos_left, n_left) \
+                + (n_right / n) * _gini(pos_right, n_right)
+            gain = parent_impurity - weighted
+            if gain > best_gain:
+                best_gain = gain
+                best = (j, 0.5 * (col[i] + col[i + 1]), gain)
+    return best
+
+
+class DecisionTreeClassifier(BinaryClassifier):
+    """Greedy Gini CART tree for binary classification."""
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 2,
+                 max_candidates: int = 64):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_candidates = max_candidates
+        self._root: Optional[_Node] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = check_training_data(X, y)
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _leaf_probability(self, y: np.ndarray) -> float:
+        # Laplace smoothing keeps probabilities off the 0/1 walls.
+        return (float(y.sum()) + 1.0) / (len(y) + 2.0)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(probability=self._leaf_probability(y))
+        if (depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf
+                or y.min() == y.max()):
+            return node
+        split = _best_split(X, y, self.max_candidates)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf \
+                or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("classifier used before fit()")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold \
+                    else node.right
+            out[i] = node.probability
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self._root)
+
+    def n_leaves(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+        return walk(self._root)

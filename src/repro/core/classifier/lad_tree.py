@@ -1,0 +1,88 @@
+"""LAD tree: LogitBoost over regression stumps.
+
+The paper's model selection picked WEKA's *LAD tree* — a LogitBoost
+Alternating Decision tree (Holmes et al., 2002), which grows an
+additive model of decision-stump predictors by LogitBoost.  We
+implement the binary LogitBoost algorithm (Friedman, Hastie &
+Tibshirani, 2000) with regression stumps as the base learners; the sum
+of fitted stumps is exactly the alternating-decision-tree additive
+model for the two-class case.
+
+Each round t:
+
+    p_i     = 1 / (1 + exp(-2 F(x_i)))
+    w_i     = max(p_i (1 - p_i), eps)
+    z_i     = (y*_i - p_i) / w_i            (y* in {0, 1})
+    f_t     = weighted-least-squares stump on (X, z, w)
+    F      += 0.5 * f_t  (clipped working responses keep F stable)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.classifier.base import BinaryClassifier, check_training_data
+from repro.core.classifier.stump import RegressionStump
+
+__all__ = ["LadTreeClassifier"]
+
+
+class LadTreeClassifier(BinaryClassifier):
+    """LogitBoost additive stump ensemble (binary LAD tree).
+
+    Parameters
+    ----------
+    n_rounds:
+        Boosting iterations (number of stumps).
+    z_clip:
+        Working responses are clipped to ``[-z_clip, z_clip]``; the
+        standard LogitBoost stabilisation (value 4 per FHT 2000).
+    weight_floor:
+        Lower bound on per-sample boosting weights.
+    """
+
+    def __init__(self, n_rounds: int = 30, z_clip: float = 4.0,
+                 weight_floor: float = 1e-6):
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+        self.n_rounds = n_rounds
+        self.z_clip = z_clip
+        self.weight_floor = weight_floor
+        self.stumps_: List[RegressionStump] = []
+        self.prior_f_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LadTreeClassifier":
+        X, y = check_training_data(X, y)
+        n = X.shape[0]
+        # Start from the class prior (half log-odds, since p uses 2F).
+        pos = max(y.mean(), 1e-6)
+        pos = min(pos, 1 - 1e-6)
+        self.prior_f_ = 0.5 * 0.5 * np.log(pos / (1 - pos))
+        F = np.full(n, self.prior_f_)
+        self.stumps_ = []
+
+        for _ in range(self.n_rounds):
+            p = 1.0 / (1.0 + np.exp(-2.0 * F))
+            w = np.maximum(p * (1.0 - p), self.weight_floor)
+            z = (y - p) / w
+            z = np.clip(z, -self.z_clip, self.z_clip)
+            stump = RegressionStump().fit(X, z, w)
+            self.stumps_.append(stump)
+            F = F + 0.5 * stump.predict(X)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """The additive score F(x)."""
+        if not self.stumps_:
+            raise RuntimeError("classifier used before fit()")
+        X = np.asarray(X, dtype=float)
+        F = np.full(X.shape[0], self.prior_f_)
+        for stump in self.stumps_:
+            F = F + 0.5 * stump.predict(X)
+        return F
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        F = self.decision_function(X)
+        return 1.0 / (1.0 + np.exp(-2.0 * F))

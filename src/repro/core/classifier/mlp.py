@@ -1,0 +1,67 @@
+"""Small feed-forward neural network — a paper model-selection baseline.
+
+One tanh hidden layer trained by full-batch gradient descent on the
+logistic loss.  Initialisation uses a seeded NumPy generator so results
+are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier.base import (BinaryClassifier, Standardizer,
+                                        check_training_data)
+
+__all__ = ["NeuralNetworkClassifier"]
+
+
+class NeuralNetworkClassifier(BinaryClassifier):
+    def __init__(self, hidden_units: int = 16, learning_rate: float = 0.1,
+                 n_iterations: int = 800, l2: float = 1e-4, seed: int = 7):
+        if hidden_units < 1:
+            raise ValueError(f"hidden_units must be >= 1, got {hidden_units}")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.seed = seed
+        self._scaler = Standardizer()
+        self._params = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NeuralNetworkClassifier":
+        X, y = check_training_data(X, y)
+        Xs = self._scaler.fit_transform(X)
+        n, d = Xs.shape
+        rng = np.random.default_rng(self.seed)
+        W1 = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, self.hidden_units))
+        b1 = np.zeros(self.hidden_units)
+        W2 = rng.normal(0.0, 1.0 / np.sqrt(self.hidden_units),
+                        size=self.hidden_units)
+        b2 = 0.0
+
+        for _ in range(self.n_iterations):
+            hidden = np.tanh(Xs @ W1 + b1)
+            scores = hidden @ W2 + b2
+            p = 1.0 / (1.0 + np.exp(-np.clip(scores, -35, 35)))
+            delta_out = (p - y) / n                    # dL/dscores
+            grad_W2 = hidden.T @ delta_out + self.l2 * W2
+            grad_b2 = float(delta_out.sum())
+            delta_hidden = np.outer(delta_out, W2) * (1.0 - hidden ** 2)
+            grad_W1 = Xs.T @ delta_hidden + self.l2 * W1
+            grad_b1 = delta_hidden.sum(axis=0)
+            W1 -= self.learning_rate * grad_W1
+            b1 -= self.learning_rate * grad_b1
+            W2 -= self.learning_rate * grad_W2
+            b2 -= self.learning_rate * grad_b2
+
+        self._params = (W1, b1, W2, b2)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise RuntimeError("classifier used before fit()")
+        W1, b1, W2, b2 = self._params
+        Xs = self._scaler.transform(np.asarray(X, dtype=float))
+        hidden = np.tanh(Xs @ W1 + b1)
+        scores = hidden @ W2 + b2
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -35, 35)))

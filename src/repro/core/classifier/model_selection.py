@@ -1,0 +1,194 @@
+"""Model selection: stratified k-fold CV, ROC curves, accuracy metrics.
+
+Reproduces the evaluation protocol of Section V-C: standard 10-fold
+cross-validation over the labeled zones, an ROC curve for the
+disposable class (Figure 12), and operating points at the θ = 0.5 and
+θ = 0.9 thresholds the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier.base import BinaryClassifier
+
+__all__ = [
+    "ConfusionCounts",
+    "RocCurve",
+    "CrossValidationResult",
+    "stratified_kfold_indices",
+    "cross_validate",
+    "roc_curve",
+    "evaluate_classifiers",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts at one threshold."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def true_positive_rate(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+
+@dataclass
+class RocCurve:
+    """ROC points ordered by descending threshold."""
+
+    thresholds: np.ndarray
+    tpr: np.ndarray
+    fpr: np.ndarray
+
+    def auc(self) -> float:
+        """Area under the curve by trapezoidal rule over FPR."""
+        order = np.argsort(self.fpr, kind="stable")
+        integrate = getattr(np, "trapezoid", None) or np.trapz
+        return float(integrate(self.tpr[order], self.fpr[order]))
+
+    def operating_point(self, threshold: float) -> Tuple[float, float]:
+        """(TPR, FPR) at the smallest curve threshold >= ``threshold``."""
+        eligible = self.thresholds >= threshold
+        if not eligible.any():
+            return 0.0, 0.0
+        idx = int(np.nonzero(eligible)[0][-1])
+        return float(self.tpr[idx]), float(self.fpr[idx])
+
+
+@dataclass
+class CrossValidationResult:
+    """Pooled out-of-fold scores and derived metrics."""
+
+    y_true: np.ndarray
+    y_score: np.ndarray
+    fold_ids: np.ndarray
+
+    def confusion_at(self, threshold: float) -> ConfusionCounts:
+        return confusion_at(self.y_true, self.y_score, threshold)
+
+    def roc(self) -> RocCurve:
+        return roc_curve(self.y_true, self.y_score)
+
+    def auc(self) -> float:
+        return self.roc().auc()
+
+
+def confusion_at(y_true: np.ndarray, y_score: np.ndarray,
+                 threshold: float) -> ConfusionCounts:
+    y_true = np.asarray(y_true, dtype=int)
+    predicted = np.asarray(y_score, dtype=float) >= threshold
+    tp = int(np.sum(predicted & (y_true == 1)))
+    fp = int(np.sum(predicted & (y_true == 0)))
+    tn = int(np.sum(~predicted & (y_true == 0)))
+    fn = int(np.sum(~predicted & (y_true == 1)))
+    return ConfusionCounts(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def stratified_kfold_indices(y: np.ndarray, n_folds: int,
+                             seed: int = 0) -> List[np.ndarray]:
+    """Indices of each fold, preserving class balance per fold."""
+    y = np.asarray(y, dtype=int)
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    rng = np.random.default_rng(seed)
+    folds: List[List[int]] = [[] for _ in range(n_folds)]
+    for cls in np.unique(y):
+        members = np.nonzero(y == cls)[0]
+        rng.shuffle(members)
+        for i, index in enumerate(members):
+            folds[i % n_folds].append(int(index))
+    return [np.array(sorted(fold), dtype=int) for fold in folds]
+
+
+def cross_validate(make_classifier: Callable[[], BinaryClassifier],
+                   X: np.ndarray, y: np.ndarray, n_folds: int = 10,
+                   seed: int = 0) -> CrossValidationResult:
+    """Standard stratified k-fold CV; returns pooled out-of-fold scores."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    folds = stratified_kfold_indices(y, n_folds, seed=seed)
+    scores = np.zeros(len(y))
+    fold_ids = np.zeros(len(y), dtype=int)
+    for fold_index, test_idx in enumerate(folds):
+        if len(test_idx) == 0:
+            continue
+        mask = np.ones(len(y), dtype=bool)
+        mask[test_idx] = False
+        model = make_classifier()
+        model.fit(X[mask], y[mask])
+        scores[test_idx] = model.predict_proba(X[test_idx])
+        fold_ids[test_idx] = fold_index
+    return CrossValidationResult(y_true=y, y_score=scores, fold_ids=fold_ids)
+
+
+def roc_curve(y_true: np.ndarray, y_score: np.ndarray) -> RocCurve:
+    """ROC over all distinct score thresholds, descending."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_score = np.asarray(y_score, dtype=float)
+    order = np.argsort(-y_score, kind="stable")
+    sorted_scores = y_score[order]
+    sorted_truth = y_true[order]
+    n_pos = max(int(sorted_truth.sum()), 1)
+    n_neg = max(int((1 - sorted_truth).sum()), 1)
+
+    tps = np.cumsum(sorted_truth)
+    fps = np.cumsum(1 - sorted_truth)
+    # Keep the last index of each score plateau.
+    keep = np.nonzero(np.append(np.diff(sorted_scores) != 0, True))[0]
+    thresholds = sorted_scores[keep]
+    tpr = tps[keep] / n_pos
+    fpr = fps[keep] / n_neg
+    # Prepend the (0, 0) point at threshold just above the max score.
+    thresholds = np.concatenate([[thresholds[0] + 1e-9], thresholds])
+    tpr = np.concatenate([[0.0], tpr])
+    fpr = np.concatenate([[0.0], fpr])
+    return RocCurve(thresholds=thresholds, tpr=tpr, fpr=fpr)
+
+
+def evaluate_classifiers(
+        candidates: Dict[str, Callable[[], BinaryClassifier]],
+        X: np.ndarray, y: np.ndarray, n_folds: int = 10,
+        seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Run CV for each candidate; return per-model summary metrics.
+
+    This is the paper's model-selection step over {LAD tree, naive
+    Bayes, k-NN, neural network, logistic regression}.
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, factory in candidates.items():
+        result = cross_validate(factory, X, y, n_folds=n_folds, seed=seed)
+        at_default = result.confusion_at(0.5)
+        at_strict = result.confusion_at(0.9)
+        summary[name] = {
+            "auc": result.auc(),
+            "tpr@0.5": at_default.true_positive_rate,
+            "fpr@0.5": at_default.false_positive_rate,
+            "tpr@0.9": at_strict.true_positive_rate,
+            "fpr@0.9": at_strict.false_positive_rate,
+            "accuracy@0.5": at_default.accuracy,
+        }
+    return summary

@@ -1,0 +1,88 @@
+"""Model persistence for the LAD tree.
+
+A production deployment trains the classifier once on the labeled
+zones and then ships the model to the daily mining jobs; this module
+serialises a trained :class:`LadTreeClassifier` to a small JSON
+document (stumps are four numbers each) and back.  The format is
+versioned, and load rejects anything it does not recognise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.classifier.lad_tree import LadTreeClassifier
+from repro.core.classifier.stump import RegressionStump
+
+__all__ = ["save_lad_tree", "load_lad_tree", "lad_tree_to_dict",
+           "lad_tree_from_dict", "ModelFormatError"]
+
+_FORMAT = "repro-lad-tree-v1"
+
+PathLike = Union[str, Path]
+
+
+class ModelFormatError(ValueError):
+    """Raised when a model document is malformed or the wrong kind."""
+
+
+def lad_tree_to_dict(model: LadTreeClassifier) -> dict:
+    """Serialisable representation of a *fitted* LAD tree."""
+    if not model.stumps_:
+        raise ModelFormatError("model is not fitted")
+    return {
+        "format": _FORMAT,
+        "n_rounds": model.n_rounds,
+        "z_clip": model.z_clip,
+        "weight_floor": model.weight_floor,
+        "prior_f": model.prior_f_,
+        "stumps": [
+            {"feature": stump.feature, "threshold": stump.threshold,
+             "left": stump.left_value, "right": stump.right_value}
+            for stump in model.stumps_
+        ],
+    }
+
+
+def lad_tree_from_dict(document: dict) -> LadTreeClassifier:
+    """Rebuild a fitted LAD tree from :func:`lad_tree_to_dict` output."""
+    if not isinstance(document, dict) \
+            or document.get("format") != _FORMAT:
+        raise ModelFormatError(
+            f"not a {_FORMAT} document: {document.get('format')!r}"
+            if isinstance(document, dict) else "not a mapping")
+    try:
+        model = LadTreeClassifier(n_rounds=int(document["n_rounds"]),
+                                  z_clip=float(document["z_clip"]),
+                                  weight_floor=float(
+                                      document["weight_floor"]))
+        model.prior_f_ = float(document["prior_f"])
+        model.stumps_ = [
+            RegressionStump(feature=int(stump["feature"]),
+                            threshold=float(stump["threshold"]),
+                            left_value=float(stump["left"]),
+                            right_value=float(stump["right"]))
+            for stump in document["stumps"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelFormatError(f"malformed model document: {exc}") from exc
+    if not model.stumps_:
+        raise ModelFormatError("model document contains no stumps")
+    return model
+
+
+def save_lad_tree(model: LadTreeClassifier, path: PathLike) -> None:
+    """Write a fitted model to ``path`` as JSON."""
+    document = lad_tree_to_dict(model)
+    Path(path).write_text(json.dumps(document, indent=1))
+
+
+def load_lad_tree(path: PathLike) -> LadTreeClassifier:
+    """Load a model written by :func:`save_lad_tree`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ModelFormatError(f"invalid JSON: {exc}") from exc
+    return lad_tree_from_dict(document)

@@ -1,0 +1,93 @@
+"""Weighted regression stumps — the base learner for the LAD tree.
+
+A stump splits one feature at one threshold and predicts a constant on
+each side.  Fitting minimises *weighted squared error* against a real-
+valued working response, which is exactly what each LogitBoost round
+requires.  Candidate thresholds are the midpoints between consecutive
+distinct feature values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RegressionStump"]
+
+
+@dataclass
+class RegressionStump:
+    """feature index + threshold + left/right constants."""
+
+    feature: int = 0
+    threshold: float = 0.0
+    left_value: float = 0.0   # predicted when x[feature] <= threshold
+    right_value: float = 0.0  # predicted when x[feature] >  threshold
+
+    def fit(self, X: np.ndarray, z: np.ndarray,
+            w: Optional[np.ndarray] = None,
+            max_candidates: int = 64) -> "RegressionStump":
+        """Fit to working response ``z`` with sample weights ``w``.
+
+        ``max_candidates`` caps the thresholds tried per feature (an
+        even quantile subsample) to keep boosting rounds cheap on
+        larger training sets.
+        """
+        X = np.asarray(X, dtype=float)
+        z = np.asarray(z, dtype=float)
+        n, n_features = X.shape
+        if w is None:
+            w = np.ones(n)
+        else:
+            w = np.asarray(w, dtype=float)
+        total_w = w.sum()
+        if total_w <= 0:
+            raise ValueError("sample weights sum to zero")
+
+        best_err = np.inf
+        overall_mean = float(np.average(z, weights=w))
+        best = (0, -np.inf, overall_mean, overall_mean)
+
+        for j in range(n_features):
+            col = X[:, j]
+            order = np.argsort(col, kind="stable")
+            col_sorted = col[order]
+            z_sorted = z[order]
+            w_sorted = w[order]
+
+            # Prefix sums let every split be evaluated in O(1).
+            cw = np.cumsum(w_sorted)
+            cwz = np.cumsum(w_sorted * z_sorted)
+            cwz2 = np.cumsum(w_sorted * z_sorted * z_sorted)
+
+            distinct = np.nonzero(np.diff(col_sorted) > 0)[0]
+            if distinct.size == 0:
+                continue
+            if distinct.size > max_candidates:
+                pick = np.linspace(0, distinct.size - 1, max_candidates)
+                distinct = distinct[pick.astype(int)]
+
+            for i in distinct:
+                wl = cw[i]
+                wr = cw[-1] - wl
+                if wl <= 0 or wr <= 0:
+                    continue
+                sl, sr = cwz[i], cwz[-1] - cwz[i]
+                ql, qr = cwz2[i], cwz2[-1] - cwz2[i]
+                # Weighted SSE of constant fits on each side.
+                err = (ql - sl * sl / wl) + (qr - sr * sr / wr)
+                if err < best_err - 1e-12:
+                    best_err = err
+                    threshold = 0.5 * (col_sorted[i] + col_sorted[i + 1])
+                    best = (j, threshold, sl / wl, sr / wr)
+
+        self.feature, self.threshold, self.left_value, self.right_value = best
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.where(X[:, self.feature] <= self.threshold,
+                       self.left_value, self.right_value)
+        return out.astype(float)

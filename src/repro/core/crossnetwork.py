@@ -1,0 +1,94 @@
+"""Cross-network comparison of disposable zones.
+
+The paper's definition makes disposability a per-network property
+("domains under a zone could be disposable in one network but not
+another") and proposes, as future work, that "comparing disposable
+zones among different networks can help discover globally disposable
+zones" (Section IV).  This module implements that comparison: given
+the miner's per-network outputs, it splits the flagged (zone, depth)
+groups into *globally* disposable (flagged in at least a quorum of
+networks) and *locally* disposable (an artifact of one vantage point —
+e.g. unpopular CDN content that merely looks one-time locally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+__all__ = ["ZoneConsensus", "CrossNetworkReport", "compare_networks"]
+
+GroupKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ZoneConsensus:
+    """How one (zone, depth) group looks across networks."""
+
+    zone: str
+    depth: int
+    networks: Tuple[str, ...]   # networks that flagged it
+    support: float              # fraction of all networks flagging it
+
+    @property
+    def group(self) -> GroupKey:
+        return (self.zone, self.depth)
+
+
+@dataclass
+class CrossNetworkReport:
+    """Partition of flagged groups by cross-network support."""
+
+    n_networks: int
+    quorum: float
+    consensus: List[ZoneConsensus]
+
+    def globally_disposable(self) -> List[ZoneConsensus]:
+        return [entry for entry in self.consensus
+                if entry.support >= self.quorum]
+
+    def locally_disposable(self) -> List[ZoneConsensus]:
+        return [entry for entry in self.consensus
+                if entry.support < self.quorum]
+
+    def global_groups(self) -> Set[GroupKey]:
+        return {entry.group for entry in self.globally_disposable()}
+
+    def support_of(self, zone: str, depth: int) -> float:
+        for entry in self.consensus:
+            if entry.group == (zone, depth):
+                return entry.support
+        return 0.0
+
+
+def compare_networks(per_network_groups: Mapping[str, Set[GroupKey]],
+                     quorum: float = 1.0) -> CrossNetworkReport:
+    """Cross-tabulate miner outputs from several networks.
+
+    Parameters
+    ----------
+    per_network_groups:
+        Mapping from network name to the (zone, depth) groups its
+        miner flagged (``DailyMiningResult.groups``).
+    quorum:
+        Minimum fraction of networks that must flag a group for it to
+        count as *globally* disposable.  1.0 (the default) demands
+        unanimity; 0.5 is a majority vote.
+    """
+    if not per_network_groups:
+        raise ValueError("need at least one network's miner output")
+    if not 0.0 < quorum <= 1.0:
+        raise ValueError(f"quorum must be in (0, 1], got {quorum}")
+    n_networks = len(per_network_groups)
+    votes: Dict[GroupKey, List[str]] = {}
+    for network, groups in per_network_groups.items():
+        for group in groups:
+            votes.setdefault(group, []).append(network)
+    consensus = [
+        ZoneConsensus(zone=zone, depth=depth,
+                      networks=tuple(sorted(networks)),
+                      support=len(networks) / n_networks)
+        for (zone, depth), networks in sorted(votes.items())
+    ]
+    return CrossNetworkReport(n_networks=n_networks, quorum=quorum,
+                              consensus=consensus)

@@ -1,0 +1,26 @@
+"""Matching names against mined (zone, depth) groups.
+
+The miner's output is a set of ``(zone, depth)`` pairs: "names at
+``depth`` labels under ``zone`` are disposable".  This leaf module
+holds the matcher every analysis layer shares, free of heavier
+dependencies so it can be imported from anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.core.names import label_count, parent
+
+__all__ = ["name_matches_groups"]
+
+
+def name_matches_groups(name: str, groups: Set[Tuple[str, int]]) -> bool:
+    """True if ``name`` sits at a flagged (zone, depth) position."""
+    depth = label_count(name)
+    ancestor = parent(name)
+    while ancestor is not None:
+        if (ancestor, depth) in groups:
+            return True
+        ancestor = parent(ancestor)
+    return False

@@ -1,0 +1,122 @@
+"""Disposable zone miner — Algorithm 1 of the paper.
+
+Starting from every effective 2LD in the domain name tree, the miner:
+
+1. groups the black descendants of the zone under inspection by depth
+   (the ``G_k`` sets) and builds their feature vectors,
+2. classifies each group; a group scoring ≥ θ as disposable is
+   *decolored* and the pair ``(zone, k)`` emitted,
+3. recurses into every child of the zone, so nested disposable
+   sub-zones (and non-disposable children of disposable zones) are
+   found independently.
+
+``min_group_size`` guards against classifying statistically
+meaningless groups — the paper's labeled zones all had at least 15
+disposable child names; the default here is deliberately lower so small
+test trees still exercise the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.classifier.base import BinaryClassifier
+from repro.core.features import FeatureExtractor, GroupFeatures
+from repro.core.suffix import SuffixList, default_suffix_list
+from repro.core.tree import DomainNameTree
+
+__all__ = ["DisposableZoneFinding", "MinerConfig", "DisposableZoneMiner"]
+
+
+@dataclass(frozen=True)
+class DisposableZoneFinding:
+    """One (zone, depth) pair the miner flagged as disposable."""
+
+    zone: str
+    depth: int
+    confidence: float
+    group_size: int
+
+    def as_group_key(self) -> Tuple[str, int]:
+        return (self.zone, self.depth)
+
+
+@dataclass
+class MinerConfig:
+    """Tunables for Algorithm 1."""
+
+    threshold: float = 0.9   # θ in Algorithm 1 line 5
+    min_group_size: int = 5  # skip groups smaller than this
+    max_recursion_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+        if self.min_group_size < 1:
+            raise ValueError(
+                f"min_group_size must be >= 1, got {self.min_group_size}")
+
+
+class DisposableZoneMiner:
+    """Runs Algorithm 1 over a day's domain name tree."""
+
+    def __init__(self, classifier: BinaryClassifier,
+                 config: Optional[MinerConfig] = None,
+                 suffix_list: Optional[SuffixList] = None):
+        self.classifier = classifier
+        self.config = config or MinerConfig()
+        self.suffix_list = suffix_list or default_suffix_list()
+        self.groups_examined = 0
+        self.groups_skipped_small = 0
+
+    def mine(self, tree: DomainNameTree,
+             extractor: FeatureExtractor) -> List[DisposableZoneFinding]:
+        """Run the full mining pass; the tree is decolored in place."""
+        findings: List[DisposableZoneFinding] = []
+        for zone in tree.effective_2lds(self.suffix_list):
+            self._mine_zone(zone, tree, extractor, findings, recursion_depth=0)
+        return findings
+
+    def mine_zone(self, zone: str, tree: DomainNameTree,
+                  extractor: FeatureExtractor) -> List[DisposableZoneFinding]:
+        """Run Algorithm 1 rooted at one zone (mainly for tests)."""
+        findings: List[DisposableZoneFinding] = []
+        self._mine_zone(zone, tree, extractor, findings, recursion_depth=0)
+        return findings
+
+    def _mine_zone(self, zone: str, tree: DomainNameTree,
+                   extractor: FeatureExtractor,
+                   findings: List[DisposableZoneFinding],
+                   recursion_depth: int) -> None:
+        if recursion_depth > self.config.max_recursion_depth:
+            return
+        groups = tree.depth_groups(zone)
+        if not groups:
+            return  # Algorithm 1 lines 1-3: no black descendants
+        for depth in sorted(groups):
+            group = groups[depth]
+            if len(group) < self.config.min_group_size:
+                self.groups_skipped_small += 1
+                continue
+            features = extractor.features_for(zone, depth, group)
+            confidence, label = self.classifier.classify(features.vector())
+            self.groups_examined += 1
+            if label == "disposable" and confidence >= self.config.threshold:
+                tree.decolor_group(group)  # lines 9-11
+                findings.append(DisposableZoneFinding(
+                    zone=zone, depth=depth, confidence=confidence,
+                    group_size=len(group)))
+        # Lines 15-17: recurse into every child of the inspected zone.
+        for child in tree.children_of(zone):
+            self._mine_zone(child, tree, extractor, findings,
+                            recursion_depth + 1)
+
+    @staticmethod
+    def findings_as_groups(
+            findings: List[DisposableZoneFinding]) -> Set[Tuple[str, int]]:
+        """The miner output as (zone, depth) pairs, the form the
+        analysis and mitigation code consumes."""
+        return {finding.as_group_key() for finding in findings}

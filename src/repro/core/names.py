@@ -1,0 +1,120 @@
+"""Domain-name utilities.
+
+The paper's notation (Section III-B): a domain name ``d`` consists of
+labels separated by periods.  ``TLD(d)`` is the *effective* rightmost
+label (delegation-aware, e.g. ``co.uk`` counts as one effective TLD),
+``2LD(d)`` the two rightmost labels, and in general ``NLD(d)`` the N
+rightmost labels.  This module implements the purely lexical part of
+that notation; the delegation-aware effective-TLD logic lives in
+:mod:`repro.core.suffix`.
+
+All functions treat names case-insensitively and ignore a trailing
+root dot, mirroring how DNS names compare on the wire.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Optional
+
+__all__ = [
+    "normalize",
+    "labels",
+    "label_count",
+    "nld",
+    "parent",
+    "is_subdomain",
+    "shannon_entropy",
+    "InvalidDomainError",
+]
+
+
+class InvalidDomainError(ValueError):
+    """Raised when a string cannot be interpreted as a domain name."""
+
+
+def normalize(name: str) -> str:
+    """Return the canonical form of ``name``: lowercase, no trailing dot.
+
+    Raises :class:`InvalidDomainError` for names that are empty (after
+    stripping the root dot) or contain empty interior labels.
+    """
+    if not isinstance(name, str):
+        raise InvalidDomainError(f"domain name must be a string, got {type(name)!r}")
+    stripped = name.strip().lower()
+    if stripped.endswith("."):
+        stripped = stripped[:-1]
+    if not stripped:
+        raise InvalidDomainError("empty domain name")
+    parts = stripped.split(".")
+    if any(not part for part in parts):
+        raise InvalidDomainError(f"empty label in domain name: {name!r}")
+    return stripped
+
+
+def labels(name: str) -> List[str]:
+    """Split ``name`` into its labels, left to right.
+
+    >>> labels("a.example.com")
+    ['a', 'example', 'com']
+    """
+    return normalize(name).split(".")
+
+
+def label_count(name: str) -> int:
+    """Number of labels in ``name`` (``www.example.com`` -> 3)."""
+    return len(labels(name))
+
+
+def nld(name: str, n: int) -> str:
+    """Return the N rightmost labels of ``name`` joined by periods.
+
+    This is the purely lexical NLD from the paper's notation:
+    ``nld("a.example.com", 2) == "example.com"``.  If ``name`` has fewer
+    than ``n`` labels the whole name is returned.
+
+    Raises :class:`ValueError` if ``n`` is not positive.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    parts = labels(name)
+    return ".".join(parts[-n:])
+
+
+def parent(name: str) -> Optional[str]:
+    """Return the immediate parent of ``name``, or ``None`` at a TLD.
+
+    >>> parent("a.example.com")
+    'example.com'
+    """
+    parts = labels(name)
+    if len(parts) <= 1:
+        return None
+    return ".".join(parts[1:])
+
+
+def is_subdomain(name: str, zone: str) -> bool:
+    """True if ``name`` is ``zone`` itself or any descendant of it."""
+    name_n = normalize(name)
+    zone_n = normalize(zone)
+    return name_n == zone_n or name_n.endswith("." + zone_n)
+
+
+def shannon_entropy(label: str) -> float:
+    """Shannon entropy (bits/char) of the characters of ``label``.
+
+    Used by the tree-structure feature family (Section V-A2): labels
+    generated algorithmically in bulk tend to have high character
+    entropy, whereas human-chosen labels ("www", "mail") have low
+    entropy.  An empty label has entropy 0 by convention.
+    """
+    if not label:
+        return 0.0
+    counts = Counter(label)
+    total = len(label)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy

@@ -1,0 +1,139 @@
+"""Zone profiling: inspect and explain the miner's view of a zone.
+
+The paper's operators would want to know *why* a zone was flagged.
+:class:`ZoneProfiler` produces, for any zone in a day's tree, each
+depth group's raw feature vector, the classifier verdict, and — when
+the classifier is a LAD tree — a per-feature attribution obtained by
+summing every stump's contribution to the additive score F(x), which
+is exact for the additive model (not an approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classifier.base import BinaryClassifier
+from repro.core.classifier.lad_tree import LadTreeClassifier
+from repro.core.features import FEATURE_NAMES, FeatureExtractor, GroupFeatures
+from repro.core.hitrate import HitRateTable
+from repro.core.tree import DomainNameTree
+from repro.textutil import format_kv, format_table
+
+__all__ = ["GroupProfile", "ZoneProfile", "ZoneProfiler",
+           "lad_tree_attribution"]
+
+
+def lad_tree_attribution(model: LadTreeClassifier,
+                         x: np.ndarray) -> Dict[str, float]:
+    """Exact per-feature contribution to the LAD tree's score F(x).
+
+    Each boosting stump tests one feature; its (0.5-weighted) output is
+    that feature's contribution for this input.  The prior goes under
+    ``"<prior>"``.  Contributions sum to ``decision_function(x)``.
+    """
+    x = np.asarray(x, dtype=float).reshape(1, -1)
+    contributions: Dict[str, float] = {"<prior>": model.prior_f_}
+    for stump in model.stumps_:
+        name = (FEATURE_NAMES[stump.feature]
+                if stump.feature < len(FEATURE_NAMES)
+                else f"feature_{stump.feature}")
+        contributions[name] = (contributions.get(name, 0.0)
+                               + 0.5 * float(stump.predict(x)[0]))
+    return contributions
+
+
+@dataclass
+class GroupProfile:
+    """One depth group's features, verdict and attribution."""
+
+    features: GroupFeatures
+    confidence: float
+    label: str
+    attribution: Optional[Dict[str, float]] = None
+
+    @property
+    def is_disposable(self) -> bool:
+        return self.label == "disposable"
+
+    def top_drivers(self, k: int = 3) -> List[Tuple[str, float]]:
+        """The k feature contributions with the largest magnitude."""
+        if not self.attribution:
+            return []
+        ranked = sorted(self.attribution.items(),
+                        key=lambda kv: -abs(kv[1]))
+        return [(name, value) for name, value in ranked
+                if name != "<prior>"][:k]
+
+
+@dataclass
+class ZoneProfile:
+    """Full report for one zone on one day."""
+
+    zone: str
+    day: str
+    groups: List[GroupProfile]
+    sample_names: Dict[int, List[str]]
+
+    def disposable_depths(self, threshold: float = 0.9) -> List[int]:
+        return [profile.features.depth for profile in self.groups
+                if profile.is_disposable
+                and profile.confidence >= threshold]
+
+    def render(self) -> str:
+        rows = []
+        for profile in self.groups:
+            features = profile.features
+            drivers = ", ".join(
+                f"{name}={value:+.2f}"
+                for name, value in profile.top_drivers(2))
+            rows.append((features.depth, features.group_size,
+                         f"{features.entropy_mean:.2f}",
+                         f"{features.chr_median:.2f}",
+                         f"{features.chr_zero_fraction:.2f}",
+                         profile.label, f"{profile.confidence:.2f}",
+                         drivers or "-"))
+        table = format_table(
+            ["depth", "names", "entropy", "CHR med", "CHR zero",
+             "verdict", "conf", "top drivers"], rows)
+        samples = []
+        for depth, names in sorted(self.sample_names.items()):
+            for name in names:
+                samples.append(f"  [{depth}] {name}")
+        parts = [f"Zone profile: {self.zone} ({self.day})", table]
+        if samples:
+            parts.append("sample names:")
+            parts.extend(samples)
+        return "\n".join(parts)
+
+
+class ZoneProfiler:
+    """Builds :class:`ZoneProfile` reports from a day's artifacts."""
+
+    def __init__(self, tree: DomainNameTree, hit_rates: HitRateTable,
+                 classifier: BinaryClassifier):
+        self._tree = tree
+        self._hit_rates = hit_rates
+        self._classifier = classifier
+        self._extractor = FeatureExtractor(tree, hit_rates)
+
+    def profile(self, zone: str, max_samples: int = 3) -> ZoneProfile:
+        """Profile every depth group under ``zone``."""
+        groups = self._tree.depth_groups(zone)
+        profiles: List[GroupProfile] = []
+        samples: Dict[int, List[str]] = {}
+        for depth, members in sorted(groups.items()):
+            features = self._extractor.features_for(zone, depth, members)
+            confidence, label = self._classifier.classify(features.vector())
+            attribution = None
+            if isinstance(self._classifier, LadTreeClassifier):
+                attribution = lad_tree_attribution(self._classifier,
+                                                   features.vector())
+            profiles.append(GroupProfile(features=features,
+                                         confidence=confidence, label=label,
+                                         attribution=attribution))
+            samples[depth] = sorted(members)[:max_samples]
+        return ZoneProfile(zone=zone, day=self._hit_rates.day,
+                           groups=profiles, sample_names=samples)

@@ -1,0 +1,176 @@
+"""Effective top-level-domain (public-suffix) matching.
+
+The paper treats the *effective* rightmost label as the TLD: ``com.cn``
+and ``co.uk`` are effective TLDs because every child label under them is
+a delegation to a separate organisation.  Their definition is "a
+superset of [the Mozilla public suffix list] and corrects the omission
+of dynamic DNS zones" (Section III-B).
+
+We embed a compact suffix list covering the generic TLDs, the
+multi-label country suffixes that matter for the synthetic workload,
+and a handful of dynamic-DNS providers, and support wildcard rules
+(``*.ck``) and user extension at construction time.  Longest-match-wins
+semantics follow the PSL algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.core.names import labels, normalize
+
+__all__ = ["SuffixList", "default_suffix_list"]
+
+# Generic and common country-code TLDs.  Deliberately compact: the
+# synthetic workload only emits names under suffixes listed here, and
+# SuffixList falls back to treating the rightmost label as the
+# effective TLD for anything unknown, which matches PSL behaviour
+# (the implicit "*" rule).
+_BASE_SUFFIXES: Tuple[str, ...] = (
+    # generic
+    "com", "net", "org", "edu", "gov", "mil", "int", "info", "biz",
+    "name", "mobi", "tv", "cc", "me", "co", "io", "us", "ca", "mx",
+    "de", "fr", "nl", "it", "es", "se", "no", "fi", "dk", "pl", "ru",
+    "cn", "jp", "kr", "in", "br", "au", "nz", "uk", "eu", "ch", "at",
+    "be", "cz", "gr", "hu", "ie", "pt", "ro", "sk", "tr", "ua", "il",
+    "za", "ar", "cl", "dk",
+    # multi-label country suffixes (delegation points)
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
+    "com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn",
+    "com.au", "net.au", "org.au", "edu.au", "gov.au",
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+    "co.kr", "or.kr", "ac.kr",
+    "com.br", "net.br", "org.br",
+    "co.in", "net.in", "org.in",
+    "co.nz", "net.nz", "org.nz",
+    "com.mx", "com.ar", "com.tr", "com.ua",
+)
+
+# Dynamic-DNS zones: the paper's definition explicitly folds these in,
+# because every child of a dynamic-DNS provider is controlled by a
+# different user, exactly like a registry delegation.
+_DYNDNS_SUFFIXES: Tuple[str, ...] = (
+    "dyndns.org", "no-ip.com", "no-ip.org", "dnsalias.com",
+    "homeip.net", "dynalias.com", "duckdns.org", "afraid.org",
+)
+
+# Wildcard rules: "*.ck" means every direct child of ck is itself an
+# effective TLD (the PSL wildcard form).
+_WILDCARD_SUFFIXES: Tuple[str, ...] = ("*.ck", "*.er", "*.fj")
+
+# Exceptions to wildcard rules ("!www.ck" in PSL syntax): the name IS
+# registrable even though a wildcard covers it.
+_EXCEPTION_SUFFIXES: Tuple[str, ...] = ("www.ck",)
+
+
+class SuffixList:
+    """Effective-TLD matcher with PSL longest-match semantics.
+
+    Parameters
+    ----------
+    rules:
+        Iterable of suffix rules.  Plain rules (``"co.uk"``) mark an
+        effective TLD; ``"*.ck"`` marks every child of ``ck`` as an
+        effective TLD; ``"!www.ck"`` exempts a name from a wildcard.
+    """
+
+    def __init__(self, rules: Iterable[str]):
+        self._plain: Set[str] = set()
+        self._wildcard: Set[str] = set()  # stores the parent, e.g. "ck"
+        self._exception: Set[str] = set()
+        for rule in rules:
+            rule = rule.strip().lower()
+            if not rule:
+                continue
+            if rule.startswith("!"):
+                self._exception.add(normalize(rule[1:]))
+            elif rule.startswith("*."):
+                self._wildcard.add(normalize(rule[2:]))
+            else:
+                self._plain.add(normalize(rule))
+
+    def extended(self, extra_rules: Iterable[str]) -> "SuffixList":
+        """Return a new list with ``extra_rules`` added."""
+        rules: List[str] = []
+        rules.extend(sorted(self._plain))
+        rules.extend("*." + parent for parent in sorted(self._wildcard))
+        rules.extend("!" + name for name in sorted(self._exception))
+        rules.extend(extra_rules)
+        return SuffixList(rules)
+
+    def effective_tld(self, name: str) -> str:
+        """Return the effective TLD of ``name``.
+
+        For an unknown rightmost label the label itself is the
+        effective TLD (the PSL implicit ``*`` rule).
+        """
+        parts = labels(name)
+        # Walk candidate suffixes from shortest (rightmost label) to
+        # longest, remembering the longest matching rule.  The implicit
+        # PSL "*" rule makes the rightmost label the fallback.
+        best = parts[-1]
+        for i in range(len(parts) - 1, -1, -1):
+            candidate = ".".join(parts[i:])
+            if candidate in self._exception:
+                # Exception rule: the *parent* of the exception name is
+                # the effective TLD (PSL "!" semantics).
+                return ".".join(parts[i + 1:])
+            if candidate in self._plain:
+                best = candidate
+            elif i + 1 <= len(parts) - 1:
+                parent_of_candidate = ".".join(parts[i + 1:])
+                if parent_of_candidate in self._wildcard:
+                    best = candidate
+        return best
+
+    def effective_2ld(self, name: str) -> Optional[str]:
+        """Return the registrable domain (effective TLD + one label).
+
+        ``None`` when ``name`` *is* an effective TLD and has no
+        registrable parent (e.g. ``"com"`` or ``"co.uk"``).
+        """
+        etld = self.effective_tld(name)
+        parts = labels(name)
+        etld_len = len(etld.split("."))
+        if len(parts) <= etld_len:
+            return None
+        return ".".join(parts[-(etld_len + 1):])
+
+    def effective_nld(self, name: str, n: int) -> Optional[str]:
+        """Delegation-aware NLD: effective TLD plus ``n - 1`` labels.
+
+        ``effective_nld("a.b.example.co.uk", 2)`` is ``example.co.uk``.
+        Returns ``None`` if the name is too short.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        etld = self.effective_tld(name)
+        parts = labels(name)
+        etld_len = len(etld.split("."))
+        want = etld_len + (n - 1)
+        if len(parts) < want:
+            return None
+        return ".".join(parts[-want:])
+
+    def is_effective_tld(self, name: str) -> bool:
+        """True if ``name`` itself is an effective TLD."""
+        return self.effective_tld(name) == normalize(name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.is_effective_tld(name)
+
+
+_DEFAULT: Optional[SuffixList] = None
+
+
+def default_suffix_list() -> SuffixList:
+    """The shared default suffix list (generic + cc + dyndns rules)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        rules: List[str] = []
+        rules.extend(_BASE_SUFFIXES)
+        rules.extend(_DYNDNS_SUFFIXES)
+        rules.extend(_WILDCARD_SUFFIXES)
+        rules.extend("!" + name for name in _EXCEPTION_SUFFIXES)
+        _DEFAULT = SuffixList(rules)
+    return _DEFAULT

@@ -1,0 +1,128 @@
+"""Cross-day tracking of discovered disposable zones.
+
+The paper runs the miner daily and reports cumulative discovery:
+"over the period of 11 months, we discovered 14,488 new disposable
+zones" under 12,397 distinct 2LDs.  :class:`ZoneTracker` accumulates
+daily findings into that ledger: first-seen day per (zone, depth)
+group, per-day new-zone counts, persistence (how many days a zone
+keeps being flagged), and confidence history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.miner import DisposableZoneFinding
+from repro.core.ranking import DailyMiningResult
+from repro.core.suffix import SuffixList, default_suffix_list
+
+__all__ = ["TrackedZone", "ZoneTracker"]
+
+GroupKey = Tuple[str, int]
+
+
+@dataclass
+class TrackedZone:
+    """Ledger entry for one discovered (zone, depth) group."""
+
+    zone: str
+    depth: int
+    first_seen: str
+    last_seen: str
+    days_flagged: int = 1
+    max_confidence: float = 0.0
+    max_group_size: int = 0
+
+    @property
+    def group(self) -> GroupKey:
+        return (self.zone, self.depth)
+
+
+class ZoneTracker:
+    """Accumulates daily mining results into a discovery ledger."""
+
+    def __init__(self, suffix_list: Optional[SuffixList] = None):
+        self._entries: Dict[GroupKey, TrackedZone] = {}
+        self._new_per_day: Dict[str, int] = {}
+        self._days: List[str] = []
+        self._suffixes = suffix_list or default_suffix_list()
+
+    def ingest(self, result: DailyMiningResult) -> int:
+        """Record one day's findings; returns the number of new zones."""
+        return self.ingest_findings(result.day, result.findings)
+
+    def ingest_findings(self, day: str,
+                        findings: Sequence[DisposableZoneFinding]) -> int:
+        if day in self._days:
+            raise ValueError(f"day {day!r} already ingested")
+        self._days.append(day)
+        new = 0
+        for finding in findings:
+            key = finding.as_group_key()
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = TrackedZone(
+                    zone=finding.zone, depth=finding.depth,
+                    first_seen=day, last_seen=day,
+                    max_confidence=finding.confidence,
+                    max_group_size=finding.group_size)
+                new += 1
+            else:
+                entry.last_seen = day
+                entry.days_flagged += 1
+                entry.max_confidence = max(entry.max_confidence,
+                                           finding.confidence)
+                entry.max_group_size = max(entry.max_group_size,
+                                           finding.group_size)
+        self._new_per_day[day] = new
+        return new
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, group: GroupKey) -> bool:
+        return group in self._entries
+
+    def entries(self) -> List[TrackedZone]:
+        return list(self._entries.values())
+
+    def total_zones(self) -> int:
+        """Figure 11's 'number of disposable zones'."""
+        return len(self._entries)
+
+    def total_2lds(self) -> int:
+        """Figure 11's 'number of 2LDs with disposable zones'."""
+        two_lds: Set[str] = set()
+        for entry in self._entries.values():
+            two_ld = self._suffixes.effective_2ld(entry.zone)
+            two_lds.add(two_ld if two_ld is not None else entry.zone)
+        return len(two_lds)
+
+    def new_zones_per_day(self) -> Dict[str, int]:
+        return dict(self._new_per_day)
+
+    def days(self) -> List[str]:
+        return list(self._days)
+
+    def persistent_zones(self, min_days: int = 2) -> List[TrackedZone]:
+        """Zones flagged on at least ``min_days`` distinct days —
+        stable services, as opposed to one-day artifacts."""
+        return [entry for entry in self._entries.values()
+                if entry.days_flagged >= min_days]
+
+    def one_day_wonders(self) -> List[TrackedZone]:
+        """Zones flagged on exactly one day (the artifact candidates)."""
+        return [entry for entry in self._entries.values()
+                if entry.days_flagged == 1]
+
+    def discovery_curve(self) -> List[Tuple[str, int]]:
+        """(day, cumulative zones discovered) — the 14,488 curve."""
+        cumulative = 0
+        curve = []
+        for day in self._days:
+            cumulative += self._new_per_day.get(day, 0)
+            curve.append((day, cumulative))
+        return curve

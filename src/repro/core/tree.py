@@ -1,0 +1,187 @@
+"""Domain name tree (Section V-A1).
+
+The miner operates on a tree whose root is ``.``, whose first level is
+the TLDs, and so on.  Nodes that carried at least one resource record
+in the observation window are *black*; intermediate nodes that only
+exist as ancestors are *white*.  Classifying a depth group as
+disposable *decolors* its nodes so the recursion below the zone sees
+only what remains (Figures 8-9, Algorithm 1 lines 9-11).
+
+Depth of a node = the number of labels in its name (``a.example.com``
+has depth 3), i.e. the path length to the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.names import label_count, labels, normalize
+
+__all__ = ["TreeNode", "DomainNameTree"]
+
+
+@dataclass
+class TreeNode:
+    """One node of the domain name tree."""
+
+    name: str                       # full domain name ("" for the root)
+    label: str                      # this node's own label
+    depth: int                      # labels to the root
+    black: bool = False
+    children: Dict[str, "TreeNode"] = field(default_factory=dict)
+
+    def child(self, label: str) -> Optional["TreeNode"]:
+        return self.children.get(label)
+
+    def iter_descendants(self) -> Iterator["TreeNode"]:
+        """Yield every strict descendant (pre-order)."""
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def black_descendants(self) -> List["TreeNode"]:
+        return [node for node in self.iter_descendants() if node.black]
+
+    def has_black_descendant(self) -> bool:
+        return any(node.black for node in self.iter_descendants())
+
+
+class DomainNameTree:
+    """Tree over the domain names observed in one fpDNS day."""
+
+    def __init__(self, names: Optional[Iterable[str]] = None):
+        self._root = TreeNode(name="", label=".", depth=0)
+        self._black_count = 0
+        for name in names or []:
+            self.add_domain(name)
+
+    @property
+    def root(self) -> TreeNode:
+        return self._root
+
+    @property
+    def black_count(self) -> int:
+        return self._black_count
+
+    def add_domain(self, name: str) -> TreeNode:
+        """Insert ``name`` as a black node (creating white ancestors)."""
+        node = self._ensure_path(name)
+        if not node.black:
+            node.black = True
+            self._black_count += 1
+        return node
+
+    def _ensure_path(self, name: str) -> TreeNode:
+        parts = labels(name)
+        node = self._root
+        # Walk from the TLD leftwards.
+        for depth, index in enumerate(range(len(parts) - 1, -1, -1), start=1):
+            label = parts[index]
+            child = node.children.get(label)
+            if child is None:
+                child = TreeNode(name=".".join(parts[index:]), label=label,
+                                 depth=depth)
+                node.children[label] = child
+            node = child
+        return node
+
+    def find(self, name: str) -> Optional[TreeNode]:
+        """Locate the node for ``name``, or ``None`` if absent."""
+        parts = labels(name)
+        node = self._root
+        for index in range(len(parts) - 1, -1, -1):
+            node = node.children.get(parts[index])
+            if node is None:
+                return None
+        return node
+
+    def is_black(self, name: str) -> bool:
+        node = self.find(name)
+        return node is not None and node.black
+
+    def decolor(self, name: str) -> bool:
+        """Turn ``name``'s node white; returns True if it was black."""
+        node = self.find(name)
+        if node is None or not node.black:
+            return False
+        node.black = False
+        self._black_count -= 1
+        return True
+
+    def decolor_group(self, names: Iterable[str]) -> int:
+        """Decolor every name in ``names``; returns the count changed."""
+        return sum(1 for name in names if self.decolor(name))
+
+    # -- Algorithm 1 support --------------------------------------------
+
+    def depth_groups(self, zone: str) -> Dict[int, List[str]]:
+        """Group the black strict descendants of ``zone`` by depth.
+
+        Returns ``{k: [names of black nodes at depth k under zone]}``
+        — the paper's ``G_k`` sets.  Empty dict when ``zone`` is not in
+        the tree or has no black descendants.
+        """
+        zone_node = self.find(zone)
+        if zone_node is None:
+            return {}
+        groups: Dict[int, List[str]] = {}
+        for node in zone_node.iter_descendants():
+            if node.black:
+                groups.setdefault(node.depth, []).append(node.name)
+        return groups
+
+    def adjacent_labels(self, zone: str, group: Iterable[str]) -> List[str]:
+        """The paper's ``L_k``: for each name in ``group``, the label
+        immediately below ``zone`` on the path to that name.
+
+        For zone ``example.com`` and group ``{2.a.example.com,
+        4.b.example.com}`` this is ``[a, b]`` (duplicates preserved so
+        callers can build either the set or the multiset).
+        """
+        zone_depth = label_count(zone)
+        result = []
+        zone_n = normalize(zone)
+        for name in group:
+            parts = labels(name)
+            if len(parts) <= zone_depth:
+                raise ValueError(f"{name} is not a strict descendant of {zone}")
+            if ".".join(parts[-zone_depth:]) != zone_n:
+                raise ValueError(f"{name} is not under zone {zone}")
+            result.append(parts[-(zone_depth + 1)])
+        return result
+
+    def children_of(self, zone: str) -> List[str]:
+        """Names of the direct children of ``zone`` in the tree."""
+        node = self.find(zone)
+        if node is None:
+            return []
+        return [child.name for child in node.children.values()]
+
+    def effective_2lds(self, suffix_list) -> List[str]:
+        """All effective 2LDs present in the tree — the starting zones
+        for Algorithm 1.
+
+        ``suffix_list`` is a :class:`repro.core.suffix.SuffixList`.
+        """
+        seen: Set[str] = set()
+        for node in self._root.iter_descendants():
+            if not node.black:
+                continue
+            two_ld = suffix_list.effective_2ld(node.name)
+            if two_ld is not None:
+                seen.add(two_ld)
+        return sorted(seen)
+
+    def black_names(self) -> List[str]:
+        return [node.name for node in self._root.iter_descendants()
+                if node.black]
+
+    def __contains__(self, name: str) -> bool:
+        return self.find(name) is not None
+
+    def __len__(self) -> int:
+        """Total node count (black and white), excluding the root."""
+        return sum(1 for _ in self._root.iter_descendants())

@@ -1,0 +1,26 @@
+"""DNS substrate: messages, zones, authoritative hierarchy, caches,
+recursive resolver cluster, stub resolvers, and the DNSSEC cost model."""
+
+from repro.dns.authority import AuthoritativeHierarchy, AuthorityStats
+from repro.dns.cache import CacheEntry, CacheStats, LruDnsCache
+from repro.dns.dnssec import ValidatingResolverModel, ZoneSigner
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+from repro.dns.resolver import RdnsCluster, RecursiveResolver, ResolutionResult
+from repro.dns.stub import StubResolver
+from repro.dns.wire import (NameCompressor, WireFormatError,
+                            encoded_name_size, response_wire_size,
+                            rr_wire_size)
+from repro.dns.zone import (CallbackZone, StaticZone, WildcardZone, Zone,
+                            synthesize_ip)
+
+__all__ = [
+    "AuthoritativeHierarchy", "AuthorityStats",
+    "CacheEntry", "CacheStats", "LruDnsCache",
+    "ValidatingResolverModel", "ZoneSigner",
+    "Question", "RCode", "ResourceRecord", "Response", "RRType",
+    "RdnsCluster", "RecursiveResolver", "ResolutionResult",
+    "StubResolver",
+    "NameCompressor", "WireFormatError", "encoded_name_size",
+    "response_wire_size", "rr_wire_size",
+    "CallbackZone", "StaticZone", "WildcardZone", "Zone", "synthesize_ip",
+]

@@ -1,0 +1,104 @@
+"""Authoritative name-server hierarchy.
+
+Models the iterative-resolution side of Figure 1: a root, TLD servers,
+and per-zone authoritative servers.  The recursive resolver asks this
+hierarchy on a cache miss; we account the referral chain (root -> TLD
+-> zone NS) so upstream traffic volumes and latency have the right
+shape, but like the paper's monitoring point we only surface the final
+answer section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.names import labels, normalize
+from repro.core.suffix import SuffixList, default_suffix_list
+from repro.dns.message import Question, RCode, Response
+from repro.dns.zone import Zone
+
+__all__ = ["AuthorityStats", "AuthoritativeHierarchy"]
+
+
+@dataclass
+class AuthorityStats:
+    """Counters for traffic arriving at the authoritative side."""
+
+    queries: int = 0
+    referrals: int = 0
+    nxdomain: int = 0
+    noerror: int = 0
+    per_zone_queries: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, zone_apex: Optional[str], response: Response,
+               referral_depth: int) -> None:
+        self.queries += 1
+        self.referrals += referral_depth
+        if response.is_nxdomain:
+            self.nxdomain += 1
+        else:
+            self.noerror += 1
+        if zone_apex is not None:
+            self.per_zone_queries[zone_apex] = (
+                self.per_zone_queries.get(zone_apex, 0) + 1)
+
+
+class AuthoritativeHierarchy:
+    """Root + TLD + zone servers behind a single lookup interface.
+
+    Zones are matched by longest-suffix: a query for
+    ``x.avqs.mcafee.com`` hits the ``avqs.mcafee.com`` zone if one is
+    registered, else ``mcafee.com``.  A name under no registered zone
+    resolves to NXDOMAIN at the (simulated) TLD server, which is how
+    typo traffic produces the paper's above-the-resolver NXDOMAIN load.
+    """
+
+    # Referral chain lengths used for latency/traffic accounting.
+    _REFERRAL_DEPTH_HIT = 3      # root -> TLD -> zone NS
+    _REFERRAL_DEPTH_NXDOMAIN = 2  # root -> TLD says no such delegation
+
+    def __init__(self, suffix_list: Optional[SuffixList] = None):
+        self._zones_by_apex: Dict[str, Zone] = {}
+        self._suffixes = suffix_list or default_suffix_list()
+        self.stats = AuthorityStats()
+
+    def add_zone(self, zone: Zone) -> Zone:
+        if zone.apex in self._zones_by_apex:
+            raise ValueError(f"zone {zone.apex} already registered")
+        self._zones_by_apex[zone.apex] = zone
+        return zone
+
+    def zones(self) -> List[Zone]:
+        return list(self._zones_by_apex.values())
+
+    def zone_at(self, apex: str) -> Optional[Zone]:
+        """The zone registered exactly at ``apex``, if any."""
+        return self._zones_by_apex.get(normalize(apex))
+
+    def find_zone(self, qname: str) -> Optional[Zone]:
+        """Longest-suffix zone match for ``qname``."""
+        parts = labels(qname)
+        for i in range(len(parts)):
+            candidate = ".".join(parts[i:])
+            zone = self._zones_by_apex.get(candidate)
+            if zone is not None:
+                return zone
+        return None
+
+    def resolve(self, question: Question) -> Response:
+        """Answer ``question`` as the full iterative chain would."""
+        zone = self.find_zone(question.qname)
+        if zone is None:
+            response = Response(question, RCode.NXDOMAIN, [])
+            self.stats.record(None, response, self._REFERRAL_DEPTH_NXDOMAIN)
+            return response
+        response = zone.answer(question)
+        self.stats.record(zone.apex, response, self._REFERRAL_DEPTH_HIT)
+        return response
+
+    def __contains__(self, apex: str) -> bool:
+        return normalize(apex) in self._zones_by_apex
+
+    def __len__(self) -> int:
+        return len(self._zones_by_apex)

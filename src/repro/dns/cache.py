@@ -1,0 +1,188 @@
+"""TTL-aware fixed-capacity LRU cache for resource-record sets.
+
+This is the component whose behaviour the whole paper hinges on: the
+recursive servers cache answers by (qname, qtype); entries expire when
+their TTL runs out, and — crucially for Section VI-A — a *fixed memory
+allocation* means a flood of never-reused disposable entries evicts
+useful records prematurely.  The cache therefore keeps detailed
+statistics: hits, misses split by cause (cold / expired / evicted), and
+eviction counts, so the impact studies can attribute premature
+evictions to disposable churn.
+
+An optional negative cache implements RFC 2308; the paper observes the
+monitored resolvers were *not* honouring it (NXDOMAIN was ~40 % of
+upstream traffic), so the simulator defaults to negative caching off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+__all__ = ["CacheStats", "CacheEntry", "LruDnsCache"]
+
+_Key = Tuple[str, RRType]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, with misses split by cause."""
+
+    hits: int = 0
+    misses_cold: int = 0       # never seen (or re-query after eviction)
+    misses_expired: int = 0    # entry present but TTL ran out
+    evictions: int = 0         # LRU capacity evictions
+    evicted_live: int = 0      # evicted while TTL still had time left
+    negative_hits: int = 0
+    inserts: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.misses_cold + self.misses_expired
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class CacheEntry:
+    """A cached answer: records + absolute expiry time."""
+
+    answers: List[ResourceRecord]
+    inserted_at: float
+    expires_at: float
+    hits_since_insert: int = 0
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def remaining_ttl(self, now: float) -> int:
+        return max(0, int(self.expires_at - now))
+
+
+class LruDnsCache:
+    """Fixed-capacity LRU cache keyed by (qname, qtype).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached answers.  When full, the least
+        recently used entry is evicted (the common resolver policy the
+        paper assumes in Section VI-A).
+    min_ttl:
+        Floor applied to answer TTLs.  Some resolver implementations
+        hold records for a minimum time even when the TTL is 0
+        (RFC 1536 / RFC 1912 behaviour the paper cites); 0 disables.
+    negative_ttl:
+        TTL for cached NXDOMAIN responses; ``None`` disables negative
+        caching entirely (the monitored ISP's observed behaviour).
+    """
+
+    def __init__(self, capacity: int, min_ttl: int = 0,
+                 negative_ttl: Optional[int] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if min_ttl < 0:
+            raise ValueError(f"min_ttl must be >= 0, got {min_ttl}")
+        self.capacity = capacity
+        self.min_ttl = min_ttl
+        self.negative_ttl = negative_ttl
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[_Key, CacheEntry]" = OrderedDict()
+        self._negative: "OrderedDict[_Key, float]" = OrderedDict()
+        # Which qnames were ever evicted with live TTL — consumed by
+        # the cache-pressure impact study to attribute victims.
+        self.live_eviction_log: List[Tuple[float, str, RRType, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, question: Question, now: float) -> Optional[List[ResourceRecord]]:
+        """Return cached answers with decayed TTLs, or ``None`` on miss."""
+        key = (question.qname, question.qtype)
+        if self.negative_ttl is not None:
+            neg_expiry = self._negative.get(key)
+            if neg_expiry is not None:
+                if now < neg_expiry:
+                    self.stats.negative_hits += 1
+                    return []
+                del self._negative[key]
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses_cold += 1
+            return None
+        if entry.is_expired(now):
+            del self._entries[key]
+            self.stats.misses_expired += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits_since_insert += 1
+        self.stats.hits += 1
+        remaining = entry.remaining_ttl(now)
+        return [rr.with_ttl(remaining) for rr in entry.answers]
+
+    def insert(self, response: Response, now: float) -> None:
+        """Cache ``response`` (positive answers; NXDOMAIN if enabled)."""
+        key = (response.question.qname, response.question.qtype)
+        if response.is_nxdomain:
+            if self.negative_ttl is not None:
+                self._negative[key] = now + self.negative_ttl
+                while len(self._negative) > self.capacity:
+                    self._negative.popitem(last=False)
+            return
+        if not response.answers:
+            return
+        ttl = max(min(rr.ttl for rr in response.answers), self.min_ttl)
+        if ttl <= 0:
+            return  # TTL 0 and no floor: not cacheable
+        entry = CacheEntry(list(response.answers), now, now + ttl)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.inserts += 1
+        self._evict_if_needed(now)
+
+    def _evict_if_needed(self, now: float) -> None:
+        while len(self._entries) > self.capacity:
+            key, entry = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if not entry.is_expired(now):
+                self.stats.evicted_live += 1
+                self.live_eviction_log.append(
+                    (now, key[0], key[1], entry.remaining_ttl(now)))
+
+    def contains(self, question: Question, now: float) -> bool:
+        """Non-mutating peek: is a live entry present?"""
+        entry = self._entries.get((question.qname, question.qtype))
+        return entry is not None and not entry.is_expired(now)
+
+    def flush_expired(self, now: float) -> int:
+        """Drop every expired entry; returns the number removed."""
+        expired = [key for key, entry in self._entries.items()
+                   if entry.is_expired(now)]
+        for key in expired:
+            del self._entries[key]
+        return len(expired)
+
+    def utilization(self) -> float:
+        return len(self._entries) / self.capacity
+
+    def entries_snapshot(self, now: float) -> List[Tuple[str, RRType, int, int]]:
+        """Live cache contents: (qname, qtype, remaining TTL, hits).
+
+        Used by the Section VI-A occupancy analysis — what share of the
+        cache is taken by entries that were never re-queried.
+        """
+        return [
+            (name, rtype, entry.remaining_ttl(now), entry.hits_since_insert)
+            for (name, rtype), entry in self._entries.items()
+            if not entry.is_expired(now)
+        ]

@@ -1,0 +1,107 @@
+"""DNS message primitives for the resolver simulator.
+
+The monitoring methodology in the paper records only the *answer
+sections* of DNS responses seen above and below the recursive servers
+(Section III-A), so the simulator models queries, resource records and
+responses at exactly that granularity — no wire format, no compression,
+just the semantic tuple the fpDNS dataset stores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.names import normalize
+
+__all__ = ["RRType", "RCode", "ResourceRecord", "Question", "Response"]
+
+
+class RRType(enum.Enum):
+    """Resource-record types present in the fpDNS dataset (A/AAAA/CNAME)."""
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+    # Types below only appear in the DNSSEC substrate, never in fpDNS.
+    DNSKEY = "DNSKEY"
+    DS = "DS"
+    RRSIG = "RRSIG"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RCode(enum.Enum):
+    """DNS response codes the simulator distinguishes."""
+
+    NOERROR = 0
+    NXDOMAIN = 3
+    SERVFAIL = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single resource record: (name, type, TTL, RDATA).
+
+    Two records are the *same cache/pDNS object* when their
+    (name, rtype, rdata) triple matches; the TTL is metadata that may
+    legitimately differ between observations, so it is excluded from
+    :meth:`key`.
+    """
+
+    name: str
+    rtype: RRType
+    ttl: int
+    rdata: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize(self.name))
+        if self.ttl < 0:
+            raise ValueError(f"TTL must be non-negative, got {self.ttl}")
+
+    def key(self) -> Tuple[str, RRType, str]:
+        """Identity triple used for caching and deduplication."""
+        return (self.name, self.rtype, self.rdata)
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        """Copy of this record carrying a different (e.g. decayed) TTL."""
+        return ResourceRecord(self.name, self.rtype, ttl, self.rdata)
+
+
+@dataclass(frozen=True)
+class Question:
+    """A DNS question: qname + qtype."""
+
+    qname: str
+    qtype: RRType = RRType.A
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", normalize(self.qname))
+
+
+@dataclass
+class Response:
+    """A DNS response as seen at the monitoring point.
+
+    ``answers`` is the answer section (empty on NXDOMAIN/SERVFAIL);
+    ``signatures`` carries RRSIG records when the answering zone is
+    signed (consumed only by the DNSSEC cost substrate).
+    """
+
+    question: Question
+    rcode: RCode
+    answers: List[ResourceRecord] = field(default_factory=list)
+    signatures: List["ResourceRecord"] = field(default_factory=list)
+
+    @property
+    def is_nxdomain(self) -> bool:
+        return self.rcode is RCode.NXDOMAIN
+
+    @property
+    def is_success(self) -> bool:
+        return self.rcode is RCode.NOERROR and bool(self.answers)

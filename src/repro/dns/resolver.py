@@ -1,0 +1,171 @@
+"""Recursive resolver and RDNS server cluster.
+
+The monitored ISP serves customers from a *cluster* of recursive DNS
+servers with independent caches, load-balanced across clients
+(Section III-A); the paper treats the cluster as a black box and only
+observes responses *below* (resolver -> client) and *above*
+(authority -> resolver) it.  :class:`RdnsCluster` reproduces exactly
+that structure and exposes the two observation streams through a tap
+interface so the passive-DNS collector sees what the authors' taps saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.dns.authority import AuthoritativeHierarchy
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, Response, RRType
+
+__all__ = ["MonitoringTap", "RecursiveResolver", "RdnsCluster", "ResolutionResult"]
+
+
+class MonitoringTap(Protocol):
+    """Observer for the two monitored links of Figure 1."""
+
+    def observe_below(self, timestamp: float, client_id: int,
+                      response: Response) -> None:
+        """A response sent from an RDNS server down to a client."""
+
+    def observe_above(self, timestamp: float, response: Response) -> None:
+        """A response sent from the authoritative side to an RDNS server."""
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of one client query, for callers that want detail."""
+
+    response: Response
+    cache_hit: bool
+    server_index: int
+    upstream_referrals: int
+
+
+class RecursiveResolver:
+    """One recursive server: an LRU cache in front of the hierarchy."""
+
+    MAX_CNAME_CHAIN = 8  # RFC 1034 loop protection
+
+    def __init__(self, authority: AuthoritativeHierarchy, cache: LruDnsCache):
+        self.authority = authority
+        self.cache = cache
+        self.upstream_queries = 0
+        self.answered_queries = 0
+
+    def resolve(self, question: Question, now: float) -> ResolutionResult:
+        """Resolve ``question``, consulting the cache first."""
+        self.answered_queries += 1
+        cached = self.cache.lookup(question, now)
+        if cached is not None:
+            if cached:
+                response = Response(question, RCode.NOERROR, cached)
+            else:
+                # Negative-cache hit.
+                response = Response(question, RCode.NXDOMAIN, [])
+            return ResolutionResult(response, cache_hit=True, server_index=-1,
+                                    upstream_referrals=0)
+        upstream = self._resolve_upstream(question)
+        self.cache.insert(upstream, now)
+        return ResolutionResult(upstream, cache_hit=False, server_index=-1,
+                                upstream_referrals=3)
+
+    def _resolve_upstream(self, question: Question) -> Response:
+        """Iteratively resolve, chasing CNAME chains (RFC 1034 §3.6.2).
+
+        The returned answer section carries the whole chain — CNAME
+        records plus the terminal address records — exactly what a real
+        recursive puts on the wire and what a passive-DNS tap records.
+        """
+        upstream = self.authority.resolve(question)
+        self.upstream_queries += 1
+        if question.qtype is RRType.CNAME:
+            return upstream
+        chain = list(upstream.answers)
+        current = upstream
+        hops = 0
+        while (current.rcode is RCode.NOERROR and current.answers
+               and all(rr.rtype is RRType.CNAME for rr in current.answers)
+               and hops < self.MAX_CNAME_CHAIN):
+            target = current.answers[0].rdata
+            current = self.authority.resolve(Question(target,
+                                                      question.qtype))
+            self.upstream_queries += 1
+            hops += 1
+            chain.extend(current.answers)
+        if hops == 0:
+            return upstream
+        # The chain's rcode is the terminal lookup's; records collected
+        # along the way all ride in the answer section.
+        return Response(question, current.rcode, chain)
+
+
+class RdnsCluster:
+    """Cluster of recursive servers with independent caches.
+
+    Clients are pinned to servers by ``client_id`` hash — the typical
+    load-balancing configuration for large-ISP resolver farms, and the
+    reason the paper must use the black-box renewal approximation for
+    cache hit rates rather than per-server bookkeeping.
+    """
+
+    def __init__(self, authority: AuthoritativeHierarchy, n_servers: int = 4,
+                 cache_capacity: int = 100_000, min_ttl: int = 0,
+                 negative_ttl: Optional[int] = None,
+                 taps: Optional[Sequence[MonitoringTap]] = None):
+        if n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+        self.authority = authority
+        self._servers = [
+            RecursiveResolver(
+                authority,
+                LruDnsCache(cache_capacity, min_ttl=min_ttl,
+                            negative_ttl=negative_ttl))
+            for _ in range(n_servers)
+        ]
+        self._taps: List[MonitoringTap] = list(taps or [])
+
+    @property
+    def servers(self) -> List[RecursiveResolver]:
+        return list(self._servers)
+
+    def add_tap(self, tap: MonitoringTap) -> None:
+        self._taps.append(tap)
+
+    def server_for(self, client_id: int) -> int:
+        """Deterministic client -> server pinning."""
+        return client_id % len(self._servers)
+
+    def query(self, client_id: int, question: Question,
+              now: float) -> ResolutionResult:
+        """Resolve a client query through its pinned server.
+
+        Fires the monitoring taps: the below-tap sees every response
+        handed to the client; the above-tap sees only the responses the
+        cluster had to fetch upstream (cache misses) — matching the
+        order-of-magnitude above/below volume gap of Figure 2.
+        """
+        index = self.server_for(client_id)
+        server = self._servers[index]
+        result = server.resolve(question, now)
+        result.server_index = index
+        for tap in self._taps:
+            if not result.cache_hit:
+                tap.observe_above(now, result.response)
+            tap.observe_below(now, client_id, result.response)
+        return result
+
+    def total_stats(self) -> dict:
+        """Aggregate cache statistics across the cluster."""
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "evicted_live": 0,
+                  "inserts": 0, "upstream_queries": 0, "answered_queries": 0}
+        for server in self._servers:
+            stats = server.cache.stats
+            totals["hits"] += stats.hits
+            totals["misses"] += stats.misses
+            totals["evictions"] += stats.evictions
+            totals["evicted_live"] += stats.evicted_live
+            totals["inserts"] += stats.inserts
+            totals["upstream_queries"] += server.upstream_queries
+            totals["answered_queries"] += server.answered_queries
+        return totals

@@ -1,0 +1,49 @@
+"""Stub resolver — the client side of Figure 1.
+
+A stub forwards questions to the RDNS cluster on behalf of one client.
+It optionally keeps a small local cache: the paper notes (Section II-B3)
+that Jung et al.'s analytical cache model breaks down at an ISP
+monitoring point partly because client machines run local caches, so
+modelling them keeps the below-the-resolver traffic realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, Response
+from repro.dns.resolver import RdnsCluster
+
+__all__ = ["StubResolver"]
+
+
+class StubResolver:
+    """Client-side resolver pinned to one client identity."""
+
+    def __init__(self, client_id: int, cluster: RdnsCluster,
+                 local_cache_capacity: int = 0):
+        self.client_id = client_id
+        self.cluster = cluster
+        self._local_cache: Optional[LruDnsCache] = (
+            LruDnsCache(local_cache_capacity) if local_cache_capacity > 0 else None)
+        self.queries_sent = 0
+        self.local_hits = 0
+
+    def query(self, question: Question, now: float) -> Response:
+        """Resolve ``question`` at time ``now``.
+
+        A local-cache hit never reaches the RDNS cluster (and thus
+        never reaches the monitoring tap) — exactly why a monitoring
+        point below the recursives undercounts client lookups.
+        """
+        if self._local_cache is not None:
+            cached = self._local_cache.lookup(question, now)
+            if cached:
+                self.local_hits += 1
+                return Response(question, RCode.NOERROR, cached)
+        self.queries_sent += 1
+        result = self.cluster.query(self.client_id, question, now)
+        if self._local_cache is not None and result.response.is_success:
+            self._local_cache.insert(result.response, now)
+        return result.response

@@ -1,0 +1,130 @@
+"""DNS wire-format size accounting (RFC 1035 §3-4).
+
+The paper sizes its fpDNS dataset at ~60 GB/day (February) growing to
+~145 GB/day (December) — the storage pressure disposable domains put
+on collection pipelines.  Estimating that requires real wire sizes:
+length-prefixed label encoding, the 14-byte RR fixed part, per-type
+RDATA sizes, and the message-level name compression real responses
+use.  This module implements exactly that much of RFC 1035 — enough to
+price a response in bytes, not to serialise resolvable packets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.names import labels
+from repro.dns.message import ResourceRecord, Response, RRType
+
+__all__ = ["MAX_LABEL_LENGTH", "MAX_NAME_LENGTH", "encoded_name_size",
+           "NameCompressor", "rdata_size", "rr_wire_size",
+           "response_wire_size", "WireFormatError"]
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+_HEADER_SIZE = 12          # RFC 1035 §4.1.1
+_QUESTION_FIXED = 4        # QTYPE + QCLASS
+_RR_FIXED = 10             # TYPE + CLASS + TTL + RDLENGTH
+_POINTER_SIZE = 2          # compression pointer
+
+
+class WireFormatError(ValueError):
+    """Raised for names that cannot be encoded (RFC 1035 limits)."""
+
+
+def encoded_name_size(name: str) -> int:
+    """Bytes of the uncompressed wire encoding of ``name``.
+
+    One length byte per label plus the label bytes, plus the root
+    terminator: ``www.example.com`` -> 1+3 + 1+7 + 1+3 + 1 = 17.
+    """
+    parts = labels(name)
+    total = 1  # root terminator
+    for label in parts:
+        if len(label) > MAX_LABEL_LENGTH:
+            raise WireFormatError(
+                f"label {label[:20]!r}... exceeds {MAX_LABEL_LENGTH} bytes")
+        total += 1 + len(label)
+    if total > MAX_NAME_LENGTH:
+        raise WireFormatError(
+            f"name {name[:40]!r}... encodes to {total} bytes "
+            f"(max {MAX_NAME_LENGTH})")
+    return total
+
+
+class NameCompressor:
+    """Message-scoped name compression (RFC 1035 §4.1.4).
+
+    The first occurrence of each name suffix is written in full and
+    registered; later names reuse the longest registered suffix via a
+    2-byte pointer.  Only sizes are tracked, never actual offsets.
+    """
+
+    def __init__(self):
+        self._known: set = set()
+
+    def name_size(self, name: str) -> int:
+        """Size of ``name`` in this message, registering its suffixes."""
+        parts = labels(name)
+        size = 0
+        pointer_used = False
+        for i in range(len(parts)):
+            suffix = ".".join(parts[i:])
+            if suffix in self._known:
+                size += _POINTER_SIZE
+                pointer_used = True
+                break
+            size += 1 + len(parts[i])
+            if len(parts[i]) > MAX_LABEL_LENGTH:
+                raise WireFormatError(
+                    f"label {parts[i][:20]!r}... exceeds "
+                    f"{MAX_LABEL_LENGTH} bytes")
+        if not pointer_used:
+            size += 1  # root terminator
+        # Register every suffix of this name for later reuse.
+        for i in range(len(parts)):
+            self._known.add(".".join(parts[i:]))
+        return size
+
+
+def rdata_size(rr: ResourceRecord,
+               compressor: Optional[NameCompressor] = None) -> int:
+    """RDATA length in bytes for the record types the study uses."""
+    if rr.rtype is RRType.A:
+        return 4
+    if rr.rtype is RRType.AAAA:
+        return 16
+    if rr.rtype is RRType.CNAME:
+        if compressor is not None:
+            return compressor.name_size(rr.rdata)
+        return encoded_name_size(rr.rdata)
+    # DNSSEC records: typical sizes (see repro.dns.dnssec constants).
+    if rr.rtype is RRType.RRSIG:
+        return 150
+    if rr.rtype is RRType.DNSKEY:
+        return 260
+    if rr.rtype is RRType.DS:
+        return 36
+    raise WireFormatError(f"unsized record type: {rr.rtype}")
+
+
+def rr_wire_size(rr: ResourceRecord,
+                 compressor: Optional[NameCompressor] = None) -> int:
+    """Wire size of one resource record (owner + fixed part + RDATA)."""
+    if compressor is not None:
+        owner = compressor.name_size(rr.name)
+    else:
+        owner = encoded_name_size(rr.name)
+    return owner + _RR_FIXED + rdata_size(rr, compressor)
+
+
+def response_wire_size(response: Response) -> int:
+    """Wire size of a whole response message, with name compression."""
+    compressor = NameCompressor()
+    size = _HEADER_SIZE
+    size += compressor.name_size(response.question.qname) + _QUESTION_FIXED
+    for rr in response.answers:
+        size += rr_wire_size(rr, compressor)
+    for sig in response.signatures:
+        size += rr_wire_size(sig, compressor)
+    return size

@@ -1,0 +1,180 @@
+"""Authoritative zone content.
+
+Three kinds of zone back the authoritative hierarchy:
+
+* :class:`StaticZone` — a fixed set of records (ordinary web zones,
+  Alexa-style popular sites).
+* :class:`WildcardZone` — answers *every* name under an apex from a
+  wildcard template.  This models the server side of disposable-domain
+  services: eSoft/McAfee/Google answer any algorithmically generated
+  child name, typically from a ``*.zone`` wildcard record (the paper
+  notes wildcard signing as the DNSSEC mitigation, Section VI-B).
+* :class:`CallbackZone` — delegates the answer decision to a callable,
+  used by tests and by generator-backed experiment zones.
+
+Zones optionally carry DNSSEC signing state (see
+:mod:`repro.dns.dnssec`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.names import is_subdomain, normalize
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+__all__ = [
+    "Zone",
+    "StaticZone",
+    "WildcardZone",
+    "CallbackZone",
+    "synthesize_ip",
+]
+
+
+def synthesize_ip(name: str, rtype: RRType, salt: str = "") -> str:
+    """Deterministically derive an address for ``name``.
+
+    Keeps the simulator reproducible without storing per-name state:
+    the same name always resolves to the same address, and distinct
+    names almost always resolve to distinct addresses — which matters
+    because pDNS deduplication keys on (name, type, rdata).
+    """
+    digest = hashlib.sha256((salt + name + rtype.value).encode()).digest()
+    if rtype is RRType.AAAA:
+        groups = [digest[i:i + 2].hex() for i in range(0, 16, 2)]
+        return ":".join(groups)
+    # A record: avoid 0 and 255 in the first octet.
+    octets = [digest[0] % 223 + 1, digest[1], digest[2], digest[3]]
+    return ".".join(str(o) for o in octets)
+
+
+class Zone:
+    """Base class: an authoritative zone rooted at ``apex``."""
+
+    def __init__(self, apex: str, signed: bool = False):
+        self.apex = normalize(apex)
+        self.signed = signed
+
+    def covers(self, name: str) -> bool:
+        """True if ``name`` falls inside this zone's bailiwick."""
+        return is_subdomain(name, self.apex)
+
+    def answer(self, question: Question) -> Response:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.apex!r})"
+
+
+class StaticZone(Zone):
+    """Zone answering from an explicit record set."""
+
+    def __init__(self, apex: str, records: Optional[List[ResourceRecord]] = None,
+                 signed: bool = False):
+        super().__init__(apex, signed=signed)
+        self._records: Dict[Tuple[str, RRType], List[ResourceRecord]] = {}
+        for record in records or []:
+            self.add_record(record)
+
+    def add_record(self, record: ResourceRecord) -> None:
+        if not self.covers(record.name):
+            raise ValueError(f"{record.name} is outside zone {self.apex}")
+        self._records.setdefault((record.name, record.rtype), []).append(record)
+
+    def add_name(self, name: str, rtype: RRType = RRType.A, ttl: int = 3600,
+                 rdata: Optional[str] = None) -> ResourceRecord:
+        """Convenience: add one record, synthesising RDATA if omitted."""
+        record = ResourceRecord(name, rtype, ttl, rdata or synthesize_ip(name, rtype))
+        self.add_record(record)
+        return record
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(rrset) for rrset in self._records.values())
+
+    def names(self) -> List[str]:
+        """All owner names with at least one record."""
+        return sorted({name for name, _ in self._records})
+
+    def answer(self, question: Question) -> Response:
+        rrset = self._records.get((question.qname, question.qtype))
+        if rrset:
+            return Response(question, RCode.NOERROR, list(rrset))
+        # A name that only owns a CNAME answers any type with that
+        # CNAME (RFC 1034 §3.6.2); the resolver chases the target.
+        if question.qtype is not RRType.CNAME:
+            cname_set = self._records.get((question.qname, RRType.CNAME))
+            if cname_set:
+                return Response(question, RCode.NOERROR, list(cname_set))
+        # Name exists under another type -> NOERROR/NODATA; else NXDOMAIN.
+        name_exists = any(name == question.qname for name, _ in self._records)
+        rcode = RCode.NOERROR if name_exists else RCode.NXDOMAIN
+        return Response(question, rcode, [])
+
+
+class WildcardZone(Zone):
+    """Zone answering every child name from a wildcard template.
+
+    ``ttl`` and the answer synthesis model the disposable services in
+    Figure 6: the authoritative side happily resolves any generated
+    name.  ``rdata_mode`` selects between per-name unique RDATA (the
+    common case, e.g. McAfee's encodings in 127.0.0.0/16) and a single
+    shared RDATA for the whole wildcard.
+    """
+
+    def __init__(self, apex: str, ttl: int = 300, rtype: RRType = RRType.A,
+                 rdata_mode: str = "per-name", shared_rdata: Optional[str] = None,
+                 signed: bool = False, min_depth: int = 0,
+                 answer_count: int = 1):
+        super().__init__(apex, signed=signed)
+        if rdata_mode not in ("per-name", "shared"):
+            raise ValueError(f"unknown rdata_mode: {rdata_mode!r}")
+        if answer_count < 1:
+            raise ValueError(f"answer_count must be >= 1, got {answer_count}")
+        self.ttl = ttl
+        self.rtype = rtype
+        self.rdata_mode = rdata_mode
+        self.shared_rdata = shared_rdata or synthesize_ip(self.apex, rtype, salt="w")
+        self.min_depth = min_depth
+        self.answer_count = answer_count
+
+    def answer(self, question: Question) -> Response:
+        if question.qname == self.apex:
+            # The apex itself resolves too (zone operators host it).
+            rdata = synthesize_ip(self.apex, question.qtype)
+            return Response(question, RCode.NOERROR,
+                            [ResourceRecord(self.apex, question.qtype, self.ttl, rdata)])
+        if question.qtype is not self.rtype:
+            return Response(question, RCode.NOERROR, [])
+        extra = question.qname[: -len(self.apex) - 1]
+        if extra.count(".") + 1 < self.min_depth:
+            return Response(question, RCode.NXDOMAIN, [])
+        if self.rdata_mode == "shared":
+            records = [ResourceRecord(question.qname, question.qtype,
+                                      self.ttl, self.shared_rdata)]
+        else:
+            # Multi-record answers (round-robin style RRsets) inflate
+            # the distinct-RR population per disposable name, matching
+            # the paper's RR share exceeding the name share.
+            records = [
+                ResourceRecord(
+                    question.qname, question.qtype, self.ttl,
+                    synthesize_ip(question.qname, question.qtype,
+                                  salt=f"rr{i}"))
+                for i in range(self.answer_count)
+            ]
+        return Response(question, RCode.NOERROR, records)
+
+
+class CallbackZone(Zone):
+    """Zone whose answers come from a user-supplied callable."""
+
+    def __init__(self, apex: str, callback: Callable[[Question], Response],
+                 signed: bool = False):
+        super().__init__(apex, signed=signed)
+        self._callback = callback
+
+    def answer(self, question: Question) -> Response:
+        return self._callback(question)

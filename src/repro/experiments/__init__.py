@@ -1,0 +1,46 @@
+"""Experiment runners: one function per paper table/figure plus the
+Section VI studies and ablations.  See DESIGN.md for the full index."""
+
+from repro.experiments.ablations import (ClassifierComparisonResult,
+                                         FeatureAblationResult,
+                                         ThresholdSweepResult,
+                                         run_classifier_comparison,
+                                         run_feature_ablation,
+                                         run_threshold_sweep)
+from repro.experiments.context import (MEDIUM, SMALL, TRAINING_DATE,
+                                       ExperimentContext, ScaleProfile,
+                                       get_context)
+from repro.experiments.figures import (run_fig02_traffic_volume,
+                                       run_fig03_long_tail,
+                                       run_fig04_chr_distribution,
+                                       run_fig05_new_rrs,
+                                       run_fig07_chr_labeled,
+                                       run_fig12_roc, run_fig13_growth,
+                                       run_fig14_ttl,
+                                       run_fig15_pdns_growth)
+from repro.experiments.impact_runs import (run_sec6a_cache_pressure,
+                                           run_sec6b_dnssec,
+                                           run_sec6c_pdns_storage)
+from repro.experiments.sweeps import ParameterSweep, SweepResult
+from repro.experiments.validation import (CalibrationCheck,
+                                           CalibrationScorecard,
+                                           validate_calibration)
+from repro.experiments.tables import (run_fig11_summary,
+                                      run_table1_lookup_tail,
+                                      run_table2_dhr_tail)
+
+__all__ = [
+    "ClassifierComparisonResult", "FeatureAblationResult",
+    "ThresholdSweepResult", "run_classifier_comparison",
+    "run_feature_ablation", "run_threshold_sweep",
+    "MEDIUM", "SMALL", "TRAINING_DATE", "ExperimentContext", "ScaleProfile",
+    "get_context",
+    "run_fig02_traffic_volume", "run_fig03_long_tail",
+    "run_fig04_chr_distribution", "run_fig05_new_rrs",
+    "run_fig07_chr_labeled", "run_fig12_roc", "run_fig13_growth",
+    "run_fig14_ttl", "run_fig15_pdns_growth",
+    "run_sec6a_cache_pressure", "run_sec6b_dnssec", "run_sec6c_pdns_storage",
+    "run_fig11_summary", "run_table1_lookup_tail", "run_table2_dhr_tail",
+    "CalibrationCheck", "CalibrationScorecard", "validate_calibration",
+    "ParameterSweep", "SweepResult",
+]

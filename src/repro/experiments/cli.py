@@ -1,0 +1,113 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro <experiment> [--profile small|medium]
+    python -m repro list
+
+where ``<experiment>`` is one of the ids below (e.g. ``fig13``,
+``table1``, ``sec6b``, ``all``).  Output is the same text rendering
+the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.ablations import (run_classifier_comparison,
+                                         run_feature_ablation,
+                                         run_threshold_sweep)
+from repro.experiments.context import (MEDIUM, SMALL, ExperimentContext,
+                                       ScaleProfile, get_context)
+from repro.experiments.figures import (run_fig02_traffic_volume,
+                                       run_fig03_long_tail,
+                                       run_fig04_chr_distribution,
+                                       run_fig05_new_rrs,
+                                       run_fig07_chr_labeled,
+                                       run_fig12_roc, run_fig13_growth,
+                                       run_fig14_ttl,
+                                       run_fig15_pdns_growth)
+from repro.experiments.impact_runs import (run_sec6a_cache_pressure,
+                                           run_sec6b_dnssec,
+                                           run_sec6c_pdns_storage)
+from repro.experiments.tables import (run_fig11_summary,
+                                      run_table1_lookup_tail,
+                                      run_table2_dhr_tail)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
+    "fig2": run_fig02_traffic_volume,
+    "fig3": run_fig03_long_tail,
+    "fig4": run_fig04_chr_distribution,
+    "fig5": run_fig05_new_rrs,
+    "fig7": run_fig07_chr_labeled,
+    "fig11": run_fig11_summary,
+    "fig12": run_fig12_roc,
+    "fig13": run_fig13_growth,
+    "fig14": run_fig14_ttl,
+    "fig15": run_fig15_pdns_growth,
+    "table1": run_table1_lookup_tail,
+    "table2": run_table2_dhr_tail,
+    "sec6a": run_sec6a_cache_pressure,
+    "sec6b": run_sec6b_dnssec,
+    "sec6c": run_sec6c_pdns_storage,
+    "ablation-classifiers": run_classifier_comparison,
+    "ablation-features": run_feature_ablation,
+    "ablation-threshold": run_threshold_sweep,
+}
+
+_PROFILES: Dict[str, ScaleProfile] = {"small": SMALL, "medium": MEDIUM}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        help="experiment id (see 'list'), 'calibrate', or 'all'/'list'")
+    parser.add_argument("--profile", choices=sorted(_PROFILES),
+                        default="small",
+                        help="simulation scale (default: small)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "calibrate":
+        from repro.experiments.validation import validate_calibration
+        from repro.traffic.simulate import PAPER_DATES
+
+        context = get_context(_PROFILES[args.profile])
+        date = PAPER_DATES[-1]
+        scorecard = validate_calibration(context.simulator,
+                                         context.dataset(date),
+                                         context.hit_rates(date))
+        print(scorecard.render())
+        return 0 if scorecard.all_passed else 1
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  calibrate   (validation scorecard; exit 1 on failure)")
+        return 0
+
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(f"unknown experiment {args.experiment!r}; "
+                     "use 'list' to see the catalogue")
+        return 2  # pragma: no cover - parser.error raises
+
+    context = get_context(_PROFILES[args.profile])
+    for name in names:
+        result = EXPERIMENTS[name](context)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

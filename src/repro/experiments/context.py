@@ -1,0 +1,189 @@
+"""Shared experiment context.
+
+Most figures/tables consume the same expensive artifacts: simulated
+fpDNS days, hit-rate tables, a trained classifier, and per-day mining
+results.  :class:`ExperimentContext` computes each lazily and caches
+it, and a module-level registry shares a context per scale profile so
+a benchmark session does not re-simulate the year for every figure.
+
+Two scale profiles ship by default:
+
+* ``SMALL`` — seconds-scale, for the test suite.
+* ``MEDIUM`` — the benchmark default; big enough for the measured
+  shapes to be stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.classifier import LadTreeClassifier
+from repro.core.features import FeatureExtractor
+from repro.core.hitrate import HitRateTable, compute_hit_rates
+from repro.core.labeling import TrainingSet, build_training_set
+from repro.core.miner import MinerConfig
+from repro.core.ranking import (DailyMiningResult, DisposableZoneRanker,
+                                build_tree_for_day)
+from repro.pdns.records import FpDnsDataset
+from repro.traffic.population import PopulationConfig
+from repro.traffic.simulate import (PAPER_DATES, RPDNS_WINDOW_DATES,
+                                    MeasurementDate, SimulatorConfig,
+                                    TraceSimulator)
+from repro.traffic.workload import WorkloadConfig
+
+__all__ = ["ScaleProfile", "SMALL", "MEDIUM", "ExperimentContext",
+           "get_context"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """A named simulation scale."""
+
+    name: str
+    events_per_day: int
+    n_popular_sites: int
+    n_longtail_sites: int
+    n_extra_disposable: int
+    n_clients: int
+    cache_capacity: int
+    cdn_objects: int
+
+    def simulator_config(self) -> SimulatorConfig:
+        return SimulatorConfig(
+            cache_capacity=self.cache_capacity,
+            population=PopulationConfig(
+                n_popular_sites=self.n_popular_sites,
+                n_longtail_sites=self.n_longtail_sites,
+                n_extra_disposable=self.n_extra_disposable,
+                cdn_objects=self.cdn_objects),
+            workload=WorkloadConfig(
+                events_per_day=self.events_per_day,
+                n_clients=self.n_clients))
+
+
+SMALL = ScaleProfile(name="small", events_per_day=12_000,
+                     n_popular_sites=80, n_longtail_sites=2_400,
+                     n_extra_disposable=24, n_clients=160,
+                     cache_capacity=6_000, cdn_objects=4_000)
+
+MEDIUM = ScaleProfile(name="medium", events_per_day=60_000,
+                      n_popular_sites=200, n_longtail_sites=6_000,
+                      n_extra_disposable=40, n_clients=400,
+                      cache_capacity=25_000, cdn_objects=20_000)
+
+# The training day mirrors the paper's 11/10/2011 labeling day.
+TRAINING_DATE = MeasurementDate("2011-11-10", 313, 0.85)
+
+
+class ExperimentContext:
+    """Lazily computed, cached experiment artifacts for one profile."""
+
+    def __init__(self, profile: ScaleProfile):
+        self.profile = profile
+        self.simulator = TraceSimulator(profile.simulator_config())
+        self._datasets: Dict[str, FpDnsDataset] = {}
+        self._hit_rates: Dict[str, HitRateTable] = {}
+        self._mining: Dict[str, DailyMiningResult] = {}
+        self._training_set: Optional[TrainingSet] = None
+        self._classifier: Optional[LadTreeClassifier] = None
+        self._last_day_index = -1
+
+    def _calendar(self) -> List[MeasurementDate]:
+        """Every standard date, in chronological order."""
+        dates = {date.label: date
+                 for date in [*PAPER_DATES, TRAINING_DATE,
+                              *RPDNS_WINDOW_DATES]}
+        return sorted(dates.values(), key=lambda d: d.day_index)
+
+    # -- datasets ---------------------------------------------------------
+
+    def dataset(self, date: MeasurementDate) -> FpDnsDataset:
+        """Simulated fpDNS day for ``date``.
+
+        Resolver caches persist across days, so simulation must happen
+        in chronological order regardless of request order: the first
+        request runs the whole standard calendar up front; later ad-hoc
+        dates must not go back in time.
+        """
+        if date.label in self._datasets:
+            return self._datasets[date.label]
+        pending = [d for d in self._calendar()
+                   if d.label not in self._datasets]
+        if any(d.label == date.label for d in pending):
+            for calendar_date in pending:
+                self._datasets[calendar_date.label] = \
+                    self.simulator.run_day(calendar_date)
+                self._last_day_index = calendar_date.day_index
+            return self._datasets[date.label]
+        if date.day_index < self._last_day_index:
+            raise ValueError(
+                f"cannot simulate {date.label} (day {date.day_index}) after "
+                f"day {self._last_day_index}: resolver caches would travel "
+                "back in time")
+        self._datasets[date.label] = self.simulator.run_day(date)
+        self._last_day_index = date.day_index
+        return self._datasets[date.label]
+
+    def datasets(self, dates: Sequence[MeasurementDate]) -> List[FpDnsDataset]:
+        return [self.dataset(date) for date in dates]
+
+    def paper_dates(self) -> List[FpDnsDataset]:
+        return self.datasets(PAPER_DATES)
+
+    def rpdns_window(self) -> List[FpDnsDataset]:
+        return self.datasets(RPDNS_WINDOW_DATES)
+
+    def hit_rates(self, date: MeasurementDate) -> HitRateTable:
+        if date.label not in self._hit_rates:
+            self._hit_rates[date.label] = compute_hit_rates(self.dataset(date))
+        return self._hit_rates[date.label]
+
+    # -- training / classification -------------------------------------------
+
+    def training_set(self) -> TrainingSet:
+        if self._training_set is None:
+            dataset = self.dataset(TRAINING_DATE)
+            hit_rates = self.hit_rates(TRAINING_DATE)
+            tree = build_tree_for_day(dataset)
+            extractor = FeatureExtractor(tree, hit_rates)
+            self._training_set = build_training_set(
+                self.simulator.labeled_zones(), tree, extractor)
+        return self._training_set
+
+    def classifier(self) -> LadTreeClassifier:
+        if self._classifier is None:
+            training = self.training_set()
+            self._classifier = LadTreeClassifier().fit(training.X, training.y)
+        return self._classifier
+
+    def mining_result(self, date: MeasurementDate,
+                      threshold: float = 0.9) -> DailyMiningResult:
+        key = f"{date.label}@{threshold}"
+        if key not in self._mining:
+            ranker = DisposableZoneRanker(
+                self.classifier(), MinerConfig(threshold=threshold))
+            self._mining[key] = ranker.run_day(self.dataset(date),
+                                               self.hit_rates(date))
+        return self._mining[key]
+
+    def mined_groups(self, date: MeasurementDate,
+                     threshold: float = 0.9) -> Set[Tuple[str, int]]:
+        return self.mining_result(date, threshold).groups
+
+    # -- ground truth -------------------------------------------------------
+
+    def truth_groups(self) -> Set[Tuple[str, int]]:
+        return self.simulator.disposable_truth()
+
+
+_CONTEXTS: Dict[str, ExperimentContext] = {}
+
+
+def get_context(profile: ScaleProfile = MEDIUM) -> ExperimentContext:
+    """Shared per-profile context (benchmarks reuse one simulation)."""
+    if profile.name not in _CONTEXTS:
+        _CONTEXTS[profile.name] = ExperimentContext(profile)
+    return _CONTEXTS[profile.name]

@@ -1,0 +1,14 @@
+"""Plain-text rendering for experiment results.
+
+Every experiment runner returns a structured result object with a
+``render()`` method built on these helpers, so benchmark output prints
+the same rows/series the paper's tables and figures report.
+
+The implementations live in :mod:`repro.textutil` (dependency-free);
+this module re-exports them for the experiments layer.
+"""
+
+from repro.textutil import (format_kv, format_percent, format_series,
+                            format_table)
+
+__all__ = ["format_table", "format_kv", "format_percent", "format_series"]

@@ -1,0 +1,24 @@
+"""Section VI impact studies: DNS caching, DNSSEC validation, and
+passive-DNS storage."""
+
+from repro.impact.cache_pressure import (CachePressureComparison,
+                                         LatencyModel, OccupancyReport,
+                                         ScenarioStats, cache_occupancy,
+                                         replay_events,
+                                         run_cache_pressure_study)
+from repro.impact.dnssec_cost import (DnssecScenarioResult, DnssecStudyResult,
+                                      run_dnssec_study)
+from repro.impact.negative_cache import (NegativeCacheScenario,
+                                         NegativeCacheStudy,
+                                         run_negative_cache_study)
+from repro.impact.pdns_storage import PdnsStorageResult, run_pdns_storage_study
+
+__all__ = [
+    "CachePressureComparison", "LatencyModel", "OccupancyReport",
+    "ScenarioStats", "cache_occupancy",
+    "replay_events", "run_cache_pressure_study",
+    "DnssecScenarioResult", "DnssecStudyResult", "run_dnssec_study",
+    "NegativeCacheScenario", "NegativeCacheStudy",
+    "run_negative_cache_study",
+    "PdnsStorageResult", "run_pdns_storage_study",
+]

@@ -1,0 +1,79 @@
+"""Passive-DNS storage study (Section VI-C).
+
+After bootstrapping a pDNS-DB over the 13-day window, the paper found
+88 % of all stored unique RRs were disposable and the daily share of
+new disposable RRs rose from 68 % to 94 %; collapsing disposable names
+onto wildcard rows shrank 129.7 M rows to 0.9 M (0.7 %).  The study
+ingests a simulated window, measures the same quantities, and applies
+the wildcard mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.dedup import DedupReport, run_dedup_window
+from repro.pdns.database import ROW_BYTES, PassiveDnsDatabase
+from repro.pdns.records import FpDnsDataset
+
+__all__ = ["PdnsStorageResult", "run_pdns_storage_study"]
+
+
+@dataclass
+class PdnsStorageResult:
+    """Outcome of the storage study."""
+
+    dedup: DedupReport
+    rows_before: int
+    rows_after_wildcard: int
+    bytes_before: int
+    bytes_after_wildcard: int
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Remaining fraction of the whole store after aggregation."""
+        if not self.rows_before:
+            return 0.0
+        return self.rows_after_wildcard / self.rows_before
+
+    @property
+    def disposable_rows_before(self) -> int:
+        return self.dedup.disposable_unique_rrs
+
+    @property
+    def disposable_reduction_ratio(self) -> float:
+        """Remaining fraction of the *disposable* rows — the paper's
+        headline number (129,674,213 -> 945,065 = 0.7 %)."""
+        disposable = self.disposable_rows_before
+        if not disposable:
+            return 0.0
+        non_disposable = self.rows_before - disposable
+        wildcard_rows = self.rows_after_wildcard - non_disposable
+        return max(wildcard_rows, 0) / disposable
+
+    @property
+    def disposable_fraction(self) -> float:
+        return self.dedup.disposable_fraction
+
+    def first_to_last_disposable_share(self) -> Tuple[float, float]:
+        """Daily new-RR disposable share on first vs last window day."""
+        return (self.dedup.first_day.disposable_share,
+                self.dedup.last_day.disposable_share)
+
+
+def run_pdns_storage_study(datasets: Sequence[FpDnsDataset],
+                           disposable_groups: Set[Tuple[str, int]]
+                           ) -> PdnsStorageResult:
+    """Ingest ``datasets`` into a fresh pDNS-DB and apply the
+    wildcard-aggregation mitigation."""
+    database = PassiveDnsDatabase()
+    dedup = run_dedup_window(datasets, disposable_groups, database=database)
+    rows_before = len(database)
+    rows_after = database.wildcard_aggregated_size(disposable_groups)
+    return PdnsStorageResult(
+        dedup=dedup,
+        rows_before=rows_before,
+        rows_after_wildcard=rows_after,
+        bytes_before=rows_before * ROW_BYTES,
+        bytes_after_wildcard=rows_after * ROW_BYTES)

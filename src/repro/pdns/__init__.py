@@ -1,0 +1,21 @@
+"""Passive DNS collection: fpDNS/rpDNS datasets, the monitoring tap,
+and the deduplicating passive-DNS database."""
+
+from repro.pdns.collector import PassiveDnsCollector
+from repro.pdns.database import IngestReport, PassiveDnsDatabase, wildcard_name
+from repro.pdns.io import (FormatError, iter_fpdns_entries, load_database,
+                           load_fpdns, save_database, save_fpdns)
+from repro.pdns.query import IndexStats, PdnsQueryIndex
+from repro.pdns.sizing import (DatasetSizeReport, entry_storage_bytes,
+                               estimate_dataset_size)
+from repro.pdns.records import FpDnsDataset, FpDnsEntry, RpDnsEntry, RRKey
+
+__all__ = [
+    "PassiveDnsCollector",
+    "IngestReport", "PassiveDnsDatabase", "wildcard_name",
+    "FpDnsDataset", "FpDnsEntry", "RpDnsEntry", "RRKey",
+    "FormatError", "iter_fpdns_entries", "load_database", "load_fpdns",
+    "save_database", "save_fpdns",
+    "IndexStats", "PdnsQueryIndex",
+    "DatasetSizeReport", "entry_storage_bytes", "estimate_dataset_size",
+]

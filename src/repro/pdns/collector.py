@@ -1,0 +1,75 @@
+"""Passive-DNS collector: the monitoring tap of Section III-A.
+
+Implements the :class:`repro.dns.resolver.MonitoringTap` protocol.
+Attached to an :class:`repro.dns.resolver.RdnsCluster`, it records the
+answer sections of every response below the resolvers and every
+response above them into a daily :class:`FpDnsDataset` — the same
+artifact the authors collected at the ISP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dns.message import RCode, Response
+from repro.pdns.records import FpDnsDataset, FpDnsEntry
+
+__all__ = ["PassiveDnsCollector"]
+
+
+class PassiveDnsCollector:
+    """Records both monitored streams into per-day fpDNS datasets."""
+
+    def __init__(self, day: str):
+        self._dataset = FpDnsDataset(day=day)
+        self._finished: List[FpDnsDataset] = []
+
+    @property
+    def dataset(self) -> FpDnsDataset:
+        """The dataset currently being collected."""
+        return self._dataset
+
+    @property
+    def finished_datasets(self) -> List[FpDnsDataset]:
+        return list(self._finished)
+
+    def roll_day(self, new_day: str) -> FpDnsDataset:
+        """Close the current day and start collecting ``new_day``.
+
+        Returns the completed dataset.
+        """
+        completed = self._dataset
+        self._finished.append(completed)
+        self._dataset = FpDnsDataset(day=new_day)
+        return completed
+
+    # -- MonitoringTap protocol ----------------------------------------
+
+    def observe_below(self, timestamp: float, client_id: Optional[int],
+                      response: Response) -> None:
+        self._dataset.below.extend(
+            self._entries_for(timestamp, client_id, response))
+
+    def observe_above(self, timestamp: float, response: Response) -> None:
+        self._dataset.above.extend(
+            self._entries_for(timestamp, None, response))
+
+    @staticmethod
+    def _entries_for(timestamp: float, client_id: Optional[int],
+                     response: Response) -> List[FpDnsEntry]:
+        question = response.question
+        if response.rcode is RCode.NXDOMAIN or not response.answers:
+            rcode = (response.rcode if response.rcode is not RCode.NOERROR
+                     else RCode.NXDOMAIN)
+            return [FpDnsEntry(timestamp=timestamp, client_id=client_id,
+                               qname=question.qname, qtype=question.qtype,
+                               rcode=rcode)]
+        # Each answer RR is recorded under its own owner name: a
+        # CNAME chain contributes one row per chain member, exactly as
+        # passive-DNS taps store answer sections.
+        return [
+            FpDnsEntry(timestamp=timestamp, client_id=client_id,
+                       qname=rr.name, qtype=rr.rtype,
+                       rcode=RCode.NOERROR, ttl=rr.ttl, rdata=rr.rdata)
+            for rr in response.answers
+        ]

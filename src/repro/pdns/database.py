@@ -1,0 +1,168 @@
+"""Passive-DNS database (pDNS-DB) with rpDNS deduplication.
+
+Ingesting daily fpDNS datasets, the database keeps every *distinct*
+successful resource record with its first-seen day — the paper's rpDNS
+dataset — and accounts storage growth.  Section VI-C's mitigation is
+also implemented: given the miner's (zone, depth) outputs, disposable
+records can be collapsed onto wildcard rows
+(``1022vr5.dns.xx.fbcdn.net`` -> ``*.dns.xx.fbcdn.net``), shrinking the
+store by orders of magnitude while preserving the forensic signal that
+the zone was active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.names import label_count, parent
+from repro.dns.message import RRType
+from repro.pdns.records import FpDnsDataset, RpDnsEntry, RRKey
+
+__all__ = ["IngestReport", "PassiveDnsDatabase", "wildcard_name"]
+
+# Rough per-row storage cost, matching the paper's seven-to-nine GB for
+# a few hundred million rows (~40-60 B of name + type + rdata + date).
+ROW_BYTES = 48
+
+
+def wildcard_name(name: str) -> str:
+    """Replace the leftmost label of ``name`` with ``*``."""
+    rest = parent(name)
+    if rest is None:
+        return "*"
+    return "*." + rest
+
+
+@dataclass
+class IngestReport:
+    """Summary of one day's ingestion."""
+
+    day: str
+    total_records_seen: int
+    new_records: int
+    duplicate_records: int
+
+    @property
+    def dedup_ratio(self) -> float:
+        if not self.total_records_seen:
+            return 0.0
+        return self.new_records / self.total_records_seen
+
+
+class PassiveDnsDatabase:
+    """Append-only store of distinct RRs with first-seen tracking."""
+
+    def __init__(self):
+        self._first_seen: Dict[RRKey, str] = {}
+        self._new_per_day: Dict[str, int] = {}
+        self._ingest_order: List[str] = []
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest_day(self, dataset: FpDnsDataset) -> IngestReport:
+        """Ingest one fpDNS day; duplicates (already-known RRs) are
+        counted but not stored again."""
+        return self.ingest_rrs(dataset.day, dataset.distinct_rrs())
+
+    def ingest_rrs(self, day: str, rr_keys: Iterable[RRKey]) -> IngestReport:
+        """Ingest an arbitrary set of RR identity triples for ``day``."""
+        total = 0
+        new = 0
+        for key in rr_keys:
+            total += 1
+            if key not in self._first_seen:
+                self._first_seen[key] = day
+                new += 1
+        self._new_per_day[day] = self._new_per_day.get(day, 0) + new
+        if day not in self._ingest_order:
+            self._ingest_order.append(day)
+        return IngestReport(day=day, total_records_seen=total,
+                            new_records=new, duplicate_records=total - new)
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._first_seen)
+
+    def __contains__(self, key: RRKey) -> bool:
+        return key in self._first_seen
+
+    def first_seen(self, key: RRKey) -> Optional[str]:
+        return self._first_seen.get(key)
+
+    def entries(self) -> List[RpDnsEntry]:
+        """The full rpDNS dataset."""
+        return [RpDnsEntry(name, rtype, rdata, day)
+                for (name, rtype, rdata), day in self._first_seen.items()]
+
+    def rr_keys(self) -> List[RRKey]:
+        return list(self._first_seen)
+
+    def new_records_per_day(self) -> Dict[str, int]:
+        """Day -> number of never-before-seen RRs (Figure 5 series)."""
+        return dict(self._new_per_day)
+
+    def ingested_days(self) -> List[str]:
+        return list(self._ingest_order)
+
+    def storage_bytes(self) -> int:
+        return len(self._first_seen) * ROW_BYTES
+
+    # -- Section VI-C mitigation ----------------------------------------
+
+    def wildcard_aggregated_size(
+            self, disposable_groups: Set[Tuple[str, int]]) -> int:
+        """Row count after collapsing disposable RRs onto wildcards.
+
+        ``disposable_groups`` is the miner's output: pairs
+        ``(zone, depth)`` meaning "names at ``depth`` labels under
+        ``zone`` are disposable".  Each matching record is replaced by
+        its wildcard row; distinct wildcard rows are counted once.
+        """
+        kept: Set[RRKey] = set()
+        wildcards: Set[str] = set()
+        for (name, rtype, rdata) in self._first_seen:
+            zone = self._matching_zone(name, disposable_groups)
+            if zone is not None:
+                # Anchor the wildcard at the flagged zone, so deep
+                # schemes (constant labels left of the random one, as
+                # in the McAfee names) still collapse to a single row.
+                wildcards.add("*." + zone)
+            else:
+                kept.add((name, rtype, rdata))
+        return len(kept) + len(wildcards)
+
+    def split_by_disposable(
+            self, disposable_groups: Set[Tuple[str, int]]
+    ) -> Tuple[List[RRKey], List[RRKey]]:
+        """Partition stored RRs into (disposable, non-disposable)."""
+        disposable: List[RRKey] = []
+        other: List[RRKey] = []
+        for key in self._first_seen:
+            if self._matches_disposable(key[0], disposable_groups):
+                disposable.append(key)
+            else:
+                other.append(key)
+        return disposable, other
+
+    @staticmethod
+    def _matching_zone(name: str,
+                       groups: Set[Tuple[str, int]]) -> Optional[str]:
+        """The flagged ancestor zone covering ``name``, or ``None``.
+
+        A (zone, depth) pair matches when the name sits at exactly
+        that depth under the flagged zone.
+        """
+        depth = label_count(name)
+        current = parent(name)
+        while current is not None:
+            if (current, depth) in groups:
+                return current
+            current = parent(current)
+        return None
+
+    @classmethod
+    def _matches_disposable(cls, name: str,
+                            groups: Set[Tuple[str, int]]) -> bool:
+        return cls._matching_zone(name, groups) is not None

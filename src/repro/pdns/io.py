@@ -1,0 +1,152 @@
+"""Serialization for passive-DNS artifacts.
+
+A deployed collector writes its fpDNS stream to disk and the analysis
+runs offline (the authors' datasets were 60-145 GB/day of compressed
+records).  This module provides a compact, stream-friendly on-disk
+format:
+
+* **fpDNS** — gzip-compressed TSV, one line per entry:
+  ``side ts client qname qtype rcode ttl rdata`` with ``-`` for absent
+  fields.  Entries stream in either direction without loading the
+  whole day.
+* **rpDNS / pDNS-DB** — gzip TSV of ``qname qtype rdata first_seen``.
+
+Both formats round-trip exactly and are versioned via a header line.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.dns.message import RCode, RRType
+from repro.pdns.database import PassiveDnsDatabase
+from repro.pdns.records import FpDnsDataset, FpDnsEntry
+
+__all__ = ["save_fpdns", "load_fpdns", "iter_fpdns_entries",
+           "save_database", "load_database", "FormatError"]
+
+_FPDNS_HEADER = "#repro-fpdns-v1"
+_RPDNS_HEADER = "#repro-rpdns-v1"
+_ABSENT = "-"
+
+PathLike = Union[str, Path]
+
+
+class FormatError(ValueError):
+    """Raised when a file does not match the expected on-disk format."""
+
+
+def _format_entry(side: str, entry: FpDnsEntry) -> str:
+    client = _ABSENT if entry.client_id is None else str(entry.client_id)
+    ttl = _ABSENT if entry.ttl is None else str(entry.ttl)
+    rdata = _ABSENT if entry.rdata is None else entry.rdata
+    return "\t".join([side, f"{entry.timestamp:.3f}", client, entry.qname,
+                      entry.qtype.value, entry.rcode.name, ttl, rdata])
+
+
+def _parse_entry(line: str, lineno: int) -> tuple:
+    fields = line.rstrip("\n").split("\t")
+    if len(fields) != 8:
+        raise FormatError(f"line {lineno}: expected 8 fields, "
+                          f"got {len(fields)}")
+    side, ts, client, qname, qtype, rcode, ttl, rdata = fields
+    if side not in ("B", "A"):
+        raise FormatError(f"line {lineno}: bad side {side!r}")
+    try:
+        entry = FpDnsEntry(
+            timestamp=float(ts),
+            client_id=None if client == _ABSENT else int(client),
+            qname=qname,
+            qtype=RRType(qtype),
+            rcode=RCode[rcode],
+            ttl=None if ttl == _ABSENT else int(ttl),
+            rdata=None if rdata == _ABSENT else rdata)
+    except (ValueError, KeyError) as exc:
+        raise FormatError(f"line {lineno}: {exc}") from exc
+    return side, entry
+
+
+def save_fpdns(dataset: FpDnsDataset, path: PathLike) -> int:
+    """Write one fpDNS day to ``path`` (gzip TSV); returns line count."""
+    count = 0
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write(f"{_FPDNS_HEADER}\t{dataset.day}\n")
+        for entry in dataset.below:
+            handle.write(_format_entry("B", entry) + "\n")
+            count += 1
+        for entry in dataset.above:
+            handle.write(_format_entry("A", entry) + "\n")
+            count += 1
+    return count
+
+
+def iter_fpdns_entries(path: PathLike) -> Iterator[tuple]:
+    """Stream ``(side, FpDnsEntry)`` pairs without loading the day."""
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_FPDNS_HEADER):
+            raise FormatError(f"not an fpDNS file: header {header!r}")
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            yield _parse_entry(line, lineno)
+
+
+def load_fpdns(path: PathLike) -> FpDnsDataset:
+    """Load a full fpDNS day written by :func:`save_fpdns`."""
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_FPDNS_HEADER):
+            raise FormatError(f"not an fpDNS file: header {header!r}")
+        parts = header.split("\t")
+        day = parts[1] if len(parts) > 1 else "unknown"
+    dataset = FpDnsDataset(day=day)
+    for side, entry in iter_fpdns_entries(path):
+        if side == "B":
+            dataset.below.append(entry)
+        else:
+            dataset.above.append(entry)
+    return dataset
+
+
+def save_database(database: PassiveDnsDatabase, path: PathLike) -> int:
+    """Write the rpDNS rows of a pDNS-DB; returns the row count."""
+    count = 0
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write(_RPDNS_HEADER + "\n")
+        for record in database.entries():
+            handle.write("\t".join([record.qname, record.qtype.value,
+                                    record.rdata, record.first_seen]) + "\n")
+            count += 1
+    return count
+
+
+def load_database(path: PathLike) -> PassiveDnsDatabase:
+    """Rebuild a pDNS-DB from :func:`save_database` output.
+
+    First-seen days are preserved; ingestion-order metadata is
+    reconstructed in sorted-day order.
+    """
+    rows = []
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _RPDNS_HEADER:
+            raise FormatError(f"not an rpDNS file: header {header!r}")
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            fields = line.rstrip("\n").split("\t")
+            if len(fields) != 4:
+                raise FormatError(f"line {lineno}: expected 4 fields")
+            qname, qtype, rdata, first_seen = fields
+            try:
+                rows.append(((qname, RRType(qtype), rdata), first_seen))
+            except ValueError as exc:
+                raise FormatError(f"line {lineno}: {exc}") from exc
+    database = PassiveDnsDatabase()
+    rows.sort(key=lambda item: item[1])
+    for key, day in rows:
+        database.ingest_rrs(day, [key])
+    return database

@@ -1,0 +1,93 @@
+"""Forensic query interface over the passive-DNS database.
+
+Section VI-C motivates pDNS-DBs as the tool behind incident forensics
+(Aurora, RSA, Stuxnet, Flame investigations) and domain-reputation
+systems: given an indicator — a name or an address — an analyst pulls
+its resolution history.  :class:`PdnsQueryIndex` builds the two
+inverted indexes such lookups need (name → records, RDATA → records)
+plus a zone index for "everything under this apex", and exposes the
+latency-relevant statistic the paper worries about: how much bigger
+disposable churn makes those indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.names import labels
+from repro.dns.message import RRType
+from repro.pdns.database import PassiveDnsDatabase
+from repro.pdns.records import RpDnsEntry
+
+__all__ = ["IndexStats", "PdnsQueryIndex"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Size accounting for the query indexes."""
+
+    records: int
+    distinct_names: int
+    distinct_rdata: int
+    distinct_zones: int
+
+
+class PdnsQueryIndex:
+    """Inverted indexes over a :class:`PassiveDnsDatabase` snapshot.
+
+    The index is built once from the database's current contents;
+    rebuild after further ingestion.
+    """
+
+    def __init__(self, database: PassiveDnsDatabase):
+        self._by_name: Dict[str, List[RpDnsEntry]] = {}
+        self._by_rdata: Dict[str, List[RpDnsEntry]] = {}
+        self._names_by_zone: Dict[str, Set[str]] = {}
+        for entry in database.entries():
+            self._by_name.setdefault(entry.qname, []).append(entry)
+            self._by_rdata.setdefault(entry.rdata, []).append(entry)
+            parts = labels(entry.qname)
+            for i in range(1, len(parts)):
+                zone = ".".join(parts[i:])
+                self._names_by_zone.setdefault(zone, set()).add(entry.qname)
+
+    # -- lookups ------------------------------------------------------------
+
+    def history_for_name(self, name: str) -> List[RpDnsEntry]:
+        """All records ever observed for ``name``, oldest first."""
+        records = self._by_name.get(name.lower().rstrip("."), [])
+        return sorted(records, key=lambda e: (e.first_seen, e.rdata))
+
+    def names_for_rdata(self, rdata: str) -> List[str]:
+        """Every name that ever resolved to ``rdata`` — the classic
+        pivot when an analyst holds a malicious IP."""
+        return sorted({entry.qname for entry in self._by_rdata.get(rdata, [])})
+
+    def names_under_zone(self, zone: str) -> List[str]:
+        """Every stored name below ``zone`` (strict descendants)."""
+        return sorted(self._names_by_zone.get(zone.lower().rstrip("."),
+                                              set()))
+
+    def first_seen(self, name: str) -> Optional[str]:
+        """Earliest first-seen day across the name's records."""
+        history = self.history_for_name(name)
+        return history[0].first_seen if history else None
+
+    def cooccurring_names(self, name: str) -> List[str]:
+        """Names sharing any RDATA with ``name`` (infrastructure
+        overlap, the reputation-system primitive)."""
+        related: Set[str] = set()
+        for record in self.history_for_name(name):
+            related.update(self.names_for_rdata(record.rdata))
+        related.discard(name.lower().rstrip("."))
+        return sorted(related)
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        return IndexStats(
+            records=sum(len(v) for v in self._by_name.values()),
+            distinct_names=len(self._by_name),
+            distinct_rdata=len(self._by_rdata),
+            distinct_zones=len(self._names_by_zone))

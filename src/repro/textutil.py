@@ -1,0 +1,47 @@
+"""Plain-text rendering helpers (tables, key/value blocks).
+
+Kept dependency-free so every layer — core, analysis, experiments —
+can render reports without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_kv", "format_percent", "format_series"]
+
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_kv(pairs: Sequence[tuple], title: str = "") -> str:
+    """Aligned key/value block."""
+    width = max((len(str(key)) for key, _ in pairs), default=0)
+    lines = [f"{str(key).ljust(width)} : {value}" for key, value in pairs]
+    if title:
+        lines = [title, "=" * len(title)] + lines
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Sequence[float],
+                  digits: int = 3) -> str:
+    rendered = ", ".join(f"{value:.{digits}f}" for value in values)
+    return f"{name}: [{rendered}]"

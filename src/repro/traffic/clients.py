@@ -1,0 +1,68 @@
+"""Client population.
+
+Models the ISP's subscriber base: each client has an activity weight
+(heavy-tailed, as a few households dominate query volume) and a set of
+service memberships — only clients that run the McAfee agent emit
+``avqs.mcafee.com`` lookups, only the experiment cohort emits
+``ipv6-exp`` probes, and so on.  This produces the paper's observation
+that disposable names are "queried … by a handful of clients".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.traffic.population import DisposableService
+
+__all__ = ["ClientPopulation"]
+
+
+class ClientPopulation:
+    """Subscribers with heavy-tailed activity and service cohorts."""
+
+    def __init__(self, n_clients: int, services: Sequence[DisposableService],
+                 seed: int = 1, activity_exponent: float = 1.2):
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        self.n_clients = n_clients
+        rng = np.random.default_rng(seed)
+        # Pareto-like activity: weight ~ rank^{-a}, shuffled so client
+        # id carries no meaning.
+        ranks = np.arange(1, n_clients + 1, dtype=float)
+        weights = ranks ** -activity_exponent
+        rng.shuffle(weights)
+        self._activity_cdf = np.cumsum(weights)
+        self._activity_cdf /= self._activity_cdf[-1]
+        # Service cohorts: a random subset of clients per service.
+        self._cohorts: Dict[str, np.ndarray] = {}
+        for service in services:
+            cohort_size = max(1, int(round(service.client_fraction * n_clients)))
+            cohort = rng.choice(n_clients, size=cohort_size, replace=False)
+            self._cohorts[service.name] = np.sort(cohort)
+
+    def sample_client(self, rng: np.random.Generator) -> int:
+        """Draw a client by activity weight."""
+        return int(np.searchsorted(self._activity_cdf, rng.random(),
+                                   side="left"))
+
+    def sample_clients(self, rng: np.random.Generator,
+                       size: int) -> np.ndarray:
+        return np.searchsorted(self._activity_cdf, rng.random(size),
+                               side="left")
+
+    def cohort(self, service_name: str) -> np.ndarray:
+        """Client ids subscribed to ``service_name``."""
+        cohort = self._cohorts.get(service_name)
+        if cohort is None:
+            raise KeyError(f"unknown service: {service_name!r}")
+        return cohort
+
+    def sample_cohort_client(self, rng: np.random.Generator,
+                             service_name: str) -> int:
+        cohort = self.cohort(service_name)
+        return int(cohort[int(rng.integers(0, len(cohort)))])
+
+    def cohort_size(self, service_name: str) -> int:
+        return len(self.cohort(service_name))

@@ -1,0 +1,353 @@
+"""The synthetic ISP's zone population.
+
+Builds every zone the workload queries, mirroring the traffic classes
+the paper observes at the ISP:
+
+* **popular sites** — a few hundred Alexa-style 2LDs with hand-named
+  subdomains (www, mail, api, …), Zipf popularity, normal TTLs.  These
+  are the paper's non-disposable labeled class.
+* **long-tail sites** — thousands of ordinary registered 2LDs visited
+  rarely (once or twice a day by one client).  They dominate the DNS
+  long tail *without* being disposable — which is why Tables I and II
+  report the disposable share *of* the tail rather than equating the
+  two.
+* **Google-like service** — popular hostnames plus the
+  ``ipv6-exp.l.google.com`` measurement experiment whose volume grows
+  across the year (Section V-C's "Google operates 58 % of RRs").
+* **Akamai-like CDN** — wildcard content zones with Zipf object
+  popularity; unpopular objects look one-time (the paper's 0.6 % CDN
+  borderline findings).
+* **disposable services** — the Figure 6 schemes plus a configurable
+  crowd of smaller tracking/AV/DNSBL zones, so the labeled training
+  set has hundreds of positive zones like the paper's 398.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.labeling import LabeledZone
+from repro.dns.authority import AuthoritativeHierarchy
+from repro.dns.message import RRType
+from repro.dns.zone import StaticZone, WildcardZone
+from repro.traffic.generators import (AvHashNameGenerator,
+                                      CdnShardNameGenerator,
+                                      DisposableNameGenerator,
+                                      DnsblNameGenerator,
+                                      MeasurementNameGenerator,
+                                      TelemetryNameGenerator,
+                                      TrackingNameGenerator)
+
+__all__ = ["PopulationConfig", "DisposableService", "PopularSite",
+           "ZonePopulation"]
+
+_WORDS_A = (
+    "news", "shop", "media", "cloud", "travel", "photo", "game", "music",
+    "sport", "tech", "food", "auto", "home", "book", "movie", "health",
+    "bank", "weather", "mail", "social", "video", "job", "craft", "garden",
+    "pixel", "stream", "daily", "metro", "global", "prime", "rapid", "solid",
+)
+_WORDS_B = (
+    "hub", "zone", "spot", "base", "port", "land", "city", "world", "line",
+    "press", "point", "center", "market", "store", "works", "link", "path",
+    "nest", "forge", "field", "wave", "peak", "gate", "dock", "yard", "mill",
+)
+_SUBDOMAIN_LABELS = (
+    "www", "mail", "m", "api", "img", "static", "blog", "shop", "login",
+    "news", "video", "dev", "app", "search", "maps", "docs", "forum",
+    "secure", "cdn", "assets",
+)
+_LONGTAIL_TLDS = ("com", "net", "org", "info", "biz", "us", "co.uk", "de")
+_TTL_CHOICES = (300, 900, 3600, 14400, 86400)
+_TTL_WEIGHTS = (0.25, 0.2, 0.3, 0.15, 0.1)
+
+
+@dataclass
+class PopulationConfig:
+    """Size and composition knobs for the synthetic zone population."""
+
+    n_popular_sites: int = 220
+    n_longtail_sites: int = 8_000
+    n_extra_disposable: int = 40
+    subdomains_per_site: Tuple[int, int] = (6, 12)  # inclusive range
+    cdn_objects: int = 30_000
+    seed: int = 20110201
+    # Multipliers applied to matching services' base_weight (matched by
+    # substring of the service name, e.g. {"gti": 4.0} boosts the AV
+    # cloud-lookup service) — used by the scenario library.
+    service_weight_overrides: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_popular_sites < 1:
+            raise ValueError("need at least one popular site")
+        low, high = self.subdomains_per_site
+        if low < 1 or high < low:
+            raise ValueError(
+                f"invalid subdomains_per_site range: {self.subdomains_per_site}")
+
+
+@dataclass
+class PopularSite:
+    """One popular 2LD with its hostnames."""
+
+    zone: str
+    hostnames: List[str]
+    ttl: int
+
+
+@dataclass
+class DisposableService:
+    """One disposable-domain-emitting service.
+
+    ``base_weight`` is the service's share of disposable traffic at the
+    start of the simulated year; ``growth`` multiplies it by the end
+    (Google's experiment grows, most others stay flat).
+    ``client_fraction`` is the share of clients running the software
+    that emits these queries.
+    """
+
+    name: str
+    generator: DisposableNameGenerator
+    ttl: int
+    base_weight: float
+    client_fraction: float
+    growth: float = 1.0
+    rdata_mode: str = "per-name"
+    answer_count: int = 1  # RRs per answered name (round-robin style)
+    # Figure 14: early in 2011 many operators used near-zero TTLs
+    # (28 % of disposable domains at TTL = 1 s in February) and moved
+    # to ~300 s by December.  A service with ``early_ttl`` set serves
+    # that TTL in the first half of the year and ``ttl`` afterwards.
+    early_ttl: Optional[int] = None
+
+    @property
+    def zone(self) -> str:
+        return self.generator.apex
+
+    @property
+    def depth(self) -> int:
+        return self.generator.depth
+
+    def weight_at(self, year_fraction: float) -> float:
+        """Interpolated traffic weight at ``year_fraction`` in [0, 1]."""
+        return self.base_weight * (1.0 + (self.growth - 1.0) * year_fraction)
+
+    def ttl_at(self, year_fraction: float) -> int:
+        """The TTL the operator publishes at this point of the year."""
+        if self.early_ttl is not None and year_fraction < 0.5:
+            return self.early_ttl
+        return self.ttl
+
+
+class ZonePopulation:
+    """All zones of the synthetic Internet, with ground truth."""
+
+    GOOGLE_ZONE = "google.com"
+    GOOGLE_HOSTS = ("www.google.com", "mail.google.com", "apis.google.com",
+                    "clients1.google.com", "ssl.gstatic.google.com",
+                    "accounts.google.com", "drive.google.com",
+                    "docs.google.com", "play.google.com", "fonts.google.com")
+    GOOGLE_MEASUREMENT_ZONE = "ipv6-exp.l.google.com"
+    AKAMAI_APEXES = ("akamai.net", "akamaiedge.net")
+
+    def __init__(self, config: Optional[PopulationConfig] = None):
+        self.config = config or PopulationConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.popular_sites = self._build_popular_sites(rng)
+        self.longtail_sites = self._build_longtail_sites(rng)
+        self.cdn_generators = [
+            CdnShardNameGenerator(apex, n_objects=self.config.cdn_objects,
+                                  popularity_exponent=1.3)
+            for apex in self.AKAMAI_APEXES
+        ]
+        self.services = self._build_services(rng)
+        self._apply_weight_overrides()
+        self.registered_2lds = self._collect_registered_2lds()
+
+    def _apply_weight_overrides(self) -> None:
+        overrides = self.config.service_weight_overrides or {}
+        for pattern, multiplier in overrides.items():
+            matched = False
+            for service in self.services:
+                if pattern in service.name or pattern in service.zone:
+                    service.base_weight *= multiplier
+                    matched = True
+            if not matched:
+                raise ValueError(
+                    f"service weight override {pattern!r} matched nothing")
+
+    # -- construction ----------------------------------------------------
+
+    def _build_popular_sites(self, rng: np.random.Generator) -> List[PopularSite]:
+        combos = [a + b for a in _WORDS_A for b in _WORDS_B]
+        rng.shuffle(combos)
+        low, high = self.config.subdomains_per_site
+        sites: List[PopularSite] = []
+        for i in range(self.config.n_popular_sites):
+            zone = combos[i] + ".com"
+            count = int(rng.integers(low, high + 1))
+            labels = list(rng.choice(_SUBDOMAIN_LABELS,
+                                     size=min(count, len(_SUBDOMAIN_LABELS)),
+                                     replace=False))
+            hostnames = [f"{label}.{zone}" for label in labels]
+            ttl = int(rng.choice(_TTL_CHOICES, p=_TTL_WEIGHTS))
+            sites.append(PopularSite(zone=zone, hostnames=hostnames, ttl=ttl))
+        return sites
+
+    def _build_longtail_sites(self, rng: np.random.Generator) -> List[str]:
+        sites: List[str] = []
+        seen: Set[str] = set()
+        while len(sites) < self.config.n_longtail_sites:
+            word_a = _WORDS_A[int(rng.integers(0, len(_WORDS_A)))]
+            word_b = _WORDS_B[int(rng.integers(0, len(_WORDS_B)))]
+            tld = _LONGTAIL_TLDS[int(rng.integers(0, len(_LONGTAIL_TLDS)))]
+            zone = f"{word_a}{word_b}{int(rng.integers(0, 100_000))}.{tld}"
+            if zone in seen:
+                continue
+            seen.add(zone)
+            sites.append(zone)
+        return sites
+
+    def _build_services(self, rng: np.random.Generator) -> List[DisposableService]:
+        services = [
+            DisposableService(
+                "mcafee-gti", AvHashNameGenerator("avqs.mcafee.com"),
+                ttl=300, base_weight=0.16, client_fraction=0.30,
+                early_ttl=1),
+            DisposableService(
+                "esoft-telemetry",
+                TelemetryNameGenerator("device.trans.manage.esoft.com"),
+                ttl=60, base_weight=0.05, client_fraction=0.02),
+            DisposableService(
+                "google-ipv6-exp",
+                MeasurementNameGenerator(self.GOOGLE_MEASUREMENT_ZONE),
+                ttl=300, base_weight=0.18, client_fraction=0.20, growth=3.2,
+                answer_count=3, early_ttl=1),
+            DisposableService(
+                "spamhaus-zen", DnsblNameGenerator("zen.spamhaus.org"),
+                ttl=300, base_weight=0.08, client_fraction=0.05,
+                early_ttl=1),
+            DisposableService(
+                "sophos-sxl",
+                TrackingNameGenerator("samples.sophosxl.net", token_length=24),
+                ttl=300, base_weight=0.06, client_fraction=0.12, answer_count=2,
+                early_ttl=1),
+            DisposableService(
+                "omniture-2o7",
+                TrackingNameGenerator("122.2o7.net", token_length=16),
+                ttl=120, base_weight=0.08, client_fraction=0.50, answer_count=2),
+            DisposableService(
+                "facebook-fbcdn",
+                TrackingNameGenerator("dns.xx.fbcdn.net", token_length=10),
+                ttl=120, base_weight=0.06, client_fraction=0.45, growth=1.6,
+                answer_count=3),
+            DisposableService(
+                "skype-probe",
+                TrackingNameGenerator("ui.skype.com", token_length=14),
+                ttl=60, base_weight=0.04, client_fraction=0.10, answer_count=2),
+            DisposableService(
+                "netflix-probe",
+                TrackingNameGenerator("ichnaea.netflix.com", token_length=12),
+                ttl=60, base_weight=0.03, client_fraction=0.15, answer_count=2),
+            DisposableService(
+                "msft-vortex",
+                TrackingNameGenerator("vortex.data.microsoft.com",
+                                      token_length=18),
+                ttl=300, base_weight=0.05, client_fraction=0.40,
+                answer_count=2),
+        ]
+        # A crowd of smaller tracking/AV zones so the labeled set has
+        # hundreds of disposable zones, as in the paper.
+        remaining = 1.0 - sum(s.base_weight for s in services)
+        n_extra = self.config.n_extra_disposable
+        for i in range(n_extra):
+            kind = i % 3
+            zone = f"t{i}.dsp{i % 7}-metrics.net"
+            if kind == 0:
+                generator: DisposableNameGenerator = TrackingNameGenerator(
+                    zone, token_length=10 + (i % 8))
+            elif kind == 1:
+                generator = DnsblNameGenerator(f"bl{i}.dnsbl-{i % 5}.org")
+            else:
+                generator = AvHashNameGenerator(f"q{i}.avcheck-{i % 5}.com")
+            services.append(DisposableService(
+                name=f"extra-{i}", generator=generator,
+                ttl=int((i % 4 + 1) * 60),
+                base_weight=max(remaining, 0.1) / max(n_extra, 1),
+                client_fraction=0.02 + 0.01 * (i % 5),
+                growth=1.0 + 0.5 * (i % 3),
+                answer_count=1 + (i % 3),
+                early_ttl=1 if i % 3 == 0 else None))
+        return services
+
+    def _collect_registered_2lds(self) -> Set[str]:
+        registered: Set[str] = {site.zone for site in self.popular_sites}
+        registered.update(self.longtail_sites)
+        registered.add(self.GOOGLE_ZONE)
+        registered.update(self.AKAMAI_APEXES)
+        for service in self.services:
+            parts = service.zone.split(".")
+            registered.add(".".join(parts[-2:]))
+        return registered
+
+    # -- authority -------------------------------------------------------
+
+    def build_authority(self) -> AuthoritativeHierarchy:
+        """Materialise every zone into an authoritative hierarchy."""
+        authority = AuthoritativeHierarchy()
+        for index, site in enumerate(self.popular_sites):
+            zone = StaticZone(site.zone)
+            zone.add_name(site.zone, RRType.A, site.ttl)
+            for hostname in site.hostnames:
+                zone.add_name(hostname, RRType.A, site.ttl)
+                zone.add_name(hostname, RRType.AAAA, site.ttl)
+            # A CNAME into the CDN, as popular sites offload assets.
+            cdn_apex = self.AKAMAI_APEXES[index % len(self.AKAMAI_APEXES)]
+            zone.add_name(f"cdnlink.{site.zone}", RRType.CNAME, site.ttl,
+                          rdata=f"e{index}.g0.{cdn_apex}")
+            authority.add_zone(zone)
+        for longtail in self.longtail_sites:
+            zone = StaticZone(longtail)
+            zone.add_name(longtail, RRType.A, 3600)
+            zone.add_name("www." + longtail, RRType.A, 3600)
+            authority.add_zone(zone)
+        google = StaticZone(self.GOOGLE_ZONE)
+        for hostname in self.GOOGLE_HOSTS:
+            google.add_name(hostname, RRType.A, 300)
+            google.add_name(hostname, RRType.AAAA, 300)
+        authority.add_zone(google)
+        for cdn_apex in self.AKAMAI_APEXES:
+            authority.add_zone(WildcardZone(cdn_apex, ttl=60))
+        for service in self.services:
+            authority.add_zone(WildcardZone(
+                service.zone, ttl=service.ttl,
+                rdata_mode=service.rdata_mode,
+                answer_count=service.answer_count))
+        return authority
+
+    # -- ground truth ------------------------------------------------------
+
+    def disposable_truth(self) -> Set[Tuple[str, int]]:
+        """Ground-truth (zone, depth) pairs for every disposable service."""
+        return {(service.zone, service.depth) for service in self.services}
+
+    def labeled_zones(self, include_extras: bool = True) -> List[LabeledZone]:
+        """Labeled zones for training, mirroring Section IV-B."""
+        labels = [LabeledZone(zone=service.zone, disposable=True,
+                              depth=service.depth)
+                  for service in self.services
+                  if include_extras or not service.name.startswith("extra-")]
+        labels.extend(LabeledZone(zone=site.zone, disposable=False)
+                      for site in self.popular_sites)
+        return labels
+
+    def disposable_zone_for(self, name: str) -> Optional[DisposableService]:
+        """The service owning ``name``, if any."""
+        for service in self.services:
+            suffix = "." + service.zone
+            if name.endswith(suffix):
+                return service
+        return None

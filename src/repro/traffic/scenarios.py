@@ -1,0 +1,116 @@
+"""Named workload scenarios.
+
+Ready-made :class:`SimulatorConfig` presets for the situations the
+paper discusses or that reviewers typically probe, so studies beyond
+the default calibration are one constructor away:
+
+* ``paper_year``       — the default calibrated 2011 workload.
+* ``no_growth``        — disposable share frozen at its February level
+  (the counterfactual behind Figure 13's growth claims).
+* ``disposable_heavy`` — the "near future" of Section VI: disposable
+  traffic doubled, for stress-testing caches/DNSSEC/pDNS.
+* ``av_heavy``         — anti-virus cloud-lookup dominated mix (every
+  client runs an agent), the McAfee-style deployment.
+* ``cdn_heavy``        — CDN-skewed traffic probing the miner's
+  borderline class (the paper's 0.6 % CDN findings).
+* ``rfc2308_compliant``— resolvers honor negative caching, removing
+  the paper's 40 %-NXDOMAIN-above anomaly.
+
+All scenarios share the population seed so zones are comparable across
+scenarios; only traffic composition and resolver policy differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List
+
+from repro.traffic.population import PopulationConfig
+from repro.traffic.simulate import SimulatorConfig
+from repro.traffic.workload import WorkloadConfig
+
+__all__ = ["SCENARIOS", "scenario", "scenario_names"]
+
+
+def _base(events_per_day: int, n_clients: int) -> SimulatorConfig:
+    return SimulatorConfig(
+        population=PopulationConfig(),
+        workload=WorkloadConfig(events_per_day=events_per_day,
+                                n_clients=n_clients))
+
+
+def paper_year(events_per_day: int = 60_000,
+               n_clients: int = 400) -> SimulatorConfig:
+    """The default calibrated 2011 workload."""
+    return _base(events_per_day, n_clients)
+
+
+def no_growth(events_per_day: int = 60_000,
+              n_clients: int = 400) -> SimulatorConfig:
+    config = _base(events_per_day, n_clients)
+    start = config.workload.disposable_share_start
+    config.workload = replace(config.workload, disposable_share_end=start)
+    return config
+
+
+def disposable_heavy(events_per_day: int = 60_000,
+                     n_clients: int = 400) -> SimulatorConfig:
+    config = _base(events_per_day, n_clients)
+    workload = config.workload
+    config.workload = replace(
+        workload,
+        disposable_share_start=min(workload.disposable_share_start * 2, 0.5),
+        disposable_share_end=min(workload.disposable_share_end * 2, 0.55))
+    return config
+
+
+def av_heavy(events_per_day: int = 60_000,
+             n_clients: int = 400) -> SimulatorConfig:
+    """AV-cloud-lookup dominated disposable mix: the GTI-style and
+    sample-lookup services carry 4x their calibrated weight."""
+    config = disposable_heavy(events_per_day, n_clients)
+    config.population = replace(
+        config.population,
+        service_weight_overrides={"gti": 4.0, "sophos": 4.0,
+                                  "avcheck": 2.0})
+    return config
+
+
+def cdn_heavy(events_per_day: int = 60_000,
+              n_clients: int = 400) -> SimulatorConfig:
+    config = _base(events_per_day, n_clients)
+    workload = config.workload
+    config.workload = replace(workload, cdn_share=0.18,
+                              longtail_share=0.08)
+    return config
+
+
+def rfc2308_compliant(events_per_day: int = 60_000,
+                      n_clients: int = 400) -> SimulatorConfig:
+    config = _base(events_per_day, n_clients)
+    config.negative_ttl = 3_600
+    return config
+
+
+SCENARIOS: Dict[str, Callable[..., SimulatorConfig]] = {
+    "paper_year": paper_year,
+    "no_growth": no_growth,
+    "disposable_heavy": disposable_heavy,
+    "av_heavy": av_heavy,
+    "cdn_heavy": cdn_heavy,
+    "rfc2308_compliant": rfc2308_compliant,
+}
+
+
+def scenario(name: str, **kwargs) -> SimulatorConfig:
+    """Build a named scenario's config; kwargs override scale knobs."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"available: {sorted(SCENARIOS)}") from None
+    return factory(**kwargs)
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)

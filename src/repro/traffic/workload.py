@@ -1,0 +1,228 @@
+"""Workload model: turns the zone population into daily query streams.
+
+Each simulated day mixes the traffic classes the paper's fpDNS dataset
+contains.  The *disposable share* of events grows linearly across the
+simulated year (``disposable_share_start`` → ``..._end``), which is the
+mechanism behind the Figure 13 growth curves; within the disposable
+share, per-service weights follow each service's own growth factor
+(Google's experiment grows fastest, reproducing Section V-C's Google
+observations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dns.message import Question, RRType
+from repro.traffic.clients import ClientPopulation
+from repro.traffic.diurnal import DiurnalProfile
+from repro.traffic.population import PopulationConfig, ZonePopulation
+from repro.traffic.zipf import ZipfSampler
+
+__all__ = ["WorkloadConfig", "QueryEvent", "WorkloadModel"]
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One client query: when, who, what."""
+
+    timestamp: float  # seconds since day start
+    client_id: int
+    question: Question
+    category: str
+
+
+@dataclass
+class WorkloadConfig:
+    """Mixture and scale knobs for the daily query stream."""
+
+    events_per_day: int = 60_000
+    day_seconds: float = 7_200.0  # compressed day; see DiurnalProfile
+    n_clients: int = 400
+    # Event-share mixture (disposable takes its share from `popular`).
+    popular_share: float = 0.60
+    google_share: float = 0.06
+    cdn_share: float = 0.04
+    longtail_share: float = 0.15
+    typo_share: float = 0.05
+    disposable_share_start: float = 0.055
+    disposable_share_end: float = 0.095
+    aaaa_fraction: float = 0.10
+    cname_fraction: float = 0.02
+    site_popularity_exponent: float = 1.15
+    longtail_popularity_exponent: float = 0.3
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        fixed = (self.google_share + self.cdn_share + self.longtail_share
+                 + self.typo_share)
+        if fixed + self.disposable_share_end >= 1.0:
+            raise ValueError("mixture shares exceed 1.0 at end of year")
+        for name in ("popular_share", "google_share", "cdn_share",
+                     "longtail_share", "typo_share",
+                     "disposable_share_start", "disposable_share_end"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def disposable_share(self, year_fraction: float) -> float:
+        """Linear growth of the disposable event share over the year."""
+        year_fraction = min(max(year_fraction, 0.0), 1.0)
+        return (self.disposable_share_start
+                + (self.disposable_share_end - self.disposable_share_start)
+                * year_fraction)
+
+
+class WorkloadModel:
+    """Generates daily query streams against a :class:`ZonePopulation`."""
+
+    CATEGORIES = ("popular", "google", "cdn", "longtail", "typo", "disposable")
+
+    def __init__(self, population: ZonePopulation,
+                 config: Optional[WorkloadConfig] = None,
+                 diurnal: Optional[DiurnalProfile] = None):
+        self.population = population
+        self.config = config or WorkloadConfig()
+        self.diurnal = diurnal or DiurnalProfile()
+        self.clients = ClientPopulation(self.config.n_clients,
+                                        population.services,
+                                        seed=self.config.seed + 1)
+        self._site_sampler = ZipfSampler(
+            len(population.popular_sites),
+            self.config.site_popularity_exponent)
+        self._longtail_sampler = ZipfSampler(
+            len(population.longtail_sites),
+            self.config.longtail_popularity_exponent)
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- mixture -----------------------------------------------------------
+
+    def category_probabilities(self, year_fraction: float) -> np.ndarray:
+        """Event-share vector over CATEGORIES at ``year_fraction``."""
+        cfg = self.config
+        disposable = cfg.disposable_share(year_fraction)
+        popular = max(cfg.popular_share - (disposable
+                                           - cfg.disposable_share_start), 0.0)
+        raw = np.array([popular, cfg.google_share, cfg.cdn_share,
+                        cfg.longtail_share, cfg.typo_share, disposable])
+        return raw / raw.sum()
+
+    def service_probabilities(self, year_fraction: float) -> np.ndarray:
+        weights = np.array([service.weight_at(year_fraction)
+                            for service in self.population.services])
+        return weights / weights.sum()
+
+    # -- day generation -----------------------------------------------------
+
+    def generate_day(self, day_index: int,
+                     year_fraction: float = 0.0,
+                     n_events: Optional[int] = None) -> List[QueryEvent]:
+        """Generate one day's events, sorted by timestamp."""
+        rng = np.random.default_rng(self.config.seed + 1000 + day_index)
+        count = self.config.events_per_day if n_events is None else n_events
+        timestamps = self.diurnal.sample_timestamps(
+            rng, count, day_seconds=self.config.day_seconds)
+        category_p = self.category_probabilities(year_fraction)
+        category_ids = rng.choice(len(self.CATEGORIES), size=count,
+                                  p=category_p)
+        service_p = self.service_probabilities(year_fraction)
+        events: List[QueryEvent] = []
+        for ts, cat_id in zip(timestamps, category_ids):
+            category = self.CATEGORIES[cat_id]
+            client, question = self._make_event(rng, category, service_p)
+            events.append(QueryEvent(timestamp=float(ts), client_id=client,
+                                     question=question, category=category))
+        return events
+
+    # -- per-category event construction -----------------------------------
+
+    def _make_event(self, rng: np.random.Generator, category: str,
+                    service_p: np.ndarray) -> Tuple[int, Question]:
+        if category == "popular":
+            return self._popular_event(rng)
+        if category == "google":
+            return self._google_event(rng)
+        if category == "cdn":
+            return self._cdn_event(rng)
+        if category == "longtail":
+            return self._longtail_event(rng)
+        if category == "typo":
+            return self._typo_event(rng)
+        return self._disposable_event(rng, service_p)
+
+    def _qtype(self, rng: np.random.Generator) -> RRType:
+        u = rng.random()
+        if u < self.config.aaaa_fraction:
+            return RRType.AAAA
+        return RRType.A
+
+    def _popular_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
+        site = self.population.popular_sites[self._site_sampler.sample_one(rng)]
+        client = self.clients.sample_client(rng)
+        if rng.random() < self.config.cname_fraction:
+            return client, Question(f"cdnlink.{site.zone}", RRType.A)
+        # Within a site, hostnames follow a mild popularity skew: the
+        # first (www-like) hostname dominates.
+        n_hosts = len(site.hostnames)
+        host_rank = min(int(rng.geometric(0.45)) - 1, n_hosts - 1)
+        hostname = site.hostnames[host_rank]
+        return client, Question(hostname, self._qtype(rng))
+
+    def _google_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
+        hosts = self.population.GOOGLE_HOSTS
+        rank = min(int(rng.geometric(0.35)) - 1, len(hosts) - 1)
+        client = self.clients.sample_client(rng)
+        return client, Question(hosts[rank], self._qtype(rng))
+
+    def _cdn_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
+        generators = self.population.cdn_generators
+        generator = generators[int(rng.integers(0, len(generators)))]
+        client = self.clients.sample_client(rng)
+        return client, Question(generator.generate(rng), RRType.A)
+
+    def _longtail_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
+        zone = self.population.longtail_sites[
+            self._longtail_sampler.sample_one(rng)]
+        name = zone if rng.random() < 0.4 else "www." + zone
+        client = self.clients.sample_client(rng)
+        return client, Question(name, RRType.A)
+
+    def _typo_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
+        """A misspelled popular domain: resolves to NXDOMAIN."""
+        registered = self.population.registered_2lds
+        for _ in range(8):
+            site = self.population.popular_sites[
+                self._site_sampler.sample_one(rng)]
+            zone = self._misspell(rng, site.zone)
+            if zone not in registered:
+                break
+        name = zone if rng.random() < 0.5 else "www." + zone
+        client = self.clients.sample_client(rng)
+        return client, Question(name, RRType.A)
+
+    @staticmethod
+    def _misspell(rng: np.random.Generator, zone: str) -> str:
+        label, _, tld = zone.partition(".")
+        if len(label) < 2:
+            return "x" + zone
+        mode = int(rng.integers(0, 3))
+        pos = int(rng.integers(0, len(label) - 1))
+        if mode == 0:  # drop a character
+            label = label[:pos] + label[pos + 1:]
+        elif mode == 1:  # swap adjacent characters
+            chars = list(label)
+            chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+            label = "".join(chars)
+        else:  # double a character
+            label = label[:pos] + label[pos] + label[pos:]
+        return f"{label}.{tld}"
+
+    def _disposable_event(self, rng: np.random.Generator,
+                          service_p: np.ndarray) -> Tuple[int, Question]:
+        index = int(rng.choice(len(self.population.services), p=service_p))
+        service = self.population.services[index]
+        client = self.clients.sample_cohort_client(rng, service.name)
+        return client, Question(service.generator.generate(rng), RRType.A)

@@ -1,0 +1,46 @@
+"""Zipf-like popularity sampling.
+
+Web-site and CDN-object popularity follows a power law; the simulator
+uses a finite Zipf distribution (p_i proportional to 1/i^s over ranks
+1..n) for every "pick something popular" decision.  Sampling is done by
+inverse-CDF search so batch draws are vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Finite Zipf distribution over ranks ``0..n-1``."""
+
+    def __init__(self, n: int, exponent: float = 1.0):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** -exponent
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` ranks (0-based)."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        return int(self.sample(rng, 1)[0])
+
+    def probability(self, rank: int) -> float:
+        """P(rank) for a 0-based rank."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range [0, {self.n})")
+        lower = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - lower)

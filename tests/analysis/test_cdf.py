@@ -1,0 +1,54 @@
+"""Tests for the empirical CDF helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+class TestEmpiricalCdf:
+    def test_at(self):
+        cdf = EmpiricalCdf.from_samples([0.0, 0.5, 1.0, 1.0])
+        assert cdf.at(0.0) == 0.25
+        assert cdf.at(0.5) == 0.5
+        assert cdf.at(0.99) == 0.5
+        assert cdf.at(1.0) == 1.0
+
+    def test_at_below_min(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0])
+        assert cdf.at(0.5) == 0.0
+
+    def test_empty(self):
+        cdf = EmpiricalCdf.from_samples([])
+        assert cdf.at(1.0) == 0.0
+        assert cdf.quantile(0.5) == 0.0
+        assert cdf.series() == []
+        assert len(cdf) == 0
+
+    def test_quantile(self):
+        cdf = EmpiricalCdf.from_samples(list(np.linspace(0, 1, 101)))
+        assert cdf.quantile(0.5) == pytest.approx(0.5, abs=0.02)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_evaluate_vectorised(self):
+        cdf = EmpiricalCdf.from_samples([0.0, 1.0])
+        values = cdf.evaluate([-1.0, 0.0, 0.5, 1.0])
+        assert values.tolist() == [0.0, 0.5, 0.5, 1.0]
+
+    def test_series_endpoints(self):
+        cdf = EmpiricalCdf.from_samples([0.0, 0.25, 0.75, 1.0])
+        series = cdf.series(5)
+        assert series[0][0] == 0.0
+        assert series[-1] == (1.0, 1.0)
+
+    def test_unsorted_input_handled(self):
+        cdf = EmpiricalCdf.from_samples([3.0, 1.0, 2.0])
+        assert cdf.at(1.5) == pytest.approx(1 / 3)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        cdf = EmpiricalCdf.from_samples(rng.random(100).tolist())
+        xs = np.linspace(0, 1, 50)
+        values = cdf.evaluate(xs)
+        assert np.all(np.diff(values) >= 0)

@@ -1,0 +1,58 @@
+"""Tests for the CHR distribution analyses (Figures 4 and 7)."""
+
+import pytest
+
+from repro.analysis.chrdist import chr_cdf, chr_cdf_for_zones, chr_split
+from repro.core.hitrate import HitRateTable, RRHitRate
+from repro.dns.message import RRType
+
+
+def make_table(spec, day="t"):
+    rates = {}
+    for name, (below, above) in spec.items():
+        key = (name, RRType.A, "1.1.1.1")
+        rates[key] = RRHitRate(key, below, above)
+    return HitRateTable(rates, day=day)
+
+
+@pytest.fixture
+def table():
+    spec = {"www.bank.com": (100, 2), "mail.bank.com": (50, 2)}
+    spec.update({f"h{i}.avqs.mcafee.com": (1, 1) for i in range(6)})
+    return make_table(spec)
+
+
+class TestChrCdf:
+    def test_all_samples(self, table):
+        cdf = chr_cdf(table)
+        # 2+2 popular misses + 6 disposable misses = 10 samples.
+        assert len(cdf) == 10
+        assert cdf.at(0.0) == pytest.approx(0.6)
+
+    def test_zone_restriction(self, table):
+        cdf = chr_cdf_for_zones(table, ["avqs.mcafee.com"])
+        assert len(cdf) == 6
+        assert cdf.at(0.0) == 1.0
+
+    def test_zone_restriction_popular(self, table):
+        cdf = chr_cdf_for_zones(table, ["bank.com"])
+        assert len(cdf) == 4
+        assert cdf.at(0.0) == 0.0
+
+
+class TestChrSplit:
+    def test_split(self, table):
+        # Names h{i}.avqs.mcafee.com sit at depth 4 under the zone.
+        split = chr_split(table, {("avqs.mcafee.com", 4)})
+        assert split.disposable_zero_fraction == 1.0
+        assert split.non_disposable_median > 0.9
+        assert split.non_disposable_fraction_above(0.58) == 1.0
+
+    def test_split_no_groups(self, table):
+        split = chr_split(table, set())
+        assert len(split.disposable) == 0
+        assert len(split.non_disposable) == 10
+
+    def test_day_carried(self, table):
+        split = chr_split(table, set())
+        assert split.day == "t"

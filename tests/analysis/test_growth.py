@@ -1,0 +1,54 @@
+"""Tests for the Figure 13 growth-series analysis."""
+
+import pytest
+
+from repro.analysis.growth import growth_series
+from repro.core.miner import DisposableZoneFinding
+from repro.core.ranking import DailyMiningResult
+
+
+def result(day, queried_frac, resolved_frac, rr_frac, n_zones=3):
+    queried = 1000
+    resolved = 800
+    rrs = 1200
+    findings = [DisposableZoneFinding(f"z{i}.zone{i}.com", 4, 0.95, 20)
+                for i in range(n_zones)]
+    return DailyMiningResult(
+        day=day, findings=findings,
+        queried_domains=queried, resolved_domains=resolved, distinct_rrs=rrs,
+        disposable_queried=int(queried * queried_frac),
+        disposable_resolved=int(resolved * resolved_frac),
+        disposable_rrs=int(rrs * rr_frac))
+
+
+class TestGrowthSeries:
+    def test_points(self):
+        series = growth_series([
+            result("d1", 0.23, 0.27, 0.38),
+            result("d2", 0.27, 0.37, 0.65),
+        ])
+        assert len(series.points) == 2
+        assert series.first.day == "d1"
+        assert series.last.day == "d2"
+        assert series.queried_growth() == pytest.approx(0.04, abs=0.01)
+        assert series.resolved_growth() == pytest.approx(0.10, abs=0.01)
+        assert series.rr_growth() == pytest.approx(0.27, abs=0.01)
+
+    def test_monotonic_check_with_slack(self):
+        series = growth_series([
+            result("d1", 0.23, 0.27, 0.38),
+            result("d2", 0.25, 0.26, 0.45),  # tiny dip in resolved
+            result("d3", 0.27, 0.37, 0.65),
+        ])
+        assert series.is_monotonic_increasing("resolved_fraction", slack=0.02)
+        assert not series.is_monotonic_increasing("resolved_fraction",
+                                                  slack=0.0)
+
+    def test_zone_counts(self):
+        series = growth_series([result("d1", 0.2, 0.2, 0.2, n_zones=5)])
+        assert series.points[0].n_disposable_zones == 5
+        assert series.total_distinct_zones() == 5
+
+    def test_2ld_count(self):
+        series = growth_series([result("d1", 0.2, 0.2, 0.2, n_zones=4)])
+        assert series.points[0].n_disposable_2lds == 4

@@ -1,0 +1,81 @@
+"""Tests for the long-tail analyses (Figure 3, Tables I-II)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tail import (dhr_cdf, lookup_volume_distribution,
+                                 lookup_volume_tail_row, zero_dhr_tail_row)
+from repro.core.hitrate import HitRateTable, RRHitRate
+from repro.dns.message import RRType
+
+
+def make_table(spec, day="t"):
+    """spec: {name: (below, above)}"""
+    rates = {}
+    for name, (below, above) in spec.items():
+        key = (name, RRType.A, "1.1.1.1")
+        rates[key] = RRHitRate(key, below, above)
+    return HitRateTable(rates, day=day)
+
+
+@pytest.fixture
+def table():
+    spec = {"hot.com": (500, 2), "warm.com": (12, 4)}
+    # 8 disposable one-shot names.
+    spec.update({f"x{i}.d.net": (1, 1) for i in range(8)})
+    return make_table(spec)
+
+
+GROUPS = {("d.net", 3)}
+
+
+class TestDistributions:
+    def test_lookup_volume_sorted_descending(self, table):
+        volumes = lookup_volume_distribution(table)
+        assert volumes[0] == 500
+        assert np.all(np.diff(volumes) <= 0)
+
+    def test_dhr_cdf(self, table):
+        cdf = dhr_cdf(table)
+        # 8 of 10 RRs have DHR 0.
+        assert cdf.at(0.0) == pytest.approx(0.8)
+
+
+class TestTableOne:
+    def test_row(self, table):
+        row = lookup_volume_tail_row(table, GROUPS)
+        # Tail (<10 lookups): the 8 disposable names.
+        assert row.tail_size == 8
+        assert row.tail_fraction == pytest.approx(0.8)
+        assert row.disposable_share_of_tail == pytest.approx(1.0)
+        assert row.disposable_in_tail_fraction == pytest.approx(1.0)
+
+    def test_custom_threshold(self, table):
+        row = lookup_volume_tail_row(table, GROUPS, threshold=100)
+        assert row.tail_size == 9  # warm.com joins the tail
+        assert row.disposable_share_of_tail == pytest.approx(8 / 9)
+
+    def test_no_disposable(self, table):
+        row = lookup_volume_tail_row(table, set())
+        assert row.disposable_share_of_tail == 0.0
+        assert row.disposable_in_tail_fraction == 0.0
+
+
+class TestTableTwo:
+    def test_row(self, table):
+        row = zero_dhr_tail_row(table, GROUPS)
+        assert row.tail_size == 8
+        assert row.disposable_share_of_tail == pytest.approx(1.0)
+
+    def test_nonzero_dhr_outside_tail(self):
+        spec = {"half.com": (2, 1)}          # DHR 0.5
+        spec.update({"one.d.net": (1, 1)})   # DHR 0
+        table = make_table(spec)
+        row = zero_dhr_tail_row(table, GROUPS)
+        assert row.tail_size == 1
+        assert row.n_rrs == 2
+
+    def test_empty_table(self):
+        row = zero_dhr_tail_row(make_table({}), GROUPS)
+        assert row.tail_fraction == 0.0
+        assert row.n_rrs == 0

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive artifacts — a simulated day, the SMALL experiment context —
+are session-scoped so the suite builds them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.context import SMALL, ExperimentContext
+from repro.traffic.simulate import (MeasurementDate, PopulationConfig,
+                                    SimulatorConfig, TraceSimulator,
+                                    WorkloadConfig)
+
+
+TINY_DATE = MeasurementDate("2011-11-10", 313, 0.85)
+
+
+def tiny_simulator_config() -> SimulatorConfig:
+    """A seconds-scale simulation for unit-level integration tests."""
+    return SimulatorConfig(
+        n_servers=2,
+        cache_capacity=3_000,
+        population=PopulationConfig(
+            n_popular_sites=40, n_longtail_sites=400,
+            n_extra_disposable=12, cdn_objects=1_500),
+        workload=WorkloadConfig(events_per_day=6_000, n_clients=80))
+
+
+@pytest.fixture(scope="session")
+def tiny_simulator() -> TraceSimulator:
+    return TraceSimulator(tiny_simulator_config())
+
+
+@pytest.fixture(scope="session")
+def tiny_day(tiny_simulator):
+    """One simulated fpDNS day at tiny scale."""
+    return tiny_simulator.run_day(TINY_DATE)
+
+
+@pytest.fixture(scope="session")
+def small_context() -> ExperimentContext:
+    """The SMALL-profile experiment context, shared across the suite."""
+    return ExperimentContext(SMALL)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

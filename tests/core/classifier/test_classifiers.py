@@ -1,0 +1,156 @@
+"""Behavioural tests for all five classifiers behind one interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import (GaussianNaiveBayes, KNearestNeighbors,
+                                   LadTreeClassifier,
+                                   LogisticRegressionClassifier,
+                                   NeuralNetworkClassifier)
+
+ALL_CLASSIFIERS = [
+    ("lad-tree", lambda: LadTreeClassifier(n_rounds=20)),
+    ("naive-bayes", lambda: GaussianNaiveBayes()),
+    ("knn", lambda: KNearestNeighbors(k=3)),
+    ("logistic", lambda: LogisticRegressionClassifier(n_iterations=300)),
+    ("mlp", lambda: NeuralNetworkClassifier(n_iterations=300)),
+]
+
+
+def separable_data(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    neg = rng.normal(loc=[0.0, 0.0], scale=0.4, size=(n // 2, 2))
+    pos = rng.normal(loc=[3.0, 3.0], scale=0.4, size=(n // 2, 2))
+    X = np.vstack([neg, pos])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+@pytest.mark.parametrize("name,factory", ALL_CLASSIFIERS)
+class TestCommonBehaviour:
+    def test_separable_problem_solved(self, name, factory):
+        X, y = separable_data()
+        model = factory().fit(X, y)
+        predictions = model.predict(X)
+        accuracy = float(np.mean(predictions == y))
+        assert accuracy >= 0.95, f"{name} accuracy {accuracy}"
+
+    def test_proba_in_unit_interval(self, name, factory):
+        X, y = separable_data(seed=1)
+        model = factory().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+    def test_unseen_points_follow_clusters(self, name, factory):
+        X, y = separable_data(seed=2)
+        model = factory().fit(X, y)
+        probe = np.array([[0.1, -0.1], [3.2, 2.9]])
+        probabilities = model.predict_proba(probe)
+        assert probabilities[0] < 0.5 < probabilities[1]
+
+    def test_classify_returns_confidence_and_class(self, name, factory):
+        X, y = separable_data(seed=3)
+        model = factory().fit(X, y)
+        confidence, label = model.classify(np.array([3.0, 3.0]))
+        assert label == "disposable"
+        assert confidence >= 0.5
+        confidence, label = model.classify(np.array([0.0, 0.0]))
+        assert label == "non-disposable"
+        assert confidence >= 0.5
+
+    def test_predict_before_fit_raises(self, name, factory):
+        model = factory()
+        with pytest.raises(RuntimeError):
+            model.predict_proba(np.zeros((1, 2)))
+
+    def test_rejects_bad_labels(self, name, factory):
+        X = np.zeros((4, 2))
+        y = np.array([0, 1, 2, 1])
+        with pytest.raises(ValueError):
+            factory().fit(X, y)
+
+    def test_rejects_mismatched_shapes(self, name, factory):
+        X = np.zeros((4, 2))
+        y = np.array([0, 1, 1])
+        with pytest.raises(ValueError):
+            factory().fit(X, y)
+
+
+class TestLadTreeSpecifics:
+    def test_decision_function_monotone_with_proba(self):
+        X, y = separable_data(seed=4)
+        model = LadTreeClassifier(n_rounds=15).fit(X, y)
+        scores = model.decision_function(X)
+        probabilities = model.predict_proba(X)
+        order_s = np.argsort(scores)
+        order_p = np.argsort(probabilities)
+        assert np.array_equal(order_s, order_p)
+
+    def test_more_rounds_do_not_hurt_training_fit(self):
+        X, y = separable_data(seed=5)
+        few = LadTreeClassifier(n_rounds=2).fit(X, y)
+        many = LadTreeClassifier(n_rounds=40).fit(X, y)
+        acc_few = np.mean(few.predict(X) == y)
+        acc_many = np.mean(many.predict(X) == y)
+        assert acc_many >= acc_few
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            LadTreeClassifier(n_rounds=0)
+
+    def test_prior_only_prediction_matches_base_rate_side(self):
+        """With one boosting round on uninformative features, the
+        predicted probability should lean toward the majority class."""
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(100, 2))
+        y = np.array([1] * 80 + [0] * 20)
+        model = LadTreeClassifier(n_rounds=1).fit(X, y)
+        assert model.predict_proba(X).mean() > 0.5
+
+
+class TestKnnSpecifics:
+    def test_k_capped_at_train_size(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        model = KNearestNeighbors(k=10).fit(X, y)
+        assert model.predict_proba(np.array([[0.0]]))[0] < 0.5
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+
+    def test_nearest_neighbor_dominates(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([0, 1])
+        model = KNearestNeighbors(k=2).fit(X, y)
+        assert model.predict_proba(np.array([[9.9]]))[0] > 0.5
+
+
+class TestNaiveBayesSpecifics:
+    def test_handles_constant_feature(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 5.0], [1.0, 6.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNaiveBayes().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.isfinite(probabilities).all()
+        assert probabilities[0] < 0.5 < probabilities[-1]
+
+    def test_prior_reflected_when_features_uninformative(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(100, 1))
+        y = np.array([1] * 90 + [0] * 10)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict_proba(np.array([[0.0]]))[0] > 0.5
+
+
+class TestMlpSpecifics:
+    def test_deterministic_given_seed(self):
+        X, y = separable_data(seed=8)
+        a = NeuralNetworkClassifier(seed=3, n_iterations=100).fit(X, y)
+        b = NeuralNetworkClassifier(seed=3, n_iterations=100).fit(X, y)
+        assert a.predict_proba(X) == pytest.approx(b.predict_proba(X))
+
+    def test_rejects_bad_hidden_units(self):
+        with pytest.raises(ValueError):
+            NeuralNetworkClassifier(hidden_units=0)

@@ -1,0 +1,135 @@
+"""Tests for cross-validation, ROC and model-selection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import (GaussianNaiveBayes, LadTreeClassifier,
+                                   confusion_at, cross_validate,
+                                   evaluate_classifiers, roc_curve,
+                                   stratified_kfold_indices)
+
+
+class TestConfusion:
+    def test_counts(self):
+        y = np.array([1, 1, 0, 0])
+        s = np.array([0.9, 0.2, 0.8, 0.1])
+        c = confusion_at(y, s, 0.5)
+        assert (c.tp, c.fn, c.fp, c.tn) == (1, 1, 1, 1)
+        assert c.true_positive_rate == 0.5
+        assert c.false_positive_rate == 0.5
+        assert c.accuracy == 0.5
+        assert c.precision == 0.5
+
+    def test_threshold_inclusive(self):
+        y = np.array([1])
+        s = np.array([0.5])
+        assert confusion_at(y, s, 0.5).tp == 1
+
+    def test_degenerate_empty_classes(self):
+        c = confusion_at(np.array([1, 1]), np.array([0.9, 0.8]), 0.5)
+        assert c.false_positive_rate == 0.0  # no negatives present
+
+
+class TestStratifiedKFold:
+    def test_partition_is_complete_and_disjoint(self):
+        y = np.array([0] * 17 + [1] * 13)
+        folds = stratified_kfold_indices(y, 5, seed=1)
+        all_indices = np.concatenate(folds)
+        assert sorted(all_indices.tolist()) == list(range(30))
+
+    def test_class_balance_per_fold(self):
+        y = np.array([0] * 50 + [1] * 50)
+        folds = stratified_kfold_indices(y, 10, seed=2)
+        for fold in folds:
+            positives = int(y[fold].sum())
+            assert positives == 5
+
+    def test_rejects_one_fold(self):
+        with pytest.raises(ValueError):
+            stratified_kfold_indices(np.array([0, 1]), 1)
+
+    def test_deterministic_given_seed(self):
+        y = np.array([0, 1] * 20)
+        a = stratified_kfold_indices(y, 4, seed=9)
+        b = stratified_kfold_indices(y, 4, seed=9)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+
+class TestRocCurve:
+    def test_perfect_classifier_auc_one(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_curve(y, s).auc() == pytest.approx(1.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        s = rng.random(2000)
+        assert roc_curve(y, s).auc() == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_classifier_auc_near_zero(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_curve(y, s).auc() == pytest.approx(0.0)
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        s = rng.random(200)
+        curve = roc_curve(y, s)
+        assert np.all(np.diff(curve.tpr) >= 0)
+        assert np.all(np.diff(curve.fpr) >= 0)
+
+    def test_starts_at_origin_ends_at_one_one(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.3, 0.6, 0.2, 0.9])
+        curve = roc_curve(y, s)
+        assert curve.tpr[0] == 0.0 and curve.fpr[0] == 0.0
+        assert curve.tpr[-1] == 1.0 and curve.fpr[-1] == 1.0
+
+    def test_operating_point(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.6, 0.7, 0.9])
+        tpr, fpr = roc_curve(y, s).operating_point(0.65)
+        assert tpr == pytest.approx(1.0)
+        assert fpr == pytest.approx(0.0)
+
+
+class TestCrossValidate:
+    def test_every_sample_scored_once(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 2))
+        X[:20] += 3
+        y = np.array([1] * 20 + [0] * 20)
+        result = cross_validate(lambda: GaussianNaiveBayes(), X, y,
+                                n_folds=5, seed=4)
+        assert result.y_score.shape == (40,)
+        assert len(np.unique(result.fold_ids)) == 5
+
+    def test_good_model_scores_well_out_of_fold(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(0, 0.3, (30, 2)),
+                       rng.normal(3, 0.3, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        result = cross_validate(lambda: LadTreeClassifier(n_rounds=10),
+                                X, y, n_folds=5, seed=6)
+        assert result.auc() > 0.95
+        assert result.confusion_at(0.5).accuracy > 0.9
+
+
+class TestEvaluateClassifiers:
+    def test_summary_keys(self):
+        rng = np.random.default_rng(7)
+        X = np.vstack([rng.normal(0, 0.3, (20, 2)),
+                       rng.normal(3, 0.3, (20, 2))])
+        y = np.array([0] * 20 + [1] * 20)
+        summary = evaluate_classifiers(
+            {"nb": lambda: GaussianNaiveBayes(),
+             "lad": lambda: LadTreeClassifier(n_rounds=5)},
+            X, y, n_folds=4, seed=8)
+        assert set(summary) == {"nb", "lad"}
+        for metrics in summary.values():
+            assert {"auc", "tpr@0.5", "fpr@0.5", "tpr@0.9", "fpr@0.9",
+                    "accuracy@0.5"} <= set(metrics)
+            assert metrics["auc"] > 0.9

@@ -1,0 +1,69 @@
+"""Tests for the weighted regression stump."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier.stump import RegressionStump
+
+
+class TestFit:
+    def test_perfect_split(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        z = np.array([-1.0, -1.0, 1.0, 1.0])
+        stump = RegressionStump().fit(X, z)
+        assert 1.0 < stump.threshold < 10.0
+        assert stump.left_value == pytest.approx(-1.0)
+        assert stump.right_value == pytest.approx(1.0)
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=100)
+        signal = np.concatenate([np.zeros(50), np.ones(50)])
+        X = np.column_stack([noise, signal])
+        z = np.concatenate([-np.ones(50), np.ones(50)])
+        stump = RegressionStump().fit(X, z)
+        assert stump.feature == 1
+
+    def test_weighted_fit_respects_weights(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        z = np.array([0.0, 0.0, 1.0, 5.0])
+        # Heavy weight on the last point pulls the right mean up.
+        w = np.array([1.0, 1.0, 1.0, 100.0])
+        stump = RegressionStump().fit(X, z, w)
+        assert stump.right_value > 3.0
+
+    def test_constant_feature_predicts_mean(self):
+        X = np.ones((5, 1))
+        z = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        stump = RegressionStump().fit(X, z)
+        assert stump.predict(X) == pytest.approx(np.full(5, 3.0))
+
+    def test_rejects_zero_weights(self):
+        X = np.ones((3, 1))
+        z = np.zeros(3)
+        with pytest.raises(ValueError):
+            RegressionStump().fit(X, z, np.zeros(3))
+
+    def test_max_candidates_subsampling_still_reasonable(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((500, 1))
+        z = (X[:, 0] > 0.5).astype(float)
+        stump = RegressionStump().fit(X, z, max_candidates=8)
+        assert 0.3 < stump.threshold < 0.7
+
+
+class TestPredict:
+    def test_threshold_boundary_goes_left(self):
+        stump = RegressionStump(feature=0, threshold=1.0,
+                                left_value=-1.0, right_value=1.0)
+        X = np.array([[1.0], [1.0001]])
+        assert stump.predict(X) == pytest.approx([-1.0, 1.0])
+
+    def test_prediction_reduces_sse(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((200, 3))
+        z = np.where(X[:, 2] > 0.6, 2.0, -1.0) + rng.normal(0, 0.1, 200)
+        stump = RegressionStump().fit(X, z)
+        baseline = np.sum((z - z.mean()) ** 2)
+        fitted = np.sum((z - stump.predict(X)) ** 2)
+        assert fitted < baseline * 0.5

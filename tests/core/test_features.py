@@ -1,0 +1,132 @@
+"""Tests for repro.core.features — the two feature families."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, FeatureExtractor, GroupFeatures
+from repro.core.hitrate import HitRateTable, RRHitRate
+from repro.core.tree import DomainNameTree
+from repro.dns.message import RRType
+
+
+def make_table(spec):
+    """spec: {name: (queries_below, misses_above)}"""
+    rates = {}
+    for name, (below, above) in spec.items():
+        key = (name, RRType.A, "1.1.1.1")
+        rates[key] = RRHitRate(key, below, above)
+    return HitRateTable(rates, day="t")
+
+
+@pytest.fixture
+def disposable_setup():
+    """A disposable-looking zone: random labels, one query each."""
+    names = [f"x{i}qz9k{i}w.avqs.mcafee.com" for i in range(6)]
+    tree = DomainNameTree(names)
+    table = make_table({name: (1, 1) for name in names})
+    return tree, table, names
+
+
+@pytest.fixture
+def popular_setup():
+    """A popular-looking zone: www/mail labels, good hit rates."""
+    names = [f"{label}.bank.com" for label in
+             ("www", "mail", "api", "img", "login", "news")]
+    tree = DomainNameTree(names)
+    table = make_table({name: (100, 2) for name in names})
+    return tree, table, names
+
+
+class TestFeatureVector:
+    def test_vector_order_matches_names(self, disposable_setup):
+        tree, table, names = disposable_setup
+        extractor = FeatureExtractor(tree, table)
+        features = extractor.features_for("avqs.mcafee.com", 4, names)
+        vector = features.vector()
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert vector[0] == features.label_set_size
+        assert vector[6] == features.chr_median
+        assert vector[7] == features.chr_zero_fraction
+
+    def test_disposable_group_features(self, disposable_setup):
+        tree, table, names = disposable_setup
+        extractor = FeatureExtractor(tree, table)
+        features = extractor.features_for("avqs.mcafee.com", 4, names)
+        assert features.group_size == 6
+        assert features.label_set_size == 6  # all labels distinct
+        assert features.entropy_mean > 2.0   # random-ish labels
+        assert features.chr_median == 0.0
+        assert features.chr_zero_fraction == 1.0
+
+    def test_popular_group_features(self, popular_setup):
+        tree, table, names = popular_setup
+        extractor = FeatureExtractor(tree, table)
+        features = extractor.features_for("bank.com", 3, names)
+        assert features.chr_median == pytest.approx(0.98)
+        assert features.chr_zero_fraction == 0.0
+        assert features.entropy_mean < 2.5  # short human labels
+
+    def test_classes_are_separable(self, disposable_setup, popular_setup):
+        tree_d, table_d, names_d = disposable_setup
+        tree_p, table_p, names_p = popular_setup
+        f_d = FeatureExtractor(tree_d, table_d).features_for(
+            "avqs.mcafee.com", 4, names_d)
+        f_p = FeatureExtractor(tree_p, table_p).features_for(
+            "bank.com", 3, names_p)
+        assert f_d.chr_zero_fraction > f_p.chr_zero_fraction
+        assert f_d.chr_median < f_p.chr_median
+        assert f_d.entropy_mean > f_p.entropy_mean
+
+
+class TestAdjacentLabelSemantics:
+    def test_features_use_adjacent_not_leftmost_label(self):
+        """Figure 6 (ii): the leftmost labels of McAfee names are the
+        constant '0'/'4e' prefix; the signal is the hash label adjacent
+        to the zone."""
+        names = [f"0.0.0.4e.h{i}x7q9zw2m.avqs.mcafee.com" for i in range(5)]
+        tree = DomainNameTree(names)
+        table = make_table({name: (1, 1) for name in names})
+        extractor = FeatureExtractor(tree, table)
+        depth = 9
+        features = extractor.features_for("avqs.mcafee.com", depth, names)
+        # Five distinct hash labels adjacent to the zone.
+        assert features.label_set_size == 5
+        assert features.entropy_min > 2.0
+
+    def test_single_shared_adjacent_label(self):
+        names = [f"{i}.a.example.com" for i in range(4)]
+        tree = DomainNameTree(names)
+        table = make_table({name: (1, 1) for name in names})
+        extractor = FeatureExtractor(tree, table)
+        features = extractor.features_for("example.com", 4, names)
+        assert features.label_set_size == 1
+        assert features.entropy_variance == 0.0
+
+
+class TestAllGroupFeatures:
+    def test_one_per_depth(self):
+        names = ["a.z.com", "b.z.com", "1.a.z.com", "2.a.z.com"]
+        tree = DomainNameTree(names)
+        table = make_table({name: (1, 1) for name in names})
+        extractor = FeatureExtractor(tree, table)
+        all_features = extractor.all_group_features("z.com")
+        assert [f.depth for f in all_features] == [3, 4]
+        assert all_features[0].group_size == 2
+        assert all_features[1].group_size == 2
+
+    def test_no_groups_for_leaf_zone(self):
+        tree = DomainNameTree(["a.z.com"])
+        table = make_table({"a.z.com": (1, 1)})
+        extractor = FeatureExtractor(tree, table)
+        assert extractor.all_group_features("a.z.com") == []
+
+    def test_group_with_no_hit_rate_data(self):
+        """Names in the tree but absent from the hit-rate table get
+        the degenerate CHR features (median 0, zero-fraction 1)."""
+        names = ["q1.z.com", "q2.z.com"]
+        tree = DomainNameTree(names)
+        table = make_table({})
+        extractor = FeatureExtractor(tree, table)
+        features = extractor.features_for("z.com", 3, names)
+        assert features.chr_median == 0.0
+        assert features.chr_zero_fraction == 1.0

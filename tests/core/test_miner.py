@@ -1,0 +1,152 @@
+"""Tests for Algorithm 1 — the disposable zone miner."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier.base import BinaryClassifier
+from repro.core.features import FeatureExtractor
+from repro.core.hitrate import HitRateTable, RRHitRate
+from repro.core.miner import DisposableZoneMiner, MinerConfig
+from repro.core.tree import DomainNameTree
+from repro.dns.message import RRType
+
+
+class ChrOracle(BinaryClassifier):
+    """Stand-in classifier: disposable iff the group's CHR-zero
+    fraction (feature 7) is above 0.9 — lets miner tests avoid
+    training noise."""
+
+    def fit(self, X, y):
+        return self
+
+    def predict_proba(self, X):
+        X = np.asarray(X, dtype=float)
+        return np.where(X[:, 7] > 0.9, 0.99, 0.01)
+
+
+def make_world(disposable_names, popular_names):
+    tree = DomainNameTree(list(disposable_names) + list(popular_names))
+    rates = {}
+    for name in disposable_names:
+        key = (name, RRType.A, "1.1.1.1")
+        rates[key] = RRHitRate(key, 1, 1)      # one-shot: DHR 0
+    for name in popular_names:
+        key = (name, RRType.A, "2.2.2.2")
+        rates[key] = RRHitRate(key, 50, 2)     # hot: DHR 0.96
+    table = HitRateTable(rates, day="t")
+    return tree, FeatureExtractor(tree, table)
+
+
+DISPOSABLE = [f"h{i}x9qz.avqs.mcafee.com" for i in range(8)]
+POPULAR = [f"{label}.bank.com" for label in
+           ("www", "mail", "api", "img", "login", "shop")]
+
+
+class TestMining:
+    def test_finds_disposable_group(self):
+        tree, extractor = make_world(DISPOSABLE, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        findings = miner.mine(tree, extractor)
+        assert any(f.zone in ("mcafee.com", "avqs.mcafee.com") and f.depth == 4
+                   for f in findings)
+
+    def test_popular_zone_not_flagged(self):
+        tree, extractor = make_world(DISPOSABLE, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        findings = miner.mine(tree, extractor)
+        assert not any(f.zone == "bank.com" for f in findings)
+
+    def test_flagged_nodes_are_decolored(self):
+        tree, extractor = make_world(DISPOSABLE, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        miner.mine(tree, extractor)
+        for name in DISPOSABLE:
+            assert not tree.is_black(name)
+        for name in POPULAR:
+            assert tree.is_black(name)
+
+    def test_small_groups_skipped(self):
+        few = DISPOSABLE[:3]
+        tree, extractor = make_world(few, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        findings = miner.mine(tree, extractor)
+        assert findings == []
+        assert miner.groups_skipped_small > 0
+
+    def test_threshold_blocks_low_confidence(self):
+        class Lukewarm(ChrOracle):
+            def predict_proba(self, X):
+                X = np.asarray(X, dtype=float)
+                return np.where(X[:, 7] > 0.9, 0.8, 0.01)
+
+        tree, extractor = make_world(DISPOSABLE, POPULAR)
+        miner = DisposableZoneMiner(Lukewarm(),
+                                    MinerConfig(threshold=0.9,
+                                                min_group_size=5))
+        assert miner.mine(tree, extractor) == []
+
+    def test_nested_disposable_zone_found_by_recursion(self):
+        """A disposable group deep under a zone whose adjacent label at
+        the 2LD level is constant — only the recursive descent sees it."""
+        nested = [f"s{i}zk2w.x7telemetry.probe.esoft.com" for i in range(6)]
+        tree, extractor = make_world(nested, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        findings = miner.mine(tree, extractor)
+        assert any(f.depth == 5 for f in findings)
+
+    def test_mixed_zone_groups_classified_independently(self):
+        """One zone with a disposable depth group and a popular depth
+        group: only the disposable one is flagged."""
+        disposable = [f"q{i}w8z1.t.mixed.com" for i in range(6)]
+        popular = [f"{label}.mixed.com" for label in
+                   ("www", "mail", "api", "img", "login")]
+        tree = DomainNameTree(disposable + popular)
+        rates = {}
+        for name in disposable:
+            key = (name, RRType.A, "1.1.1.1")
+            rates[key] = RRHitRate(key, 1, 1)
+        for name in popular:
+            key = (name, RRType.A, "2.2.2.2")
+            rates[key] = RRHitRate(key, 40, 1)
+        extractor = FeatureExtractor(tree, HitRateTable(rates, day="t"))
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        findings = miner.mine(tree, extractor)
+        flagged = {(f.zone, f.depth) for f in findings}
+        assert ("mixed.com", 4) in flagged
+        assert ("mixed.com", 3) not in flagged
+
+    def test_mine_zone_with_no_black_descendants(self):
+        tree, extractor = make_world(DISPOSABLE, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle())
+        assert miner.mine_zone("empty.org", tree, extractor) == []
+
+    def test_findings_as_groups(self):
+        tree, extractor = make_world(DISPOSABLE, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        findings = miner.mine(tree, extractor)
+        groups = DisposableZoneMiner.findings_as_groups(findings)
+        assert all(isinstance(zone, str) and isinstance(depth, int)
+                   for zone, depth in groups)
+
+    def test_confidence_recorded(self):
+        tree, extractor = make_world(DISPOSABLE, POPULAR)
+        miner = DisposableZoneMiner(ChrOracle(), MinerConfig(min_group_size=5))
+        findings = miner.mine(tree, extractor)
+        assert findings
+        assert all(f.confidence >= 0.9 for f in findings)
+
+
+class TestMinerConfig:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MinerConfig(threshold=0.0)
+        with pytest.raises(ValueError):
+            MinerConfig(threshold=1.5)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            MinerConfig(min_group_size=0)
+
+    def test_defaults_match_paper(self):
+        config = MinerConfig()
+        assert config.threshold == 0.9  # Algorithm 1 line 5

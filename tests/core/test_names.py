@@ -1,0 +1,131 @@
+"""Tests for repro.core.names — domain-name utilities."""
+
+import math
+
+import pytest
+
+from repro.core.names import (InvalidDomainError, is_subdomain, label_count,
+                              labels, nld, normalize, parent, shannon_entropy)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert normalize("  example.com ") == "example.com"
+
+    def test_single_label(self):
+        assert normalize("com") == "com"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDomainError):
+            normalize("")
+
+    def test_rejects_bare_root(self):
+        with pytest.raises(InvalidDomainError):
+            normalize(".")
+
+    def test_rejects_empty_interior_label(self):
+        with pytest.raises(InvalidDomainError):
+            normalize("a..example.com")
+
+    def test_rejects_leading_dot(self):
+        with pytest.raises(InvalidDomainError):
+            normalize(".example.com")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(InvalidDomainError):
+            normalize(42)  # type: ignore[arg-type]
+
+
+class TestLabels:
+    def test_splits(self):
+        assert labels("a.example.com") == ["a", "example", "com"]
+
+    def test_single(self):
+        assert labels("com") == ["com"]
+
+    def test_count(self):
+        assert label_count("www.example.com") == 3
+        assert label_count("com") == 1
+
+
+class TestNld:
+    def test_paper_example(self):
+        # Section III-B: d = a.example.com
+        d = "a.example.com"
+        assert nld(d, 1) == "com"
+        assert nld(d, 2) == "example.com"
+        assert nld(d, 3) == "a.example.com"
+
+    def test_n_larger_than_labels_returns_whole(self):
+        assert nld("example.com", 5) == "example.com"
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            nld("example.com", 0)
+
+    def test_normalizes(self):
+        assert nld("WWW.Example.COM.", 2) == "example.com"
+
+
+class TestParent:
+    def test_simple(self):
+        assert parent("a.example.com") == "example.com"
+
+    def test_tld_has_no_parent(self):
+        assert parent("com") is None
+
+    def test_two_labels(self):
+        assert parent("example.com") == "com"
+
+
+class TestIsSubdomain:
+    def test_self(self):
+        assert is_subdomain("example.com", "example.com")
+
+    def test_child(self):
+        assert is_subdomain("a.example.com", "example.com")
+
+    def test_deep_descendant(self):
+        assert is_subdomain("x.y.z.example.com", "example.com")
+
+    def test_sibling_is_not(self):
+        assert not is_subdomain("other.com", "example.com")
+
+    def test_suffix_string_but_not_label_boundary(self):
+        # notexample.com ends with "example.com" as a string but is
+        # NOT a subdomain — the label boundary matters.
+        assert not is_subdomain("notexample.com", "example.com")
+
+    def test_parent_is_not_subdomain_of_child(self):
+        assert not is_subdomain("example.com", "a.example.com")
+
+
+class TestShannonEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy("") == 0.0
+
+    def test_single_char_class_is_zero(self):
+        assert shannon_entropy("aaaa") == 0.0
+
+    def test_two_equal_classes_is_one_bit(self):
+        assert shannon_entropy("abab") == pytest.approx(1.0)
+
+    def test_uniform_four_classes(self):
+        assert shannon_entropy("abcd") == pytest.approx(2.0)
+
+    def test_monotone_with_diversity(self):
+        # More character diversity -> higher entropy.
+        assert shannon_entropy("aab") < shannon_entropy("abc")
+
+    def test_random_looking_label_beats_www(self):
+        assert shannon_entropy("13cfus2drmdq3j8cafidezr8l6") > shannon_entropy("www")
+
+    def test_bounded_by_log_alphabet(self):
+        label = "0a1b2c3d4e"
+        assert shannon_entropy(label) <= math.log2(len(set(label))) + 1e-9

@@ -1,0 +1,134 @@
+"""Tests for the zone profiler and LAD-tree attribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import LadTreeClassifier
+from repro.core.features import FEATURE_NAMES
+from repro.core.hitrate import HitRateTable, RRHitRate
+from repro.core.profile import ZoneProfiler, lad_tree_attribution
+from repro.core.tree import DomainNameTree
+from repro.dns.message import RRType
+
+
+def make_world():
+    disposable = [f"q{i}w8xz2.avqs.mcafee.com" for i in range(8)]
+    popular = [f"{label}.bank.com" for label in
+               ("www", "mail", "api", "img", "login", "shop")]
+    tree = DomainNameTree(disposable + popular)
+    rates = {}
+    for name in disposable:
+        key = (name, RRType.A, "1.1.1.1")
+        rates[key] = RRHitRate(key, 1, 1)
+    for name in popular:
+        key = (name, RRType.A, "2.2.2.2")
+        rates[key] = RRHitRate(key, 50, 2)
+    return tree, HitRateTable(rates, day="t"), disposable, popular
+
+
+def trained_classifier(tree, table, disposable_zone, popular_zone):
+    from repro.core.features import FeatureExtractor
+    extractor = FeatureExtractor(tree, table)
+    d_groups = tree.depth_groups(disposable_zone)
+    p_groups = tree.depth_groups(popular_zone)
+    rows, labels = [], []
+    for depth, group in d_groups.items():
+        rows.append(extractor.features_for(disposable_zone, depth,
+                                           group).vector())
+        labels.append(1)
+    for depth, group in p_groups.items():
+        rows.append(extractor.features_for(popular_zone, depth,
+                                           group).vector())
+        labels.append(0)
+    # Tiny training set: replicate rows with jitter for stability.
+    X = np.vstack(rows * 10)
+    y = np.array(labels * 10)
+    rng = np.random.default_rng(0)
+    X = X + rng.normal(0, 0.01, X.shape)
+    return LadTreeClassifier(n_rounds=10).fit(X, y)
+
+
+class TestAttribution:
+    def test_contributions_sum_to_score(self):
+        tree, table, disposable, popular = make_world()
+        model = trained_classifier(tree, table, "avqs.mcafee.com",
+                                   "bank.com")
+        x = np.ones(len(FEATURE_NAMES))
+        contributions = lad_tree_attribution(model, x)
+        total = sum(contributions.values())
+        score = float(model.decision_function(x.reshape(1, -1))[0])
+        assert total == pytest.approx(score, abs=1e-9)
+
+    def test_prior_always_present(self):
+        tree, table, disposable, popular = make_world()
+        model = trained_classifier(tree, table, "avqs.mcafee.com",
+                                   "bank.com")
+        contributions = lad_tree_attribution(model,
+                                             np.zeros(len(FEATURE_NAMES)))
+        assert "<prior>" in contributions
+
+    def test_feature_names_used(self):
+        tree, table, disposable, popular = make_world()
+        model = trained_classifier(tree, table, "avqs.mcafee.com",
+                                   "bank.com")
+        contributions = lad_tree_attribution(model,
+                                             np.zeros(len(FEATURE_NAMES)))
+        known = set(FEATURE_NAMES) | {"<prior>"}
+        assert set(contributions) <= known
+
+
+class TestZoneProfiler:
+    @pytest.fixture
+    def profiler(self):
+        tree, table, disposable, popular = make_world()
+        model = trained_classifier(tree, table, "avqs.mcafee.com",
+                                   "bank.com")
+        return ZoneProfiler(tree, table, model)
+
+    def test_disposable_zone_profiled_disposable(self, profiler):
+        profile = profiler.profile("avqs.mcafee.com")
+        assert len(profile.groups) == 1
+        assert profile.groups[0].is_disposable
+        assert profile.disposable_depths(threshold=0.5) == [4]
+
+    def test_popular_zone_profiled_clean(self, profiler):
+        profile = profiler.profile("bank.com")
+        assert not profile.groups[0].is_disposable
+        assert profile.disposable_depths() == []
+
+    def test_sample_names_capped(self, profiler):
+        profile = profiler.profile("avqs.mcafee.com", max_samples=2)
+        assert len(profile.sample_names[4]) == 2
+
+    def test_top_drivers_nonempty_for_lad(self, profiler):
+        profile = profiler.profile("avqs.mcafee.com")
+        drivers = profile.groups[0].top_drivers()
+        assert drivers
+        assert all(name != "<prior>" for name, _ in drivers)
+
+    def test_render(self, profiler):
+        text = profiler.profile("avqs.mcafee.com").render()
+        assert "Zone profile" in text
+        assert "disposable" in text
+        assert "sample names" in text
+
+    def test_empty_zone(self, profiler):
+        profile = profiler.profile("nothing.org")
+        assert profile.groups == []
+
+    def test_non_lad_classifier_no_attribution(self):
+        from repro.core.classifier import GaussianNaiveBayes
+        tree, table, disposable, popular = make_world()
+        from repro.core.features import FeatureExtractor
+        extractor = FeatureExtractor(tree, table)
+        groups = tree.depth_groups("avqs.mcafee.com")
+        X = np.vstack([extractor.features_for("avqs.mcafee.com", d,
+                                              g).vector()
+                       for d, g in groups.items()] * 4)
+        y = np.array([1] * len(X))
+        y[: len(X) // 2] = 0  # arbitrary split just to fit
+        model = GaussianNaiveBayes().fit(X, y)
+        profiler = ZoneProfiler(tree, table, model)
+        profile = profiler.profile("avqs.mcafee.com")
+        assert profile.groups[0].attribution is None
+        assert profile.groups[0].top_drivers() == []

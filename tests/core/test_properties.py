@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core data structures.
+
+Invariants covered: name normalisation/NLD algebra, entropy bounds,
+tree structure vs. insertion set, decoloring conservation, cache LRU
+invariants, hit-rate algebra, CDF monotonicity, and ROC monotonicity.
+"""
+
+import math
+import string
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.core.classifier.model_selection import roc_curve
+from repro.core.hitrate import RRHitRate
+from repro.core.names import (is_subdomain, label_count, labels, nld,
+                              normalize, parent, shannon_entropy)
+from repro.core.tree import DomainNameTree
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+# -- strategies ----------------------------------------------------------
+
+label_st = st.text(alphabet=string.ascii_lowercase + string.digits,
+                   min_size=1, max_size=12)
+domain_st = st.lists(label_st, min_size=1, max_size=6).map(".".join)
+domain_set_st = st.sets(domain_st, min_size=1, max_size=30)
+
+
+class TestNameProperties:
+    @given(domain_st)
+    def test_normalize_idempotent(self, name):
+        assert normalize(normalize(name)) == normalize(name)
+
+    @given(domain_st)
+    def test_labels_roundtrip(self, name):
+        assert ".".join(labels(name)) == normalize(name)
+
+    @given(domain_st, st.integers(min_value=1, max_value=8))
+    def test_nld_is_suffix(self, name, n):
+        suffix = nld(name, n)
+        assert normalize(name).endswith(suffix)
+        assert label_count(suffix) == min(n, label_count(name))
+
+    @given(domain_st)
+    def test_parent_chain_terminates_at_tld(self, name):
+        current = normalize(name)
+        for _ in range(label_count(name) - 1):
+            current = parent(current)
+            assert current is not None
+        assert parent(current) is None
+
+    @given(domain_st)
+    def test_every_name_subdomain_of_all_its_suffixes(self, name):
+        for n in range(1, label_count(name) + 1):
+            assert is_subdomain(name, nld(name, n))
+
+    @given(label_st)
+    def test_entropy_bounds(self, label):
+        entropy = shannon_entropy(label)
+        assert 0.0 <= entropy <= math.log2(max(len(set(label)), 1)) + 1e-9
+
+    @given(label_st, st.integers(min_value=2, max_value=5))
+    def test_entropy_invariant_under_repetition(self, label, k):
+        # Character distribution unchanged by repeating the string.
+        assert shannon_entropy(label * k) == \
+            __import__("pytest").approx(shannon_entropy(label))
+
+
+class TestTreeProperties:
+    @given(domain_set_st)
+    def test_black_count_equals_insertions(self, names):
+        tree = DomainNameTree(names)
+        assert tree.black_count == len({normalize(n) for n in names})
+        for name in names:
+            assert tree.is_black(name)
+
+    @given(domain_set_st)
+    def test_depth_groups_partition_black_descendants(self, names):
+        tree = DomainNameTree(names)
+        for zone in list(names)[:5]:
+            groups = tree.depth_groups(zone)
+            flattened = [n for group in groups.values() for n in group]
+            assert len(flattened) == len(set(flattened))
+            for depth, group in groups.items():
+                for member in group:
+                    assert label_count(member) == depth
+                    assert is_subdomain(member, zone)
+                    assert normalize(member) != normalize(zone)
+
+    @given(domain_set_st)
+    def test_decolor_all_empties_tree(self, names):
+        tree = DomainNameTree(names)
+        changed = tree.decolor_group(list(names))
+        assert changed == tree.black_count + changed  # black_count now 0
+        assert tree.black_count == 0
+
+    @given(domain_set_st)
+    def test_adjacent_labels_are_real_labels(self, names):
+        tree = DomainNameTree(names)
+        for zone in list(names)[:3]:
+            groups = tree.depth_groups(zone)
+            for depth, group in groups.items():
+                for adjacent, member in zip(
+                        tree.adjacent_labels(zone, group), group):
+                    assert adjacent in labels(member)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(domain_st,
+                              st.integers(min_value=1, max_value=600)),
+                    min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=16))
+    def test_capacity_never_exceeded(self, inserts, capacity):
+        cache = LruDnsCache(capacity)
+        for i, (name, ttl) in enumerate(inserts):
+            response = Response(
+                Question(name), RCode.NOERROR,
+                [ResourceRecord(name, RRType.A, ttl, "1.1.1.1")])
+            cache.insert(response, float(i))
+            assert len(cache) <= capacity
+
+    @given(st.lists(domain_st, min_size=1, max_size=40))
+    def test_lookup_after_insert_within_ttl_hits(self, names):
+        cache = LruDnsCache(1000)
+        for i, name in enumerate(names):
+            response = Response(
+                Question(name), RCode.NOERROR,
+                [ResourceRecord(name, RRType.A, 10_000, "1.1.1.1")])
+            cache.insert(response, float(i))
+        # The most recent insert is always still cached.
+        last = names[-1]
+        assert cache.lookup(Question(last), float(len(names))) is not None
+
+    @given(st.integers(min_value=1, max_value=1000),
+           st.integers(min_value=0, max_value=2000))
+    def test_ttl_expiry_boundary(self, ttl, elapsed):
+        cache = LruDnsCache(10)
+        response = Response(
+            Question("a.com"), RCode.NOERROR,
+            [ResourceRecord("a.com", RRType.A, ttl, "1.1.1.1")])
+        cache.insert(response, 0.0)
+        hit = cache.lookup(Question("a.com"), float(elapsed)) is not None
+        assert hit == (elapsed < ttl)
+
+
+class TestHitRateProperties:
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    def test_dhr_in_unit_interval(self, below, above):
+        rate = RRHitRate(("a.com", RRType.A, "x"), below, above)
+        assert 0.0 <= rate.domain_hit_rate <= 1.0
+        assert rate.hits + min(above, below) == below or below == 0
+
+    @given(st.integers(min_value=1, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_chr_samples_count_equals_misses(self, below, above):
+        rate = RRHitRate(("a.com", RRType.A, "x"), below, above)
+        assert len(rate.chr_samples()) == above
+
+
+class TestCdfProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False),
+                    min_size=1, max_size=200))
+    def test_cdf_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCdf.from_samples(samples)
+        xs = np.linspace(-0.5, 1.5, 41)
+        values = cdf.evaluate(xs)
+        assert np.all(np.diff(values) >= 0)
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False),
+                    min_size=1, max_size=100))
+    def test_at_max_is_one(self, samples):
+        cdf = EmpiricalCdf.from_samples(samples)
+        assert cdf.at(max(samples)) == 1.0
+
+
+class TestRocProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1),
+                              st.floats(min_value=0.0, max_value=1.0,
+                                        allow_nan=False)),
+                    min_size=4, max_size=200))
+    def test_roc_monotone_and_auc_bounded(self, pairs):
+        y = np.array([label for label, _ in pairs])
+        s = np.array([score for _, score in pairs])
+        assume(y.sum() > 0 and (1 - y).sum() > 0)
+        curve = roc_curve(y, s)
+        assert np.all(np.diff(curve.tpr) >= -1e-12)
+        assert np.all(np.diff(curve.fpr) >= -1e-12)
+        assert -0.01 <= curve.auc() <= 1.01

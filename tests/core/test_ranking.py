@@ -1,0 +1,100 @@
+"""Tests for the daily ranking pipeline (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier.base import BinaryClassifier
+from repro.core.hitrate import compute_hit_rates
+from repro.core.miner import MinerConfig
+from repro.core.ranking import (DisposableZoneRanker, build_tree_for_day,
+                                name_matches_groups)
+from repro.dns.message import RCode, RRType
+from repro.pdns.records import FpDnsDataset, FpDnsEntry
+
+
+class ChrOracle(BinaryClassifier):
+    def fit(self, X, y):
+        return self
+
+    def predict_proba(self, X):
+        X = np.asarray(X, dtype=float)
+        return np.where(X[:, 7] > 0.9, 0.99, 0.01)
+
+
+class TestNameMatchesGroups:
+    def test_exact_depth_under_zone(self):
+        groups = {("mcafee.com", 4)}
+        assert name_matches_groups("x.avqs.mcafee.com", groups)
+
+    def test_wrong_depth(self):
+        groups = {("mcafee.com", 4)}
+        assert not name_matches_groups("deep.x.avqs.mcafee.com", groups)
+
+    def test_unrelated_zone(self):
+        groups = {("mcafee.com", 4)}
+        assert not name_matches_groups("x.y.other.com", groups)
+
+    def test_deeper_zone_key(self):
+        groups = {("avqs.mcafee.com", 4)}
+        assert name_matches_groups("h4sh.avqs.mcafee.com", groups)
+
+    def test_tld_never_matches(self):
+        assert not name_matches_groups("com", {("mcafee.com", 4)})
+
+
+class TestBuildTreeForDay:
+    def test_only_resolved_names_are_black(self):
+        ds = FpDnsDataset(day="t")
+        ds.below.append(FpDnsEntry(0.0, 1, "ok.site.com", RRType.A,
+                                   RCode.NOERROR, 300, "1.1.1.1"))
+        ds.below.append(FpDnsEntry(1.0, 1, "missing.site.com", RRType.A,
+                                   RCode.NXDOMAIN))
+        tree = build_tree_for_day(ds)
+        assert tree.is_black("ok.site.com")
+        assert not tree.is_black("missing.site.com")
+
+
+class TestRankerOnSimulatedDay:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_day):
+        ranker = DisposableZoneRanker(ChrOracle(),
+                                      MinerConfig(min_group_size=5))
+        return ranker.run_day(tiny_day)
+
+    def test_counts_consistent(self, result, tiny_day):
+        assert result.queried_domains == len(tiny_day.queried_domains())
+        assert result.resolved_domains == len(tiny_day.resolved_domains())
+        assert result.distinct_rrs == len(tiny_day.distinct_rrs())
+        assert 0 <= result.disposable_resolved <= result.resolved_domains
+        assert 0 <= result.disposable_queried <= result.queried_domains
+
+    def test_finds_simulated_disposable_zones(self, result):
+        zones = {finding.zone for finding in result.findings}
+        # The big named services should surface via their 2LD or apex.
+        assert any("mcafee" in zone for zone in zones)
+
+    def test_fractions_in_unit_interval(self, result):
+        for value in (result.queried_fraction, result.resolved_fraction,
+                      result.rr_fraction):
+            assert 0.0 <= value <= 1.0
+
+    def test_resolved_fraction_at_least_queried(self, result):
+        """Queried includes NXDOMAIN names that are never disposable,
+        so the disposable share of resolved names is >= of queried."""
+        assert result.resolved_fraction >= result.queried_fraction - 1e-9
+
+    def test_ranked_findings_sorted(self, result):
+        ranked = result.ranked_findings()
+        confidences = [finding.confidence for finding in ranked]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_disposable_2lds_subset_of_findings(self, result):
+        assert len(result.disposable_2lds) <= max(len(result.findings), 1)
+
+    def test_reuses_precomputed_hit_rates(self, tiny_day):
+        ranker = DisposableZoneRanker(ChrOracle(),
+                                      MinerConfig(min_group_size=5))
+        hit_rates = compute_hit_rates(tiny_day)
+        a = ranker.run_day(tiny_day, hit_rates)
+        b = ranker.run_day(tiny_day)
+        assert a.groups == b.groups

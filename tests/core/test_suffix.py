@@ -1,0 +1,102 @@
+"""Tests for repro.core.suffix — effective-TLD matching."""
+
+import pytest
+
+from repro.core.suffix import SuffixList, default_suffix_list
+
+
+@pytest.fixture(scope="module")
+def suffixes():
+    return default_suffix_list()
+
+
+class TestEffectiveTld:
+    def test_generic_tld(self, suffixes):
+        assert suffixes.effective_tld("www.example.com") == "com"
+
+    def test_multi_label_suffix(self, suffixes):
+        # Section III-B: co.uk is an effective TLD.
+        assert suffixes.effective_tld("www.example.co.uk") == "co.uk"
+
+    def test_com_cn(self, suffixes):
+        assert suffixes.effective_tld("shop.foo.com.cn") == "com.cn"
+
+    def test_unknown_tld_falls_back_to_rightmost(self, suffixes):
+        assert suffixes.effective_tld("foo.zz") == "zz"
+
+    def test_dyndns_zone_is_effective_tld(self, suffixes):
+        # The paper's definition "corrects the omission of dynamic DNS
+        # zones".
+        assert suffixes.effective_tld("myhost.dyndns.org") == "dyndns.org"
+
+    def test_wildcard_rule(self, suffixes):
+        assert suffixes.effective_tld("foo.bar.ck") == "bar.ck"
+
+    def test_wildcard_exception(self, suffixes):
+        assert suffixes.effective_tld("foo.www.ck") == "ck"
+
+    def test_name_that_is_a_tld(self, suffixes):
+        assert suffixes.effective_tld("com") == "com"
+        assert suffixes.is_effective_tld("co.uk")
+
+    def test_contains_protocol(self, suffixes):
+        assert "com" in suffixes
+        assert "example.com" not in suffixes
+
+
+class TestEffective2ld:
+    def test_generic(self, suffixes):
+        assert suffixes.effective_2ld("www.example.com") == "example.com"
+
+    def test_multi_label(self, suffixes):
+        assert suffixes.effective_2ld("a.b.example.co.uk") == "example.co.uk"
+
+    def test_tld_itself_has_none(self, suffixes):
+        assert suffixes.effective_2ld("com") is None
+        assert suffixes.effective_2ld("co.uk") is None
+
+    def test_exact_2ld(self, suffixes):
+        assert suffixes.effective_2ld("example.com") == "example.com"
+
+    def test_dyndns_2ld(self, suffixes):
+        assert suffixes.effective_2ld("a.myhost.dyndns.org") == "myhost.dyndns.org"
+
+
+class TestEffectiveNld:
+    def test_nld_2(self, suffixes):
+        assert suffixes.effective_nld("a.b.example.co.uk", 2) == "example.co.uk"
+
+    def test_nld_3(self, suffixes):
+        assert suffixes.effective_nld("a.b.example.com", 3) == "b.example.com"
+
+    def test_nld_1_is_tld(self, suffixes):
+        assert suffixes.effective_nld("www.example.com", 1) == "com"
+
+    def test_too_short_returns_none(self, suffixes):
+        assert suffixes.effective_nld("example.com", 3) is None
+
+    def test_rejects_bad_n(self, suffixes):
+        with pytest.raises(ValueError):
+            suffixes.effective_nld("example.com", 0)
+
+
+class TestCustomRules:
+    def test_custom_list(self):
+        custom = SuffixList(["com", "internal.corp"])
+        assert custom.effective_tld("db.internal.corp") == "internal.corp"
+        assert custom.effective_2ld("db.internal.corp") == "db.internal.corp"
+
+    def test_extended(self, suffixes):
+        extended = suffixes.extended(["fbcdn.net"])
+        assert extended.effective_tld("x.dns.fbcdn.net") == "fbcdn.net"
+        # Base list unchanged.
+        assert suffixes.effective_tld("x.dns.fbcdn.net") == "net"
+
+    def test_blank_rules_ignored(self):
+        custom = SuffixList(["com", "", "  "])
+        assert custom.effective_tld("a.com") == "com"
+
+    def test_exception_rule_form(self):
+        custom = SuffixList(["com", "*.kawasaki.jp", "!city.kawasaki.jp"])
+        assert custom.effective_tld("foo.kawasaki.jp") == "foo.kawasaki.jp"
+        assert custom.effective_tld("x.city.kawasaki.jp") == "kawasaki.jp"

@@ -1,0 +1,98 @@
+"""Tests for the cross-day zone tracker."""
+
+import pytest
+
+from repro.core.miner import DisposableZoneFinding
+from repro.core.tracking import ZoneTracker
+
+
+def finding(zone, depth=4, confidence=0.95, size=20):
+    return DisposableZoneFinding(zone=zone, depth=depth,
+                                 confidence=confidence, group_size=size)
+
+
+class TestIngestion:
+    def test_new_zone_counting(self):
+        tracker = ZoneTracker()
+        assert tracker.ingest_findings("d1", [finding("a.x.com"),
+                                              finding("b.y.com")]) == 2
+        assert tracker.ingest_findings("d2", [finding("a.x.com"),
+                                              finding("c.z.com")]) == 1
+        assert tracker.total_zones() == 3
+        assert tracker.new_zones_per_day() == {"d1": 2, "d2": 1}
+
+    def test_duplicate_day_rejected(self):
+        tracker = ZoneTracker()
+        tracker.ingest_findings("d1", [])
+        with pytest.raises(ValueError):
+            tracker.ingest_findings("d1", [])
+
+    def test_depth_distinguishes_groups(self):
+        tracker = ZoneTracker()
+        tracker.ingest_findings("d1", [finding("a.x.com", depth=3),
+                                       finding("a.x.com", depth=4)])
+        assert tracker.total_zones() == 2
+
+    def test_first_last_seen_and_persistence(self):
+        tracker = ZoneTracker()
+        tracker.ingest_findings("d1", [finding("a.x.com", confidence=0.91)])
+        tracker.ingest_findings("d2", [finding("a.x.com", confidence=0.99,
+                                               size=50)])
+        tracker.ingest_findings("d3", [])
+        entry = tracker.entries()[0]
+        assert entry.first_seen == "d1"
+        assert entry.last_seen == "d2"
+        assert entry.days_flagged == 2
+        assert entry.max_confidence == 0.99
+        assert entry.max_group_size == 50
+
+    def test_contains(self):
+        tracker = ZoneTracker()
+        tracker.ingest_findings("d1", [finding("a.x.com", depth=4)])
+        assert ("a.x.com", 4) in tracker
+        assert ("a.x.com", 5) not in tracker
+
+
+class TestAggregates:
+    @pytest.fixture
+    def tracker(self):
+        tracker = ZoneTracker()
+        tracker.ingest_findings("d1", [finding("t1.one.com"),
+                                       finding("t2.one.com"),
+                                       finding("t.two.org")])
+        tracker.ingest_findings("d2", [finding("t1.one.com")])
+        return tracker
+
+    def test_total_2lds(self, tracker):
+        # t1.one.com and t2.one.com share the 2LD one.com.
+        assert tracker.total_zones() == 3
+        assert tracker.total_2lds() == 2
+
+    def test_persistent_and_wonders(self, tracker):
+        persistent = {entry.zone for entry in tracker.persistent_zones()}
+        wonders = {entry.zone for entry in tracker.one_day_wonders()}
+        assert persistent == {"t1.one.com"}
+        assert wonders == {"t2.one.com", "t.two.org"}
+
+    def test_discovery_curve(self, tracker):
+        assert tracker.discovery_curve() == [("d1", 3), ("d2", 3)]
+
+    def test_days(self, tracker):
+        assert tracker.days() == ["d1", "d2"]
+
+
+class TestWithMiningResults:
+    def test_ingest_daily_results(self, small_context):
+        from repro.traffic.simulate import PAPER_DATES
+
+        tracker = ZoneTracker()
+        for date in PAPER_DATES:
+            tracker.ingest(small_context.mining_result(date))
+        assert tracker.total_zones() >= 15
+        assert tracker.total_2lds() <= tracker.total_zones()
+        # The big services persist across all six dates.
+        assert len(tracker.persistent_zones(min_days=6)) >= 5
+        curve = tracker.discovery_curve()
+        # Cumulative discovery is non-decreasing.
+        counts = [count for _, count in curve]
+        assert counts == sorted(counts)

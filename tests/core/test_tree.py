@@ -1,0 +1,152 @@
+"""Tests for repro.core.tree — the domain name tree of Section V-A1."""
+
+import pytest
+
+from repro.core.suffix import default_suffix_list
+from repro.core.tree import DomainNameTree
+
+# The paper's Figure 8 example.
+FIG8_NAMES = [
+    "a.example.com",
+    "i.1.a.example.com",
+    "2.a.example.com",
+    "3.a.example.com",
+    "4.b.example.com",
+    "c.example.com",
+]
+
+
+@pytest.fixture
+def fig8_tree():
+    return DomainNameTree(FIG8_NAMES)
+
+
+class TestConstruction:
+    def test_black_count(self, fig8_tree):
+        assert fig8_tree.black_count == len(FIG8_NAMES)
+
+    def test_inserted_names_are_black(self, fig8_tree):
+        for name in FIG8_NAMES:
+            assert fig8_tree.is_black(name)
+
+    def test_intermediate_nodes_are_white(self, fig8_tree):
+        # b.example.com exists only as an ancestor of 4.b.example.com.
+        assert fig8_tree.find("b.example.com") is not None
+        assert not fig8_tree.is_black("b.example.com")
+        assert not fig8_tree.is_black("example.com")
+        assert not fig8_tree.is_black("1.a.example.com")
+
+    def test_duplicate_insert_is_idempotent(self, fig8_tree):
+        fig8_tree.add_domain("a.example.com")
+        assert fig8_tree.black_count == len(FIG8_NAMES)
+
+    def test_depth_matches_label_count(self, fig8_tree):
+        assert fig8_tree.find("com").depth == 1
+        assert fig8_tree.find("example.com").depth == 2
+        assert fig8_tree.find("i.1.a.example.com").depth == 5
+
+    def test_find_missing(self, fig8_tree):
+        assert fig8_tree.find("missing.org") is None
+
+    def test_contains(self, fig8_tree):
+        assert "a.example.com" in fig8_tree
+        assert "nope.example.com" not in fig8_tree
+
+    def test_len_counts_all_nodes(self, fig8_tree):
+        # com, example.com, a, b, c, 1, 2, 3, 4, i == 10 nodes.
+        assert len(fig8_tree) == 10
+
+
+class TestDepthGroups:
+    def test_fig8_groups(self, fig8_tree):
+        # Paper: G3={a,c}, G4={2.a, 3.a, 4.b}, G5={i.1.a}.
+        groups = fig8_tree.depth_groups("example.com")
+        assert sorted(groups[3]) == ["a.example.com", "c.example.com"]
+        assert sorted(groups[4]) == ["2.a.example.com", "3.a.example.com",
+                                     "4.b.example.com"]
+        assert groups[5] == ["i.1.a.example.com"]
+
+    def test_groups_of_missing_zone(self, fig8_tree):
+        assert fig8_tree.depth_groups("other.com") == {}
+
+    def test_groups_exclude_zone_itself(self):
+        tree = DomainNameTree(["example.com", "a.example.com"])
+        groups = tree.depth_groups("example.com")
+        assert 2 not in groups
+        assert groups[3] == ["a.example.com"]
+
+    def test_groups_after_decolor(self, fig8_tree):
+        # Figure 9: decoloring a and c removes G3.
+        fig8_tree.decolor_group(["a.example.com", "c.example.com"])
+        groups = fig8_tree.depth_groups("example.com")
+        assert 3 not in groups
+        assert len(groups[4]) == 3
+
+
+class TestAdjacentLabels:
+    def test_paper_l_sets(self, fig8_tree):
+        # Paper: L3 = {a, c}, L4 = {a, b}, L5 = {a}.
+        groups = fig8_tree.depth_groups("example.com")
+        assert sorted(set(fig8_tree.adjacent_labels(
+            "example.com", groups[3]))) == ["a", "c"]
+        assert sorted(set(fig8_tree.adjacent_labels(
+            "example.com", groups[4]))) == ["a", "b"]
+        assert sorted(set(fig8_tree.adjacent_labels(
+            "example.com", groups[5]))) == ["a"]
+
+    def test_preserves_duplicates(self, fig8_tree):
+        groups = fig8_tree.depth_groups("example.com")
+        labels = fig8_tree.adjacent_labels("example.com", groups[4])
+        assert sorted(labels) == ["a", "a", "b"]
+
+    def test_rejects_non_descendant(self, fig8_tree):
+        with pytest.raises(ValueError):
+            fig8_tree.adjacent_labels("example.com", ["x.other.com"])
+
+    def test_rejects_zone_itself(self, fig8_tree):
+        with pytest.raises(ValueError):
+            fig8_tree.adjacent_labels("example.com", ["example.com"])
+
+
+class TestDecolor:
+    def test_decolor_black(self, fig8_tree):
+        assert fig8_tree.decolor("a.example.com")
+        assert not fig8_tree.is_black("a.example.com")
+        assert fig8_tree.black_count == len(FIG8_NAMES) - 1
+
+    def test_decolor_white_returns_false(self, fig8_tree):
+        assert not fig8_tree.decolor("b.example.com")
+
+    def test_decolor_missing_returns_false(self, fig8_tree):
+        assert not fig8_tree.decolor("zzz.example.com")
+
+    def test_decolor_keeps_node_in_tree(self, fig8_tree):
+        fig8_tree.decolor("a.example.com")
+        assert fig8_tree.find("a.example.com") is not None
+
+    def test_decolor_group_count(self, fig8_tree):
+        changed = fig8_tree.decolor_group(
+            ["a.example.com", "b.example.com", "c.example.com"])
+        assert changed == 2  # b was already white
+
+
+class TestZoneQueries:
+    def test_children_of(self, fig8_tree):
+        children = set(fig8_tree.children_of("example.com"))
+        assert children == {"a.example.com", "b.example.com",
+                            "c.example.com"}
+
+    def test_children_of_missing(self, fig8_tree):
+        assert fig8_tree.children_of("zzz.org") == []
+
+    def test_effective_2lds(self, fig8_tree):
+        suffixes = default_suffix_list()
+        assert fig8_tree.effective_2lds(suffixes) == ["example.com"]
+
+    def test_effective_2lds_multiple(self):
+        tree = DomainNameTree(["a.foo.com", "b.bar.co.uk"])
+        suffixes = default_suffix_list()
+        assert tree.effective_2lds(suffixes) == ["bar.co.uk", "foo.com"]
+
+    def test_black_names(self, fig8_tree):
+        assert sorted(fig8_tree.black_names()) == sorted(FIG8_NAMES)

@@ -1,0 +1,73 @@
+"""Tests for the authoritative hierarchy."""
+
+import pytest
+
+from repro.dns.authority import AuthoritativeHierarchy
+from repro.dns.message import Question, RRType
+from repro.dns.zone import StaticZone, WildcardZone
+
+
+@pytest.fixture
+def hierarchy():
+    h = AuthoritativeHierarchy()
+    static = StaticZone("example.com")
+    static.add_name("www.example.com", RRType.A, 300)
+    h.add_zone(static)
+    h.add_zone(WildcardZone("avqs.mcafee.com", ttl=300))
+    h.add_zone(StaticZone("mcafee.com",
+                          records=None))
+    return h
+
+
+class TestZoneMatching:
+    def test_resolves_static(self, hierarchy):
+        r = hierarchy.resolve(Question("www.example.com"))
+        assert r.is_success
+
+    def test_longest_suffix_wins(self, hierarchy):
+        # avqs.mcafee.com (wildcard) should win over mcafee.com.
+        zone = hierarchy.find_zone("h4sh.avqs.mcafee.com")
+        assert zone.apex == "avqs.mcafee.com"
+
+    def test_parent_zone_for_other_children(self, hierarchy):
+        zone = hierarchy.find_zone("www.mcafee.com")
+        assert zone.apex == "mcafee.com"
+
+    def test_unregistered_is_nxdomain(self, hierarchy):
+        r = hierarchy.resolve(Question("www.unknown-zone.org"))
+        assert r.is_nxdomain
+
+    def test_find_zone_missing(self, hierarchy):
+        assert hierarchy.find_zone("nothing.org") is None
+
+    def test_duplicate_registration_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.add_zone(StaticZone("example.com"))
+
+    def test_contains_and_len(self, hierarchy):
+        assert "example.com" in hierarchy
+        assert "nothing.org" not in hierarchy
+        assert len(hierarchy) == 3
+
+
+class TestStats:
+    def test_query_counting(self, hierarchy):
+        hierarchy.resolve(Question("www.example.com"))
+        hierarchy.resolve(Question("missing.example.com"))
+        hierarchy.resolve(Question("q.unknown.org"))
+        stats = hierarchy.stats
+        assert stats.queries == 3
+        assert stats.noerror == 1
+        assert stats.nxdomain == 2
+
+    def test_per_zone_counter(self, hierarchy):
+        hierarchy.resolve(Question("www.example.com"))
+        hierarchy.resolve(Question("www.example.com"))
+        assert hierarchy.stats.per_zone_queries["example.com"] == 2
+
+    def test_referral_accounting(self, hierarchy):
+        before = hierarchy.stats.referrals
+        hierarchy.resolve(Question("www.example.com"))
+        assert hierarchy.stats.referrals == before + 3
+        hierarchy.resolve(Question("x.unknown.org"))
+        assert hierarchy.stats.referrals == before + 5

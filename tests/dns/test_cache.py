@@ -1,0 +1,162 @@
+"""Tests for the TTL-aware LRU cache — the Section VI-A substrate."""
+
+import pytest
+
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+
+def response_for(name, ttl=300, rdata="1.1.1.1", rcode=RCode.NOERROR):
+    q = Question(name)
+    if rcode is RCode.NXDOMAIN:
+        return Response(q, rcode, [])
+    return Response(q, rcode, [ResourceRecord(name, RRType.A, ttl, rdata)])
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self):
+        cache = LruDnsCache(10)
+        q = Question("a.com")
+        assert cache.lookup(q, 0.0) is None
+        cache.insert(response_for("a.com"), 0.0)
+        answers = cache.lookup(q, 1.0)
+        assert answers is not None
+        assert answers[0].rdata == "1.1.1.1"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses_cold == 1
+
+    def test_ttl_decay_in_answers(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com", ttl=300), 0.0)
+        answers = cache.lookup(Question("a.com"), 100.0)
+        assert answers[0].ttl == 200
+
+    def test_expiry(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com", ttl=300), 0.0)
+        assert cache.lookup(Question("a.com"), 301.0) is None
+        assert cache.stats.misses_expired == 1
+
+    def test_expires_exactly_at_ttl(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com", ttl=300), 0.0)
+        assert cache.lookup(Question("a.com"), 300.0) is None
+
+    def test_keyed_by_type(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com"), 0.0)
+        assert cache.lookup(Question("a.com", RRType.AAAA), 0.0) is None
+
+    def test_ttl_zero_not_cached(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com", ttl=0), 0.0)
+        assert cache.lookup(Question("a.com"), 0.0) is None
+
+    def test_min_ttl_floor(self):
+        # RFC 1536-style implementations hold TTL-0 records anyway.
+        cache = LruDnsCache(10, min_ttl=30)
+        cache.insert(response_for("a.com", ttl=0), 0.0)
+        assert cache.lookup(Question("a.com"), 10.0) is not None
+        assert cache.lookup(Question("a.com"), 31.0) is None
+
+    def test_empty_answers_not_cached(self):
+        cache = LruDnsCache(10)
+        cache.insert(Response(Question("a.com"), RCode.NOERROR, []), 0.0)
+        assert len(cache) == 0
+
+
+class TestLruEviction:
+    def test_capacity_respected(self):
+        cache = LruDnsCache(3)
+        for i in range(5):
+            cache.insert(response_for(f"n{i}.com"), float(i))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+
+    def test_lru_order(self):
+        cache = LruDnsCache(2)
+        cache.insert(response_for("a.com"), 0.0)
+        cache.insert(response_for("b.com"), 1.0)
+        cache.lookup(Question("a.com"), 2.0)  # refresh a
+        cache.insert(response_for("c.com"), 3.0)  # evicts b
+        assert cache.lookup(Question("a.com"), 4.0) is not None
+        assert cache.lookup(Question("b.com"), 4.0) is None
+
+    def test_live_eviction_tracked(self):
+        cache = LruDnsCache(1)
+        cache.insert(response_for("a.com", ttl=1000), 0.0)
+        cache.insert(response_for("b.com", ttl=1000), 1.0)
+        assert cache.stats.evicted_live == 1
+        assert cache.live_eviction_log[0][1] == "a.com"
+
+    def test_expired_eviction_not_live(self):
+        cache = LruDnsCache(1)
+        cache.insert(response_for("a.com", ttl=5), 0.0)
+        cache.insert(response_for("b.com", ttl=1000), 100.0)
+        assert cache.stats.evictions == 1
+        assert cache.stats.evicted_live == 0
+
+    def test_reinsert_same_key_no_eviction(self):
+        cache = LruDnsCache(2)
+        cache.insert(response_for("a.com"), 0.0)
+        cache.insert(response_for("a.com", rdata="2.2.2.2"), 1.0)
+        assert len(cache) == 1
+        answers = cache.lookup(Question("a.com"), 2.0)
+        assert answers[0].rdata == "2.2.2.2"
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LruDnsCache(0)
+
+    def test_rejects_bad_min_ttl(self):
+        with pytest.raises(ValueError):
+            LruDnsCache(10, min_ttl=-1)
+
+
+class TestNegativeCache:
+    def test_disabled_by_default(self):
+        # The monitored ISP's resolvers ignored RFC 2308.
+        cache = LruDnsCache(10)
+        cache.insert(response_for("nx.com", rcode=RCode.NXDOMAIN), 0.0)
+        assert cache.lookup(Question("nx.com"), 1.0) is None
+
+    def test_enabled_caches_nxdomain(self):
+        cache = LruDnsCache(10, negative_ttl=60)
+        cache.insert(response_for("nx.com", rcode=RCode.NXDOMAIN), 0.0)
+        answers = cache.lookup(Question("nx.com"), 1.0)
+        assert answers == []  # negative hit: empty answer list
+        assert cache.stats.negative_hits == 1
+
+    def test_negative_entry_expires(self):
+        cache = LruDnsCache(10, negative_ttl=60)
+        cache.insert(response_for("nx.com", rcode=RCode.NXDOMAIN), 0.0)
+        assert cache.lookup(Question("nx.com"), 61.0) is None
+
+
+class TestMaintenance:
+    def test_contains_peek_does_not_mutate(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com"), 0.0)
+        hits_before = cache.stats.hits
+        assert cache.contains(Question("a.com"), 1.0)
+        assert cache.stats.hits == hits_before
+
+    def test_flush_expired(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com", ttl=10), 0.0)
+        cache.insert(response_for("b.com", ttl=1000), 0.0)
+        assert cache.flush_expired(100.0) == 1
+        assert len(cache) == 1
+
+    def test_utilization(self):
+        cache = LruDnsCache(4)
+        cache.insert(response_for("a.com"), 0.0)
+        assert cache.utilization() == 0.25
+
+    def test_stats_aggregates(self):
+        cache = LruDnsCache(10)
+        cache.insert(response_for("a.com"), 0.0)
+        cache.lookup(Question("a.com"), 1.0)
+        cache.lookup(Question("b.com"), 1.0)
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)

@@ -1,0 +1,111 @@
+"""Model-based testing of the LRU DNS cache.
+
+A deliberately naive reference cache (plain dict + explicit recency
+list, no clever bookkeeping) is driven with the same random operation
+sequences as the real implementation; every lookup outcome must agree.
+This catches interaction bugs (TTL vs LRU vs re-insert ordering) that
+example-based tests miss.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+
+class ReferenceCache:
+    """Obviously-correct LRU+TTL cache: O(n) everything."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: Dict[str, Tuple[float, str]] = {}  # name -> (expiry, rdata)
+        self.recency: List[str] = []  # least recent first
+
+    def lookup(self, name: str, now: float) -> Optional[str]:
+        if name not in self.entries:
+            return None
+        expiry, rdata = self.entries[name]
+        if now >= expiry:
+            del self.entries[name]
+            self.recency.remove(name)
+            return None
+        self.recency.remove(name)
+        self.recency.append(name)
+        return rdata
+
+    def insert(self, name: str, ttl: int, rdata: str, now: float) -> None:
+        if ttl <= 0:
+            return
+        if name in self.entries:
+            self.recency.remove(name)
+        self.entries[name] = (now + ttl, rdata)
+        self.recency.append(name)
+        while len(self.entries) > self.capacity:
+            victim = self.recency.pop(0)
+            del self.entries[victim]
+
+
+# Operations: (kind, name_index, ttl, time_step)
+op_st = st.tuples(
+    st.sampled_from(["lookup", "insert"]),
+    st.integers(min_value=0, max_value=7),     # small namespace -> collisions
+    st.integers(min_value=0, max_value=50),    # TTL
+    st.integers(min_value=0, max_value=30),    # time advance
+)
+
+NAMES = [f"n{i}.model.com" for i in range(8)]
+
+
+class TestCacheAgainstReference:
+    @settings(max_examples=150, deadline=None)
+    @given(ops=st.lists(op_st, min_size=1, max_size=60),
+           capacity=st.integers(min_value=1, max_value=6))
+    def test_lookup_outcomes_match(self, ops, capacity):
+        real = LruDnsCache(capacity)
+        reference = ReferenceCache(capacity)
+        now = 0.0
+        for kind, name_index, ttl, step in ops:
+            now += step
+            name = NAMES[name_index]
+            if kind == "lookup":
+                got = real.lookup(Question(name), now)
+                expected = reference.lookup(name, now)
+                if expected is None:
+                    assert got is None, (name, now)
+                else:
+                    assert got is not None, (name, now)
+                    assert got[0].rdata == expected
+            else:
+                rdata = f"10.0.0.{ttl}"
+                response = Response(
+                    Question(name), RCode.NOERROR,
+                    [ResourceRecord(name, RRType.A, ttl, rdata)])
+                real.insert(response, now)
+                reference.insert(name, ttl, rdata, now)
+            assert len(real) <= capacity
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(op_st, min_size=1, max_size=40))
+    def test_stats_invariants(self, ops):
+        cache = LruDnsCache(4)
+        now = 0.0
+        for kind, name_index, ttl, step in ops:
+            now += step
+            name = NAMES[name_index]
+            if kind == "lookup":
+                cache.lookup(Question(name), now)
+            else:
+                response = Response(
+                    Question(name), RCode.NOERROR,
+                    [ResourceRecord(name, RRType.A, ttl, "1.1.1.1")])
+                cache.insert(response, now)
+        stats = cache.stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.evicted_live <= stats.evictions
+        assert stats.evictions <= stats.inserts

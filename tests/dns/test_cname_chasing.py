@@ -1,0 +1,98 @@
+"""Tests for CNAME chain resolution (RFC 1034 §3.6.2)."""
+
+import pytest
+
+from repro.dns.authority import AuthoritativeHierarchy
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, RRType
+from repro.dns.resolver import RecursiveResolver
+from repro.dns.zone import StaticZone, WildcardZone
+
+
+@pytest.fixture
+def authority():
+    h = AuthoritativeHierarchy()
+    site = StaticZone("shop.com")
+    site.add_name("www.shop.com", RRType.A, 300)
+    site.add_name("assets.shop.com", RRType.CNAME, 300,
+                  rdata="e7.g0.akamai.net")
+    site.add_name("loop-a.shop.com", RRType.CNAME, 300,
+                  rdata="loop-b.shop.com")
+    site.add_name("loop-b.shop.com", RRType.CNAME, 300,
+                  rdata="loop-a.shop.com")
+    site.add_name("dangling.shop.com", RRType.CNAME, 300,
+                  rdata="gone.nowhere-zone.org")
+    h.add_zone(site)
+    h.add_zone(WildcardZone("akamai.net", ttl=60))
+    return h
+
+
+@pytest.fixture
+def resolver(authority):
+    return RecursiveResolver(authority, LruDnsCache(100))
+
+
+class TestChasing:
+    def test_a_query_on_cname_owner_returns_full_chain(self, resolver):
+        result = resolver.resolve(Question("assets.shop.com", RRType.A), 0.0)
+        answers = result.response.answers
+        assert [rr.rtype for rr in answers] == [RRType.CNAME, RRType.A]
+        assert answers[0].name == "assets.shop.com"
+        assert answers[1].name == "e7.g0.akamai.net"
+        assert result.response.is_success
+
+    def test_chain_counts_extra_upstream_queries(self, resolver):
+        resolver.resolve(Question("assets.shop.com", RRType.A), 0.0)
+        assert resolver.upstream_queries == 2
+
+    def test_chain_cached_under_original_question(self, resolver):
+        resolver.resolve(Question("assets.shop.com", RRType.A), 0.0)
+        second = resolver.resolve(Question("assets.shop.com", RRType.A), 1.0)
+        assert second.cache_hit
+        assert len(second.response.answers) == 2
+
+    def test_explicit_cname_query_not_chased(self, resolver):
+        result = resolver.resolve(Question("assets.shop.com", RRType.CNAME),
+                                  0.0)
+        assert [rr.rtype for rr in result.response.answers] == [RRType.CNAME]
+        assert resolver.upstream_queries == 1
+
+    def test_plain_a_query_unchanged(self, resolver):
+        result = resolver.resolve(Question("www.shop.com", RRType.A), 0.0)
+        assert len(result.response.answers) == 1
+        assert resolver.upstream_queries == 1
+
+    def test_cname_loop_terminates(self, resolver):
+        result = resolver.resolve(Question("loop-a.shop.com", RRType.A), 0.0)
+        # Chain capped; the resolver must return rather than spin.
+        assert resolver.upstream_queries <= \
+            RecursiveResolver.MAX_CNAME_CHAIN + 1
+        assert all(rr.rtype is RRType.CNAME
+                   for rr in result.response.answers)
+
+    def test_dangling_cname_yields_nxdomain(self, resolver):
+        result = resolver.resolve(Question("dangling.shop.com", RRType.A),
+                                  0.0)
+        assert result.response.is_nxdomain
+
+    def test_chain_ttl_capped_by_minimum(self, resolver):
+        """The cached entry expires with the chain's shortest TTL
+        (akamai target: 60s < the CNAME's 300s)."""
+        resolver.resolve(Question("assets.shop.com", RRType.A), 0.0)
+        assert resolver.resolve(Question("assets.shop.com", RRType.A),
+                                59.0).cache_hit
+        assert not resolver.resolve(Question("assets.shop.com", RRType.A),
+                                    61.0).cache_hit
+
+
+class TestTapView:
+    def test_collector_records_chain_members_by_owner(self, authority):
+        from repro.dns.resolver import RdnsCluster
+        from repro.pdns.collector import PassiveDnsCollector
+
+        collector = PassiveDnsCollector(day="t")
+        cluster = RdnsCluster(authority, n_servers=1, taps=[collector])
+        cluster.query(0, Question("assets.shop.com", RRType.A), 0.0)
+        names = [(e.qname, e.qtype) for e in collector.dataset.below]
+        assert ("assets.shop.com", RRType.CNAME) in names
+        assert ("e7.g0.akamai.net", RRType.A) in names

@@ -1,0 +1,105 @@
+"""Tests for the DNSSEC cost-model substrate."""
+
+import pytest
+
+from repro.dns.dnssec import (RRSIG_BYTES, ValidatingResolverModel,
+                              ZoneSigner)
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+
+def answer(name, rdata="1.1.1.1", ttl=300):
+    return Response(Question(name), RCode.NOERROR,
+                    [ResourceRecord(name, RRType.A, ttl, rdata)])
+
+
+class TestZoneSigner:
+    def test_unsigned_zone_gets_no_signature(self):
+        signer = ZoneSigner(signed_zones={"signed.com"})
+        r = signer.sign_response(answer("www.other.com"))
+        assert r.signatures == []
+
+    def test_signed_zone_gets_rrsig(self):
+        signer = ZoneSigner(signed_zones={"signed.com"})
+        r = signer.sign_response(answer("www.signed.com"))
+        assert len(r.signatures) == 1
+        assert r.signatures[0].rtype is RRType.RRSIG
+        assert r.signatures[0].name == "www.signed.com"
+
+    def test_per_name_signatures_differ(self):
+        signer = ZoneSigner(signed_zones={"signed.com"})
+        a = signer.sign_response(answer("a.signed.com")).signatures[0]
+        b = signer.sign_response(answer("b.signed.com")).signatures[0]
+        assert a.rdata != b.rdata
+
+    def test_wildcard_signatures_shared(self):
+        signer = ZoneSigner(wildcard_zones={"d.tracker.net"})
+        a = signer.sign_response(answer("a.d.tracker.net")).signatures[0]
+        b = signer.sign_response(answer("b.d.tracker.net")).signatures[0]
+        assert a.rdata == b.rdata
+        assert a.name == "*.d.tracker.net"
+
+    def test_wildcard_apex_signed_by_name(self):
+        signer = ZoneSigner(wildcard_zones={"d.tracker.net"})
+        r = signer.sign_response(answer("d.tracker.net"))
+        assert r.signatures[0].name == "d.tracker.net"
+
+    def test_is_signed(self):
+        signer = ZoneSigner(signed_zones={"signed.com"},
+                            wildcard_zones={"w.net"})
+        assert signer.is_signed("x.signed.com")
+        assert signer.is_signed("y.w.net")
+        assert not signer.is_signed("z.org")
+
+    def test_empty_answers_untouched(self):
+        signer = ZoneSigner(signed_zones={"signed.com"})
+        r = Response(Question("x.signed.com"), RCode.NXDOMAIN, [])
+        assert signer.sign_response(r).signatures == []
+
+
+class TestValidatingResolverModel:
+    def test_each_new_signature_validated(self):
+        signer = ZoneSigner(signed_zones={"s.com"})
+        validator = ValidatingResolverModel()
+        for i in range(5):
+            validator.process_upstream_response(
+                signer.sign_response(answer(f"n{i}.s.com")))
+        assert validator.validations_performed == 5
+        assert validator.validations_skipped_cached == 0
+
+    def test_repeat_signature_cached(self):
+        signer = ZoneSigner(signed_zones={"s.com"})
+        validator = ValidatingResolverModel()
+        r = signer.sign_response(answer("a.s.com"))
+        validator.process_upstream_response(r)
+        validator.process_upstream_response(r)
+        assert validator.validations_performed == 1
+        assert validator.validations_skipped_cached == 1
+
+    def test_wildcard_collapses_validations(self):
+        """The Section VI-B mitigation: one validation covers all
+        children of a wildcard-signed disposable zone."""
+        signer = ZoneSigner(wildcard_zones={"d.net"})
+        validator = ValidatingResolverModel()
+        for i in range(20):
+            validator.process_upstream_response(
+                signer.sign_response(answer(f"x{i}.d.net", rdata=f"r{i}")))
+        assert validator.validations_performed == 1
+        assert validator.validations_skipped_cached == 19
+
+    def test_unsigned_responses_counted(self):
+        validator = ValidatingResolverModel()
+        validator.process_upstream_response(answer("plain.org"))
+        assert validator.unsigned_responses == 1
+        assert validator.validations_performed == 0
+
+    def test_signature_cache_bytes(self):
+        signer = ZoneSigner(signed_zones={"s.com"})
+        validator = ValidatingResolverModel()
+        validator.process_upstream_response(
+            signer.sign_response(answer("a.s.com")))
+        assert validator.signature_cache_bytes == RRSIG_BYTES
+        assert validator.distinct_signatures_cached == 1
+
+    def test_cache_bytes_for(self):
+        validator = ValidatingResolverModel()
+        assert validator.cache_bytes_for(10) > 0

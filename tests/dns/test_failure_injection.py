@@ -1,0 +1,104 @@
+"""Failure-injection tests: SERVFAIL, flapping authorities, cache
+poisoning-adjacent edge cases the substrate must survive."""
+
+import pytest
+
+from repro.dns.authority import AuthoritativeHierarchy
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import (Question, RCode, ResourceRecord, Response,
+                               RRType)
+from repro.dns.resolver import RdnsCluster, RecursiveResolver
+from repro.dns.zone import CallbackZone, StaticZone
+
+
+class FlakyZone(CallbackZone):
+    """Answers SERVFAIL for the first ``failures`` queries, then OK."""
+
+    def __init__(self, apex, failures):
+        self.remaining_failures = failures
+
+        def respond(question):
+            if self.remaining_failures > 0:
+                self.remaining_failures -= 1
+                return Response(question, RCode.SERVFAIL, [])
+            return Response(question, RCode.NOERROR, [
+                ResourceRecord(question.qname, RRType.A, 300, "9.9.9.9")])
+
+        super().__init__(apex, respond)
+
+
+class TestServfailHandling:
+    def test_servfail_not_cached(self):
+        authority = AuthoritativeHierarchy()
+        authority.add_zone(FlakyZone("flaky.com", failures=1))
+        resolver = RecursiveResolver(authority, LruDnsCache(10))
+        first = resolver.resolve(Question("www.flaky.com"), 0.0)
+        assert first.response.rcode is RCode.SERVFAIL
+        # Retry must reach upstream again (no caching of SERVFAIL) and
+        # now succeed.
+        second = resolver.resolve(Question("www.flaky.com"), 1.0)
+        assert not second.cache_hit
+        assert second.response.is_success
+
+    def test_recovery_answer_cached_normally(self):
+        authority = AuthoritativeHierarchy()
+        authority.add_zone(FlakyZone("flaky.com", failures=1))
+        resolver = RecursiveResolver(authority, LruDnsCache(10))
+        resolver.resolve(Question("www.flaky.com"), 0.0)  # SERVFAIL
+        resolver.resolve(Question("www.flaky.com"), 1.0)  # OK, cached
+        third = resolver.resolve(Question("www.flaky.com"), 2.0)
+        assert third.cache_hit
+
+    def test_servfail_not_negative_cached(self):
+        """Negative caching applies to NXDOMAIN only (RFC 2308), never
+        to SERVFAIL."""
+        authority = AuthoritativeHierarchy()
+        authority.add_zone(FlakyZone("flaky.com", failures=2))
+        resolver = RecursiveResolver(authority,
+                                     LruDnsCache(10, negative_ttl=300))
+        resolver.resolve(Question("www.flaky.com"), 0.0)
+        second = resolver.resolve(Question("www.flaky.com"), 1.0)
+        assert not second.cache_hit
+        assert second.response.rcode is RCode.SERVFAIL
+
+
+class TestRdataChange:
+    def test_authority_rdata_change_visible_after_expiry(self):
+        """When the authoritative answer changes, the resolver serves
+        stale data until the TTL runs out, then picks up the new one —
+        never a mix."""
+        zone = StaticZone("move.com")
+        zone.add_name("www.move.com", RRType.A, 60, rdata="1.1.1.1")
+        authority = AuthoritativeHierarchy()
+        authority.add_zone(zone)
+        resolver = RecursiveResolver(authority, LruDnsCache(10))
+
+        first = resolver.resolve(Question("www.move.com"), 0.0)
+        assert first.response.answers[0].rdata == "1.1.1.1"
+
+        # The operator renumbers.
+        zone._records[("www.move.com", RRType.A)] = [
+            ResourceRecord("www.move.com", RRType.A, 60, "2.2.2.2")]
+
+        stale = resolver.resolve(Question("www.move.com"), 30.0)
+        assert stale.cache_hit
+        assert stale.response.answers[0].rdata == "1.1.1.1"
+
+        fresh = resolver.resolve(Question("www.move.com"), 61.0)
+        assert not fresh.cache_hit
+        assert fresh.response.answers[0].rdata == "2.2.2.2"
+
+
+class TestClusterUnderFailure:
+    def test_one_flaky_zone_does_not_poison_others(self):
+        authority = AuthoritativeHierarchy()
+        authority.add_zone(FlakyZone("flaky.com", failures=10**6))
+        good = StaticZone("good.com")
+        good.add_name("www.good.com", RRType.A, 300)
+        authority.add_zone(good)
+        cluster = RdnsCluster(authority, n_servers=2, cache_capacity=100)
+        for i in range(10):
+            bad = cluster.query(i, Question("www.flaky.com"), float(i))
+            assert bad.response.rcode is RCode.SERVFAIL
+        ok = cluster.query(0, Question("www.good.com"), 20.0)
+        assert ok.response.is_success

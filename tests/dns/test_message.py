@@ -1,0 +1,76 @@
+"""Tests for DNS message primitives."""
+
+import pytest
+
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+
+
+class TestResourceRecord:
+    def test_normalizes_name(self):
+        rr = ResourceRecord("WWW.Example.COM.", RRType.A, 300, "1.2.3.4")
+        assert rr.name == "www.example.com"
+
+    def test_key_excludes_ttl(self):
+        a = ResourceRecord("a.com", RRType.A, 300, "1.1.1.1")
+        b = ResourceRecord("a.com", RRType.A, 60, "1.1.1.1")
+        assert a.key() == b.key()
+
+    def test_key_includes_rdata(self):
+        a = ResourceRecord("a.com", RRType.A, 300, "1.1.1.1")
+        b = ResourceRecord("a.com", RRType.A, 300, "2.2.2.2")
+        assert a.key() != b.key()
+
+    def test_key_includes_type(self):
+        a = ResourceRecord("a.com", RRType.A, 300, "x")
+        b = ResourceRecord("a.com", RRType.AAAA, 300, "x")
+        assert a.key() != b.key()
+
+    def test_with_ttl(self):
+        rr = ResourceRecord("a.com", RRType.A, 300, "1.1.1.1")
+        decayed = rr.with_ttl(120)
+        assert decayed.ttl == 120
+        assert decayed.key() == rr.key()
+
+    def test_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("a.com", RRType.A, -1, "x")
+
+    def test_frozen(self):
+        rr = ResourceRecord("a.com", RRType.A, 300, "x")
+        with pytest.raises(AttributeError):
+            rr.ttl = 10  # type: ignore[misc]
+
+
+class TestQuestion:
+    def test_normalizes(self):
+        q = Question("WWW.A.COM.")
+        assert q.qname == "www.a.com"
+
+    def test_default_type_is_a(self):
+        assert Question("a.com").qtype is RRType.A
+
+    def test_equality(self):
+        assert Question("a.com") == Question("A.com")
+
+
+class TestResponse:
+    def test_success(self):
+        q = Question("a.com")
+        r = Response(q, RCode.NOERROR,
+                     [ResourceRecord("a.com", RRType.A, 300, "1.1.1.1")])
+        assert r.is_success
+        assert not r.is_nxdomain
+
+    def test_nxdomain(self):
+        r = Response(Question("a.com"), RCode.NXDOMAIN)
+        assert r.is_nxdomain
+        assert not r.is_success
+
+    def test_nodata_is_not_success(self):
+        r = Response(Question("a.com"), RCode.NOERROR, [])
+        assert not r.is_success
+
+    def test_servfail(self):
+        r = Response(Question("a.com"), RCode.SERVFAIL)
+        assert not r.is_success
+        assert not r.is_nxdomain

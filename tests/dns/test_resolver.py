@@ -1,0 +1,127 @@
+"""Tests for the recursive resolver and RDNS cluster."""
+
+import pytest
+
+from repro.dns.authority import AuthoritativeHierarchy
+from repro.dns.cache import LruDnsCache
+from repro.dns.message import Question, RCode, Response, RRType
+from repro.dns.resolver import RdnsCluster, RecursiveResolver
+from repro.dns.zone import StaticZone, WildcardZone
+
+
+def make_authority():
+    h = AuthoritativeHierarchy()
+    z = StaticZone("site.com")
+    z.add_name("www.site.com", RRType.A, 300)
+    h.add_zone(z)
+    h.add_zone(WildcardZone("d.tracker.net", ttl=60))
+    return h
+
+
+class RecordingTap:
+    def __init__(self):
+        self.below = []
+        self.above = []
+
+    def observe_below(self, timestamp, client_id, response):
+        self.below.append((timestamp, client_id, response))
+
+    def observe_above(self, timestamp, response):
+        self.above.append((timestamp, response))
+
+
+class TestRecursiveResolver:
+    def test_miss_goes_upstream_then_hit_is_cached(self):
+        resolver = RecursiveResolver(make_authority(), LruDnsCache(10))
+        first = resolver.resolve(Question("www.site.com"), 0.0)
+        assert not first.cache_hit
+        second = resolver.resolve(Question("www.site.com"), 1.0)
+        assert second.cache_hit
+        assert resolver.upstream_queries == 1
+        assert resolver.answered_queries == 2
+
+    def test_nxdomain_not_cached_without_negative_ttl(self):
+        resolver = RecursiveResolver(make_authority(), LruDnsCache(10))
+        resolver.resolve(Question("missing.site.com"), 0.0)
+        second = resolver.resolve(Question("missing.site.com"), 1.0)
+        assert not second.cache_hit
+        assert resolver.upstream_queries == 2
+
+    def test_negative_cache_hit_is_nxdomain(self):
+        resolver = RecursiveResolver(make_authority(),
+                                     LruDnsCache(10, negative_ttl=60))
+        resolver.resolve(Question("missing.site.com"), 0.0)
+        second = resolver.resolve(Question("missing.site.com"), 1.0)
+        assert second.cache_hit
+        assert second.response.is_nxdomain
+
+    def test_ttl_expiry_causes_upstream(self):
+        resolver = RecursiveResolver(make_authority(), LruDnsCache(10))
+        resolver.resolve(Question("www.site.com"), 0.0)
+        late = resolver.resolve(Question("www.site.com"), 1000.0)
+        assert not late.cache_hit
+        assert resolver.upstream_queries == 2
+
+
+class TestRdnsCluster:
+    def test_client_pinning_stable(self):
+        cluster = RdnsCluster(make_authority(), n_servers=4)
+        assert cluster.server_for(13) == cluster.server_for(13)
+        assert cluster.server_for(13) == 13 % 4
+
+    def test_independent_caches(self):
+        """A record cached on one server is a miss on another — the
+        reason the paper must treat the cluster as a black box."""
+        cluster = RdnsCluster(make_authority(), n_servers=2)
+        q = Question("www.site.com")
+        first = cluster.query(0, q, 0.0)   # server 0
+        second = cluster.query(1, q, 1.0)  # server 1
+        assert not first.cache_hit
+        assert not second.cache_hit
+        third = cluster.query(2, q, 2.0)   # server 0 again
+        assert third.cache_hit
+
+    def test_tap_sees_below_always_above_only_on_miss(self):
+        tap = RecordingTap()
+        cluster = RdnsCluster(make_authority(), n_servers=1, taps=[tap])
+        q = Question("www.site.com")
+        cluster.query(0, q, 0.0)
+        cluster.query(0, q, 1.0)
+        assert len(tap.below) == 2
+        assert len(tap.above) == 1
+
+    def test_tap_sees_nxdomain_above_every_time(self):
+        tap = RecordingTap()
+        cluster = RdnsCluster(make_authority(), n_servers=1, taps=[tap])
+        q = Question("no.such.org")
+        cluster.query(0, q, 0.0)
+        cluster.query(0, q, 1.0)
+        assert len(tap.above) == 2
+        assert all(r.is_nxdomain for _, r in tap.above)
+
+    def test_add_tap_later(self):
+        cluster = RdnsCluster(make_authority(), n_servers=1)
+        tap = RecordingTap()
+        cluster.add_tap(tap)
+        cluster.query(0, Question("www.site.com"), 0.0)
+        assert tap.below
+
+    def test_total_stats(self):
+        cluster = RdnsCluster(make_authority(), n_servers=2)
+        q = Question("www.site.com")
+        cluster.query(0, q, 0.0)
+        cluster.query(0, q, 1.0)
+        cluster.query(1, q, 2.0)
+        stats = cluster.total_stats()
+        assert stats["answered_queries"] == 3
+        assert stats["hits"] == 1
+        assert stats["upstream_queries"] == 2
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            RdnsCluster(make_authority(), n_servers=0)
+
+    def test_server_index_reported(self):
+        cluster = RdnsCluster(make_authority(), n_servers=3)
+        result = cluster.query(5, Question("www.site.com"), 0.0)
+        assert result.server_index == 5 % 3

@@ -1,0 +1,48 @@
+"""Tests for the stub resolver."""
+
+from repro.dns.authority import AuthoritativeHierarchy
+from repro.dns.message import Question, RRType
+from repro.dns.resolver import RdnsCluster
+from repro.dns.stub import StubResolver
+from repro.dns.zone import StaticZone
+
+
+def make_cluster():
+    h = AuthoritativeHierarchy()
+    z = StaticZone("site.com")
+    z.add_name("www.site.com", RRType.A, 300)
+    h.add_zone(z)
+    return RdnsCluster(h, n_servers=1)
+
+
+class TestStubResolver:
+    def test_forwards_to_cluster(self):
+        stub = StubResolver(1, make_cluster())
+        r = stub.query(Question("www.site.com"), 0.0)
+        assert r.is_success
+        assert stub.queries_sent == 1
+
+    def test_local_cache_absorbs_repeats(self):
+        stub = StubResolver(1, make_cluster(), local_cache_capacity=16)
+        stub.query(Question("www.site.com"), 0.0)
+        stub.query(Question("www.site.com"), 1.0)
+        assert stub.queries_sent == 1
+        assert stub.local_hits == 1
+
+    def test_no_local_cache_by_default(self):
+        stub = StubResolver(1, make_cluster())
+        stub.query(Question("www.site.com"), 0.0)
+        stub.query(Question("www.site.com"), 1.0)
+        assert stub.queries_sent == 2
+
+    def test_local_cache_respects_ttl(self):
+        stub = StubResolver(1, make_cluster(), local_cache_capacity=16)
+        stub.query(Question("www.site.com"), 0.0)
+        stub.query(Question("www.site.com"), 1000.0)  # TTL 300 expired
+        assert stub.queries_sent == 2
+
+    def test_nxdomain_not_locally_cached(self):
+        stub = StubResolver(1, make_cluster(), local_cache_capacity=16)
+        stub.query(Question("missing.site.com"), 0.0)
+        stub.query(Question("missing.site.com"), 1.0)
+        assert stub.queries_sent == 2

@@ -1,0 +1,116 @@
+"""Tests for DNS wire-format size accounting."""
+
+import pytest
+
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+from repro.dns.wire import (MAX_LABEL_LENGTH, NameCompressor,
+                            WireFormatError, encoded_name_size, rdata_size,
+                            response_wire_size, rr_wire_size)
+
+
+class TestEncodedNameSize:
+    def test_rfc_example(self):
+        # www(1+3) example(1+7) com(1+3) root(1) = 17
+        assert encoded_name_size("www.example.com") == 17
+
+    def test_single_label(self):
+        assert encoded_name_size("com") == 5
+
+    def test_rejects_oversized_label(self):
+        with pytest.raises(WireFormatError):
+            encoded_name_size("a" * (MAX_LABEL_LENGTH + 1) + ".com")
+
+    def test_rejects_oversized_name(self):
+        name = ".".join(["a" * 60] * 5)  # 5*61+1 = 306 > 255
+        with pytest.raises(WireFormatError):
+            encoded_name_size(name)
+
+    def test_max_label_ok(self):
+        assert encoded_name_size("a" * MAX_LABEL_LENGTH + ".com") == \
+            1 + 63 + 1 + 3 + 1
+
+
+class TestNameCompressor:
+    def test_first_occurrence_full(self):
+        compressor = NameCompressor()
+        assert compressor.name_size("www.example.com") == 17
+
+    def test_repeat_is_pointer(self):
+        compressor = NameCompressor()
+        compressor.name_size("www.example.com")
+        assert compressor.name_size("www.example.com") == 2
+
+    def test_shared_suffix_compressed(self):
+        compressor = NameCompressor()
+        compressor.name_size("www.example.com")
+        # mail(1+4) + pointer(2) = 7
+        assert compressor.name_size("mail.example.com") == 7
+
+    def test_unrelated_name_full(self):
+        compressor = NameCompressor()
+        compressor.name_size("www.example.com")
+        # other.org shares no suffix (org != com).
+        assert compressor.name_size("other.org") == \
+            encoded_name_size("other.org")
+
+    def test_tld_suffix_reused(self):
+        compressor = NameCompressor()
+        compressor.name_size("a.com")
+        assert compressor.name_size("b.com") == 1 + 1 + 2  # 'b' + pointer
+
+
+class TestRrSizes:
+    def test_rdata_sizes(self):
+        a = ResourceRecord("a.com", RRType.A, 60, "1.2.3.4")
+        aaaa = ResourceRecord("a.com", RRType.AAAA, 60, "::1")
+        assert rdata_size(a) == 4
+        assert rdata_size(aaaa) == 16
+
+    def test_cname_rdata_is_encoded_target(self):
+        cname = ResourceRecord("a.com", RRType.CNAME, 60, "target.net")
+        assert rdata_size(cname) == encoded_name_size("target.net")
+
+    def test_rr_wire_size(self):
+        rr = ResourceRecord("www.example.com", RRType.A, 60, "1.2.3.4")
+        assert rr_wire_size(rr) == 17 + 10 + 4
+
+    def test_rrsig_typical(self):
+        sig = ResourceRecord("a.com", RRType.RRSIG, 60, "x" * 40)
+        assert rdata_size(sig) == 150
+
+
+class TestResponseWireSize:
+    def test_single_answer(self):
+        q = Question("www.example.com")
+        r = Response(q, RCode.NOERROR,
+                     [ResourceRecord("www.example.com", RRType.A, 60,
+                                     "1.2.3.4")])
+        # header 12 + qname 17 + 4 + (pointer 2 + 10 + 4)
+        assert response_wire_size(r) == 12 + 17 + 4 + 16
+
+    def test_nxdomain_question_only(self):
+        r = Response(Question("nx.example.com"), RCode.NXDOMAIN, [])
+        assert response_wire_size(r) == 12 + encoded_name_size(
+            "nx.example.com") + 4
+
+    def test_compression_across_answers(self):
+        """A two-record RRset shares the owner name via pointers."""
+        q = Question("www.example.com")
+        records = [ResourceRecord("www.example.com", RRType.A, 60,
+                                  f"1.2.3.{i}") for i in range(2)]
+        two = response_wire_size(Response(q, RCode.NOERROR, records))
+        one = response_wire_size(Response(q, RCode.NOERROR, records[:1]))
+        assert two - one == 2 + 10 + 4  # pointer + fixed + A rdata
+
+    def test_disposable_names_cost_more(self):
+        """Long algorithmic names dominate byte budgets — the paper's
+        storage-growth driver."""
+        short = Response(Question("www.a.com"), RCode.NOERROR,
+                         [ResourceRecord("www.a.com", RRType.A, 60,
+                                         "1.1.1.1")])
+        long_name = ("0.0.0.0.1.0.0.4e."
+                     "13cfus2drmdq3j8cafidezr8l6.avqs.mcafee.com")
+        long = Response(Question(long_name), RCode.NOERROR,
+                        [ResourceRecord(long_name, RRType.A, 60,
+                                        "127.0.0.1")])
+        assert response_wire_size(long) > 1.5 * response_wire_size(short)

@@ -1,0 +1,145 @@
+"""Tests for authoritative zone types."""
+
+import pytest
+
+from repro.dns.message import Question, RCode, ResourceRecord, RRType
+from repro.dns.zone import (CallbackZone, StaticZone, WildcardZone,
+                            synthesize_ip)
+
+
+class TestSynthesizeIp:
+    def test_deterministic(self):
+        assert synthesize_ip("a.com", RRType.A) == synthesize_ip("a.com",
+                                                                 RRType.A)
+
+    def test_differs_by_name(self):
+        assert synthesize_ip("a.com", RRType.A) != synthesize_ip("b.com",
+                                                                 RRType.A)
+
+    def test_differs_by_salt(self):
+        assert synthesize_ip("a.com", RRType.A) != synthesize_ip(
+            "a.com", RRType.A, salt="x")
+
+    def test_ipv4_shape(self):
+        octets = synthesize_ip("a.com", RRType.A).split(".")
+        assert len(octets) == 4
+        assert all(0 <= int(o) <= 255 for o in octets)
+
+    def test_ipv6_shape(self):
+        groups = synthesize_ip("a.com", RRType.AAAA).split(":")
+        assert len(groups) == 8
+
+
+class TestStaticZone:
+    @pytest.fixture
+    def zone(self):
+        z = StaticZone("example.com")
+        z.add_name("www.example.com", RRType.A, 300)
+        z.add_name("www.example.com", RRType.AAAA, 300)
+        return z
+
+    def test_answers_known_name(self, zone):
+        r = zone.answer(Question("www.example.com"))
+        assert r.is_success
+        assert r.answers[0].rtype is RRType.A
+
+    def test_nodata_for_missing_type(self, zone):
+        z = StaticZone("example.com")
+        z.add_name("www.example.com", RRType.A, 300)
+        r = z.answer(Question("www.example.com", RRType.AAAA))
+        assert r.rcode is RCode.NOERROR
+        assert r.answers == []
+
+    def test_nxdomain_for_unknown_name(self, zone):
+        r = zone.answer(Question("missing.example.com"))
+        assert r.is_nxdomain
+
+    def test_rejects_out_of_bailiwick_record(self, zone):
+        with pytest.raises(ValueError):
+            zone.add_record(ResourceRecord("other.org", RRType.A, 300, "x"))
+
+    def test_covers(self, zone):
+        assert zone.covers("deep.www.example.com")
+        assert not zone.covers("example.org")
+
+    def test_names_and_count(self, zone):
+        assert zone.names() == ["www.example.com"]
+        assert zone.record_count == 2
+
+    def test_explicit_rdata(self):
+        z = StaticZone("example.com")
+        rr = z.add_name("cdn.example.com", RRType.CNAME, 60,
+                        rdata="e1.g0.akamai.net")
+        assert rr.rdata == "e1.g0.akamai.net"
+
+    def test_multiple_records_same_name_type(self):
+        z = StaticZone("example.com")
+        z.add_name("www.example.com", RRType.A, 300, rdata="1.1.1.1")
+        z.add_name("www.example.com", RRType.A, 300, rdata="2.2.2.2")
+        r = z.answer(Question("www.example.com"))
+        assert len(r.answers) == 2
+
+
+class TestWildcardZone:
+    def test_answers_any_child(self):
+        z = WildcardZone("avqs.mcafee.com", ttl=300)
+        r = z.answer(Question("abc123xyz.avqs.mcafee.com"))
+        assert r.is_success
+        assert r.answers[0].ttl == 300
+
+    def test_per_name_rdata_distinct(self):
+        z = WildcardZone("z.com", rdata_mode="per-name")
+        a = z.answer(Question("a.z.com")).answers[0].rdata
+        b = z.answer(Question("b.z.com")).answers[0].rdata
+        assert a != b
+
+    def test_shared_rdata(self):
+        z = WildcardZone("z.com", rdata_mode="shared")
+        a = z.answer(Question("a.z.com")).answers[0].rdata
+        b = z.answer(Question("b.z.com")).answers[0].rdata
+        assert a == b
+
+    def test_apex_resolves(self):
+        z = WildcardZone("z.com")
+        assert z.answer(Question("z.com")).is_success
+
+    def test_wrong_type_is_nodata(self):
+        z = WildcardZone("z.com", rtype=RRType.A)
+        r = z.answer(Question("a.z.com", RRType.AAAA))
+        assert r.rcode is RCode.NOERROR
+        assert r.answers == []
+
+    def test_min_depth_enforced(self):
+        z = WildcardZone("z.com", min_depth=2)
+        assert z.answer(Question("a.z.com")).is_nxdomain
+        assert z.answer(Question("b.a.z.com")).is_success
+
+    def test_answer_count(self):
+        z = WildcardZone("z.com", answer_count=3)
+        r = z.answer(Question("a.z.com"))
+        assert len(r.answers) == 3
+        assert len({rr.rdata for rr in r.answers}) == 3
+
+    def test_rejects_bad_answer_count(self):
+        with pytest.raises(ValueError):
+            WildcardZone("z.com", answer_count=0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            WildcardZone("z.com", rdata_mode="bogus")
+
+    def test_deterministic_answers(self):
+        z1 = WildcardZone("z.com")
+        z2 = WildcardZone("z.com")
+        assert (z1.answer(Question("q.z.com")).answers[0].rdata
+                == z2.answer(Question("q.z.com")).answers[0].rdata)
+
+
+class TestCallbackZone:
+    def test_delegates(self):
+        def answer(question):
+            from repro.dns.message import Response
+            return Response(question, RCode.NXDOMAIN)
+
+        z = CallbackZone("cb.com", answer)
+        assert z.answer(Question("x.cb.com")).is_nxdomain

@@ -1,0 +1,80 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (run_classifier_comparison,
+                                         run_feature_ablation,
+                                         run_threshold_sweep)
+
+
+class TestClassifierComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, small_context):
+        return run_classifier_comparison(small_context, n_folds=5)
+
+    def test_all_six_models(self, comparison):
+        assert set(comparison.summary) == {"lad-tree", "cart", "naive-bayes",
+                                           "knn", "logistic", "neural-net"}
+
+    def test_every_model_learns_the_task(self, comparison):
+        """The classes are well separated; every candidate should be
+        far above chance (the paper's model selection was picking among
+        good options)."""
+        for name, metrics in comparison.summary.items():
+            assert metrics["auc"] > 0.8, name
+
+    def test_lad_tree_competitive(self, comparison):
+        lad_auc = comparison.summary["lad-tree"]["auc"]
+        best_auc = comparison.summary[comparison.best_model()]["auc"]
+        assert lad_auc >= best_auc - 0.05
+
+    def test_renders(self, comparison):
+        assert "model selection" in comparison.render()
+
+
+class TestFeatureAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self, small_context):
+        return run_feature_ablation(small_context, n_folds=5)
+
+    def test_three_rows(self, ablation):
+        assert set(ablation.aucs) == {"tree-structure only",
+                                      "cache-hit-rate only",
+                                      "both families"}
+
+    def test_both_families_at_least_as_good(self, ablation):
+        both = ablation.aucs["both families"]
+        assert both >= ablation.aucs["tree-structure only"] - 0.05
+        assert both >= ablation.aucs["cache-hit-rate only"] - 0.05
+
+    def test_each_family_alone_carries_signal(self, ablation):
+        """Section V-A2: both families individually separate the
+        classes to a useful degree."""
+        assert ablation.aucs["cache-hit-rate only"] > 0.8
+        assert ablation.aucs["tree-structure only"] > 0.6
+
+    def test_renders(self, ablation):
+        assert "feature families" in ablation.render()
+
+
+class TestThresholdSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, small_context):
+        return run_threshold_sweep(small_context,
+                                   thresholds=(0.5, 0.9, 0.99))
+
+    def test_rows(self, sweep):
+        assert [row[0] for row in sweep.rows] == [0.5, 0.9, 0.99]
+
+    def test_paper_threshold_high_precision(self, sweep):
+        theta_09 = next(row for row in sweep.rows if row[0] == 0.9)
+        assert theta_09[1] > 0.8  # precision
+        assert theta_09[2] > 0.6  # recall
+
+    def test_recall_non_increasing_with_threshold(self, sweep):
+        recalls = [row[2] for row in sweep.rows]
+        assert all(later <= earlier + 0.02
+                   for earlier, later in zip(recalls, recalls[1:]))
+
+    def test_renders(self, sweep):
+        assert "threshold sweep" in sweep.render()

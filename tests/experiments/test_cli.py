@@ -1,0 +1,50 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.context import SMALL
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "table1" in out and "sec6b" in out
+
+    def test_catalogue_covers_every_paper_artifact(self):
+        expected = {"fig2", "fig3", "fig4", "fig5", "fig7", "fig11",
+                    "fig12", "fig13", "fig14", "fig15", "table1", "table2",
+                    "sec6a", "sec6b", "sec6c"}
+        assert expected <= set(cli.EXPERIMENTS)
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_run_one_experiment(self, small_context, capsys, monkeypatch):
+        # Reuse the session's SMALL context instead of building a new one.
+        monkeypatch.setattr(cli, "get_context",
+                            lambda profile: small_context)
+        assert cli.main(["fig12", "--profile", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "TPR" in out
+
+    def test_run_table(self, small_context, capsys, monkeypatch):
+        monkeypatch.setattr(cli, "get_context",
+                            lambda profile: small_context)
+        assert cli.main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_calibrate_command(self, small_context, capsys, monkeypatch):
+        monkeypatch.setattr(cli, "get_context",
+                            lambda profile: small_context)
+        exit_code = cli.main(["calibrate"])
+        out = capsys.readouterr().out
+        assert "Calibration scorecard" in out
+        assert exit_code == 0
+
+    def test_list_mentions_calibrate(self, capsys):
+        cli.main(["list"])
+        assert "calibrate" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Tests for the experiment context."""
+
+import pytest
+
+from repro.experiments.context import MEDIUM, SMALL, ExperimentContext
+from repro.traffic.simulate import PAPER_DATES, MeasurementDate
+
+
+class TestProfiles:
+    def test_profiles_distinct(self):
+        assert SMALL.events_per_day < MEDIUM.events_per_day
+        assert SMALL.name != MEDIUM.name
+
+    def test_simulator_config_wired(self):
+        config = SMALL.simulator_config()
+        assert config.workload.events_per_day == SMALL.events_per_day
+        assert config.population.n_popular_sites == SMALL.n_popular_sites
+        assert config.cache_capacity == SMALL.cache_capacity
+
+
+class TestContext:
+    def test_dataset_cached(self, small_context):
+        a = small_context.dataset(PAPER_DATES[0])
+        b = small_context.dataset(PAPER_DATES[0])
+        assert a is b
+
+    def test_calendar_simulated_in_order(self, small_context):
+        """Requesting a late date then an early one must not corrupt
+        cache timelines — both come from one chronological pass."""
+        late = small_context.dataset(PAPER_DATES[-1])
+        early = small_context.dataset(PAPER_DATES[0])
+        assert late.day == "2011-12-30"
+        assert early.day == "2011-02-01"
+
+    def test_adhoc_past_date_rejected(self, small_context):
+        small_context.dataset(PAPER_DATES[0])  # ensures calendar ran
+        with pytest.raises(ValueError):
+            small_context.dataset(MeasurementDate("ad-hoc-past", 1, 0.0))
+
+    def test_adhoc_future_date_allowed(self, small_context):
+        ds = small_context.dataset(MeasurementDate("ad-hoc-future", 999,
+                                                   1.0))
+        assert ds.below_volume() > 0
+
+    def test_training_set_and_classifier_cached(self, small_context):
+        assert small_context.training_set() is small_context.training_set()
+        assert small_context.classifier() is small_context.classifier()
+
+    def test_mining_result_cached_per_threshold(self, small_context):
+        a = small_context.mining_result(PAPER_DATES[0])
+        b = small_context.mining_result(PAPER_DATES[0])
+        c = small_context.mining_result(PAPER_DATES[0], threshold=0.5)
+        assert a is b
+        assert c is not a
+
+    def test_truth_groups_nonempty(self, small_context):
+        assert len(small_context.truth_groups()) > 10

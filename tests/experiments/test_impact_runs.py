@@ -1,0 +1,54 @@
+"""Tests for the Section VI experiment runners."""
+
+import pytest
+
+from repro.experiments.impact_runs import (run_sec6a_cache_pressure,
+                                           run_sec6b_dnssec,
+                                           run_sec6c_pdns_storage)
+
+
+class TestSec6a:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return run_sec6a_cache_pressure(small_context,
+                                        capacities=[300, 1_500, 6_000],
+                                        n_events=6_000)
+
+    def test_degradation_worst_at_smallest_cache(self, result):
+        degradations = result.degradation_series()
+        assert degradations[0] >= degradations[-1] - 0.02
+
+    def test_loaded_run_latency_not_lower(self, result):
+        for comparison in result.comparisons:
+            assert (comparison.with_disposable.mean_latency_ms
+                    >= comparison.without_disposable.mean_latency_ms - 0.5)
+
+    def test_renders(self, result):
+        assert "VI-A" in result.render()
+
+
+class TestSec6b:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return run_sec6b_dnssec(small_context, n_events=6_000)
+
+    def test_wildcard_saves_validations(self, result):
+        assert result.study.wildcard_savings() > 0.1
+
+    def test_renders(self, result):
+        assert "VI-B" in result.render()
+
+
+class TestSec6c:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return run_sec6c_pdns_storage(small_context)
+
+    def test_wildcard_reduction(self, result):
+        assert result.result.reduction_ratio < 0.8
+
+    def test_disposable_majority(self, result):
+        assert result.result.disposable_fraction > 0.4
+
+    def test_renders(self, result):
+        assert "VI-C" in result.render()

@@ -1,0 +1,84 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.experiments.sweeps import (ParameterSweep, SweepResult,
+                                      set_config_attr)
+from repro.traffic.simulate import (MeasurementDate, PopulationConfig,
+                                    SimulatorConfig, WorkloadConfig)
+
+
+def tiny_base():
+    return SimulatorConfig(
+        n_servers=1,
+        cache_capacity=2_000,
+        population=PopulationConfig(n_popular_sites=20,
+                                    n_longtail_sites=100,
+                                    n_extra_disposable=4,
+                                    cdn_objects=400),
+        workload=WorkloadConfig(events_per_day=2_000, n_clients=40))
+
+
+class TestSetConfigAttr:
+    def test_top_level(self):
+        config = tiny_base()
+        set_config_attr(config, "cache_capacity", 99)
+        assert config.cache_capacity == 99
+
+    def test_nested(self):
+        config = tiny_base()
+        set_config_attr(config, "workload.events_per_day", 123)
+        assert config.workload.events_per_day == 123
+
+    def test_unknown_rejected(self):
+        with pytest.raises(AttributeError):
+            set_config_attr(tiny_base(), "workload.nope", 1)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        sweep = ParameterSweep(
+            base=tiny_base(),
+            vary=("workload.events_per_day", [1_000, 4_000]),
+            metrics={
+                "ratio": lambda sim, day: (day.above_volume()
+                                           / day.below_volume()),
+                "resolved": lambda sim, day: len(day.resolved_domains()),
+            })
+        return sweep.run()
+
+    def test_one_point_per_value(self, result):
+        assert result.values == [1_000, 4_000]
+        assert len(result.metrics["ratio"]) == 2
+
+    def test_density_improves_caching(self, result):
+        """The scale-ablation fact through the generic harness: more
+        events per day -> lower above/below ratio."""
+        assert result.is_monotone("ratio", increasing=False, slack=0.01)
+
+    def test_more_events_more_names(self, result):
+        assert result.is_monotone("resolved", increasing=True)
+
+    def test_series_and_render(self, result):
+        series = result.series("ratio")
+        assert [value for value, _ in series] == [1_000, 4_000]
+        text = result.render()
+        assert "workload.events_per_day" in text
+        assert "ratio" in text
+
+    def test_base_config_not_mutated(self):
+        base = tiny_base()
+        sweep = ParameterSweep(
+            base=base, vary=("cache_capacity", [10]),
+            metrics={"x": lambda sim, day: 0.0},
+            events_per_day=200, warmup_date=None)
+        sweep.run()
+        assert base.cache_capacity == 2_000
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParameterSweep(tiny_base(), ("cache_capacity", []),
+                           {"x": lambda sim, day: 0.0})
+        with pytest.raises(ValueError):
+            ParameterSweep(tiny_base(), ("cache_capacity", [1]), {})

@@ -1,0 +1,97 @@
+"""Shape tests for Tables I-II and the Figure 11 summary."""
+
+import pytest
+
+from repro.experiments.tables import (run_fig11_summary,
+                                      run_table1_lookup_tail,
+                                      run_table2_dhr_tail)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self, small_context):
+        return run_table1_lookup_tail(small_context)
+
+    def test_six_rows(self, table):
+        assert len(table.rows) == 6
+
+    def test_tail_dominates_everywhere(self, table):
+        """Paper: the <10-lookup tail is 90-94% of RRs."""
+        for row in table.rows:
+            assert row.tail_fraction > 0.8
+
+    def test_disposable_share_of_tail_grows(self, table):
+        """Paper: 28% -> 57% over the year."""
+        series = table.disposable_share_series()
+        assert series[-1] > series[0]
+
+    def test_disposable_lives_in_tail(self, table):
+        """Paper: 96-98% of disposable RRs are in the tail."""
+        for value in table.in_tail_series():
+            assert value > 0.9
+
+    def test_renders(self, table):
+        assert "Table I" in table.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table(self, small_context):
+        return run_table2_dhr_tail(small_context)
+
+    def test_six_rows(self, table):
+        assert len(table.rows) == 6
+
+    def test_zero_dhr_tail_majority(self, table):
+        """Paper: the zero-DHR tail is 89-94% of RRs."""
+        for row in table.rows:
+            assert row.tail_fraction > 0.55
+
+    def test_disposable_share_grows(self, table):
+        series = table.disposable_share_series()
+        assert series[-1] > series[0]
+
+    def test_disposable_lives_in_tail(self, table):
+        """Paper: ~96% of disposable RRs have zero DHR."""
+        for value in table.in_tail_series():
+            assert value > 0.85
+
+    def test_renders(self, table):
+        assert "Table II" in table.render()
+
+
+class TestFig11Summary:
+    @pytest.fixture(scope="class")
+    def summary(self, small_context):
+        return run_fig11_summary(small_context)
+
+    def test_classifier_accuracy_band(self, summary):
+        assert summary.tpr_at_05 > 0.9
+        assert summary.fpr_at_05 < 0.05
+
+    def test_zone_counts_positive(self, summary):
+        assert summary.n_disposable_zones > 10
+        assert 0 < summary.n_disposable_2lds <= summary.n_disposable_zones
+
+    def test_growth_rows(self, summary):
+        assert summary.queried_last > summary.queried_first
+        assert summary.resolved_last > summary.resolved_first
+        assert summary.rr_last > summary.rr_first
+
+    def test_example_zones_reported(self, summary):
+        assert summary.example_zones
+
+    def test_disposable_names_are_long(self, summary):
+        """Paper: disposable names average ~7 periods — longer than
+        ordinary hostnames."""
+        assert summary.mean_disposable_periods > 3.0
+
+    def test_cdn_borderline_small(self, summary):
+        """Paper: only 0.6% of flagged zones were CDN; here the CDN
+        borderline stays a small minority of findings."""
+        assert summary.cdn_zone_fraction < 0.35
+
+    def test_renders(self, summary):
+        text = summary.render()
+        assert "Figure 11" in text
+        assert "disposable" in text

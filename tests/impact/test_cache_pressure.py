@@ -1,0 +1,73 @@
+"""Tests for the Section VI-A cache-pressure study."""
+
+import pytest
+
+from repro.impact.cache_pressure import (LatencyModel, replay_events,
+                                         run_cache_pressure_study)
+from repro.dns.resolver import RdnsCluster
+from repro.traffic.simulate import MeasurementDate
+
+
+@pytest.fixture(scope="module")
+def events(tiny_simulator):
+    return tiny_simulator.workload.generate_day(900, year_fraction=0.9,
+                                                n_events=4_000)
+
+
+class TestLatencyModel:
+    def test_hit_cheaper_than_miss(self):
+        model = LatencyModel()
+        assert model.query_latency(True, 0) < model.query_latency(False, 3)
+
+    def test_referral_scaling(self):
+        model = LatencyModel(cache_hit_ms=1.0, per_referral_ms=10.0)
+        assert model.query_latency(False, 3) == pytest.approx(31.0)
+
+
+class TestReplay:
+    def test_skip_categories(self, tiny_simulator, events):
+        cluster = RdnsCluster(tiny_simulator.authority, n_servers=1,
+                              cache_capacity=2_000)
+        stats = replay_events(events, cluster, 0.0, "clean", 2_000,
+                              skip_categories={"disposable"})
+        n_disposable = sum(1 for e in events if e.category == "disposable")
+        assert stats.queries == len(events) - n_disposable
+
+    def test_non_disposable_accounting(self, tiny_simulator, events):
+        cluster = RdnsCluster(tiny_simulator.authority, n_servers=1,
+                              cache_capacity=2_000)
+        stats = replay_events(events, cluster, 0.0, "loaded", 2_000)
+        assert stats.non_disposable_queries < stats.queries
+        assert stats.non_disposable_hits <= stats.non_disposable_queries
+        assert stats.hit_rate > 0.0
+        assert stats.mean_latency_ms > 0.0
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def comparisons(self, tiny_simulator, events):
+        return run_cache_pressure_study(
+            tiny_simulator.authority, events,
+            capacities=[50, 400, 4_000], n_servers=1)
+
+    def test_one_comparison_per_capacity(self, comparisons):
+        assert [c.capacity for c in comparisons] == [50, 400, 4_000]
+
+    def test_disposable_load_never_helps(self, comparisons):
+        """Adding disposable traffic can only hurt (or not affect) the
+        non-disposable hit rate."""
+        for comparison in comparisons:
+            assert comparison.hit_rate_degradation >= -0.01
+
+    def test_small_cache_hurts_more(self, comparisons):
+        """The paper's premise: pressure bites when the cache is small
+        relative to the disposable churn."""
+        degradations = [c.hit_rate_degradation for c in comparisons]
+        assert degradations[0] >= degradations[-1] - 0.01
+
+    def test_tiny_cache_sees_extra_live_evictions(self, comparisons):
+        assert comparisons[0].extra_live_evictions > 0
+
+    def test_upstream_inflation_nonnegative(self, comparisons):
+        for comparison in comparisons:
+            assert comparison.upstream_inflation >= -0.05

@@ -1,0 +1,52 @@
+"""Tests for the Section VI-B DNSSEC validation-cost study."""
+
+import pytest
+
+from repro.impact.dnssec_cost import run_dnssec_study
+
+
+@pytest.fixture(scope="module")
+def study(tiny_simulator):
+    events = tiny_simulator.workload.generate_day(901, year_fraction=0.9,
+                                                  n_events=4_000)
+    all_apexes = {zone.apex for zone in tiny_simulator.authority.zones()}
+    disposable = {service.zone
+                  for service in tiny_simulator.population.services}
+    return run_dnssec_study(tiny_simulator.authority, events, all_apexes,
+                            disposable, n_servers=1, cache_capacity=5_000)
+
+
+class TestDnssecStudy:
+    def test_three_regimes(self, study):
+        assert set(study.scenarios) == {"per-name", "wildcard",
+                                        "unsigned-disposable"}
+
+    def test_per_name_regime_heaviest(self, study):
+        per_name = study.scenarios["per-name"].validations
+        wildcard = study.scenarios["wildcard"].validations
+        unsigned = study.scenarios["unsigned-disposable"].validations
+        assert per_name > wildcard > 0
+        assert wildcard >= unsigned
+
+    def test_wildcard_savings_substantial(self, study):
+        """Disposable names dominate distinct upstream answers, so
+        collapsing their signatures must save a large share."""
+        assert study.wildcard_savings() > 0.2
+
+    def test_disposable_validations_collapse_under_wildcard(self, study):
+        per_name = study.scenarios["per-name"].disposable_validations
+        wildcard = study.scenarios["wildcard"].disposable_validations
+        assert wildcard < per_name * 0.1
+
+    def test_validation_cache_hit_rate_rises_with_wildcard(self, study):
+        assert (study.scenarios["wildcard"].validation_cache_hit_rate
+                > study.scenarios["per-name"].validation_cache_hit_rate)
+
+    def test_signature_cache_bytes_track_validations(self, study):
+        for scenario in study.scenarios.values():
+            assert scenario.signature_cache_bytes == \
+                scenario.validations * 170
+
+    def test_validations_per_query_bounded(self, study):
+        for scenario in study.scenarios.values():
+            assert 0.0 <= scenario.validations_per_query <= 1.5

@@ -1,0 +1,36 @@
+"""Tests for the RFC 2308 negative-caching study."""
+
+import pytest
+
+from repro.impact.negative_cache import run_negative_cache_study
+
+
+@pytest.fixture(scope="module")
+def study(tiny_simulator):
+    events = tiny_simulator.workload.generate_day(930, year_fraction=0.9,
+                                                  n_events=5_000)
+    return run_negative_cache_study(tiny_simulator.authority, events,
+                                    n_servers=1, cache_capacity=5_000)
+
+
+class TestNegativeCacheStudy:
+    def test_rfc2308_reduces_upstream_nxdomain(self, study):
+        assert (study.with_rfc2308.upstream_nxdomain
+                < study.without_rfc2308.upstream_nxdomain)
+        assert study.upstream_nxdomain_saved > 0
+
+    def test_negative_cache_hits_appear(self, study):
+        assert study.with_rfc2308.negative_cache_hits > 0
+        assert study.without_rfc2308.negative_cache_hits == 0
+
+    def test_nxdomain_share_above_falls(self, study):
+        """The paper's 40%-above anomaly disappears once RFC 2308 is
+        honored."""
+        assert (study.with_rfc2308.nxdomain_share_above
+                < study.without_rfc2308.nxdomain_share_above)
+
+    def test_same_query_count_both_runs(self, study):
+        assert study.with_rfc2308.queries == study.without_rfc2308.queries
+
+    def test_saved_fraction_bounded(self, study):
+        assert 0.0 < study.saved_fraction <= 1.0

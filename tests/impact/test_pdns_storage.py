@@ -1,0 +1,45 @@
+"""Tests for the Section VI-C pDNS storage study."""
+
+import pytest
+
+from repro.impact.pdns_storage import run_pdns_storage_study
+from repro.traffic.simulate import MeasurementDate
+
+
+@pytest.fixture(scope="module")
+def study(tiny_simulator):
+    dates = [MeasurementDate(f"w{i}", 910 + i, 0.9) for i in range(4)]
+    datasets = tiny_simulator.run_days(dates, n_events=2_000)
+    return run_pdns_storage_study(datasets,
+                                  tiny_simulator.disposable_truth())
+
+
+class TestPdnsStorage:
+    def test_wildcard_aggregation_shrinks_store(self, study):
+        assert study.rows_after_wildcard < study.rows_before
+        assert 0.0 < study.reduction_ratio < 1.0
+
+    def test_disposable_rows_collapse_hard(self, study):
+        """Paper: the disposable portion shrinks to ~0.7% — each
+        flagged (zone, depth) group collapses to one wildcard row."""
+        assert study.disposable_reduction_ratio < 0.05
+
+    def test_disposable_fraction_substantial(self, study):
+        """Most unique RRs accumulated over the window should be
+        disposable (paper: 88%)."""
+        assert study.disposable_fraction > 0.3
+
+    def test_bytes_track_rows(self, study):
+        assert study.bytes_before > study.bytes_after_wildcard
+        assert study.bytes_before == study.rows_before * 48
+
+    def test_daily_share_series(self, study):
+        first, last = study.first_to_last_disposable_share()
+        assert 0.0 <= first <= 1.0
+        assert 0.0 <= last <= 1.0
+        # Dedup warms up on reused names, so the disposable share of
+        # *new* RRs should not shrink over the window.
+        assert last >= first - 0.1
+
+    def test_dedup_days_match_window(self, study):
+        assert len(study.dedup.days) == 4

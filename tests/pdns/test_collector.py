@@ -1,0 +1,61 @@
+"""Tests for the passive-DNS collector (monitoring tap)."""
+
+import pytest
+
+from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
+from repro.pdns.collector import PassiveDnsCollector
+
+
+def ok_response(name, rdatas):
+    return Response(Question(name), RCode.NOERROR,
+                    [ResourceRecord(name, RRType.A, 300, r) for r in rdatas])
+
+
+class TestCollector:
+    def test_below_one_entry_per_answer_record(self):
+        collector = PassiveDnsCollector(day="d1")
+        collector.observe_below(1.0, 7, ok_response("a.com",
+                                                    ["1.1.1.1", "2.2.2.2"]))
+        assert len(collector.dataset.below) == 2
+        assert all(e.client_id == 7 for e in collector.dataset.below)
+
+    def test_above_entries_have_no_client(self):
+        collector = PassiveDnsCollector(day="d1")
+        collector.observe_above(1.0, ok_response("a.com", ["1.1.1.1"]))
+        assert collector.dataset.above[0].client_id is None
+
+    def test_nxdomain_is_single_entry(self):
+        collector = PassiveDnsCollector(day="d1")
+        collector.observe_below(1.0, 7,
+                                Response(Question("nx.com"), RCode.NXDOMAIN))
+        assert len(collector.dataset.below) == 1
+        assert collector.dataset.below[0].rcode is RCode.NXDOMAIN
+
+    def test_empty_noerror_recorded_as_failure(self):
+        collector = PassiveDnsCollector(day="d1")
+        collector.observe_below(1.0, 7,
+                                Response(Question("x.com"), RCode.NOERROR, []))
+        assert not collector.dataset.below[0].is_answer
+
+    def test_roll_day(self):
+        collector = PassiveDnsCollector(day="d1")
+        collector.observe_below(1.0, 7, ok_response("a.com", ["1.1.1.1"]))
+        completed = collector.roll_day("d2")
+        assert completed.day == "d1"
+        assert completed.below_volume() == 1
+        assert collector.dataset.day == "d2"
+        assert collector.dataset.below == []
+        assert completed in collector.finished_datasets
+
+    def test_timestamps_preserved(self):
+        collector = PassiveDnsCollector(day="d1")
+        collector.observe_below(123.5, 7, ok_response("a.com", ["1.1.1.1"]))
+        assert collector.dataset.below[0].timestamp == 123.5
+
+    def test_qtype_preserved(self):
+        collector = PassiveDnsCollector(day="d1")
+        q = Question("a.com", RRType.AAAA)
+        r = Response(q, RCode.NOERROR,
+                     [ResourceRecord("a.com", RRType.AAAA, 60, "::1")])
+        collector.observe_below(0.0, 1, r)
+        assert collector.dataset.below[0].qtype is RRType.AAAA

@@ -1,0 +1,108 @@
+"""Tests for passive-DNS serialization."""
+
+import gzip
+
+import pytest
+
+from repro.dns.message import RCode, RRType
+from repro.pdns.database import PassiveDnsDatabase
+from repro.pdns.io import (FormatError, iter_fpdns_entries, load_database,
+                           load_fpdns, save_database, save_fpdns)
+from repro.pdns.records import FpDnsDataset, FpDnsEntry
+
+
+@pytest.fixture
+def dataset():
+    ds = FpDnsDataset(day="2011-12-01")
+    ds.below = [
+        FpDnsEntry(10.5, 3, "www.a.com", RRType.A, RCode.NOERROR, 300,
+                   "1.1.1.1"),
+        FpDnsEntry(11.0, 4, "nx.b.com", RRType.A, RCode.NXDOMAIN),
+        FpDnsEntry(12.0, 5, "h.c.com", RRType.AAAA, RCode.NOERROR, 60,
+                   "aa:bb::1"),
+    ]
+    ds.above = [
+        FpDnsEntry(10.5, None, "www.a.com", RRType.A, RCode.NOERROR, 600,
+                   "1.1.1.1"),
+    ]
+    return ds
+
+
+class TestFpDnsRoundTrip:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "day.tsv.gz"
+        count = save_fpdns(dataset, path)
+        assert count == 4
+        loaded = load_fpdns(path)
+        assert loaded.day == "2011-12-01"
+        assert loaded.below == dataset.below
+        assert loaded.above == dataset.above
+
+    def test_streaming_iteration(self, dataset, tmp_path):
+        path = tmp_path / "day.tsv.gz"
+        save_fpdns(dataset, path)
+        sides = [side for side, _ in iter_fpdns_entries(path)]
+        assert sides == ["B", "B", "B", "A"]
+
+    def test_simulated_day_roundtrip(self, tiny_day, tmp_path):
+        path = tmp_path / "sim.tsv.gz"
+        save_fpdns(tiny_day, path)
+        loaded = load_fpdns(path)
+        assert loaded.below_volume() == tiny_day.below_volume()
+        assert loaded.above_volume() == tiny_day.above_volume()
+        assert loaded.distinct_rrs() == tiny_day.distinct_rrs()
+        assert loaded.nxdomain_volume_below() == \
+            tiny_day.nxdomain_volume_below()
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("not-a-header\n")
+        with pytest.raises(FormatError):
+            load_fpdns(path)
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("#repro-fpdns-v1\tx\n")
+            handle.write("B\tonly\tthree\n")
+        with pytest.raises(FormatError):
+            load_fpdns(path)
+
+    def test_rejects_bad_side(self, tmp_path):
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("#repro-fpdns-v1\tx\n")
+            handle.write("X\t1.0\t1\ta.com\tA\tNOERROR\t60\t1.1.1.1\n")
+        with pytest.raises(FormatError):
+            load_fpdns(path)
+
+
+class TestDatabaseRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        db = PassiveDnsDatabase()
+        db.ingest_rrs("2011-11-28", [("a.com", RRType.A, "1.1.1.1"),
+                                     ("b.com", RRType.A, "2.2.2.2")])
+        db.ingest_rrs("2011-11-29", [("c.com", RRType.CNAME, "a.com")])
+        path = tmp_path / "db.tsv.gz"
+        assert save_database(db, path) == 3
+        loaded = load_database(path)
+        assert len(loaded) == 3
+        assert loaded.first_seen(("a.com", RRType.A, "1.1.1.1")) == \
+            "2011-11-28"
+        assert loaded.first_seen(("c.com", RRType.CNAME, "a.com")) == \
+            "2011-11-29"
+        assert loaded.new_records_per_day() == {"2011-11-28": 2,
+                                                "2011-11-29": 1}
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("#repro-fpdns-v1\tx\n")
+        with pytest.raises(FormatError):
+            load_database(path)
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.gz"
+        assert save_database(PassiveDnsDatabase(), path) == 0
+        assert len(load_database(path)) == 0

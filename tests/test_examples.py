@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Only the self-contained fast examples run here (the SMALL-context ones
+simulate a 20-day calendar and belong to manual runs/benchmarks).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "cache_impact_study.py",
+                 "dnssec_cost_study.py", "zone_forensics.py",
+                 "daily_report.py"]
+SLOW_EXAMPLES = ["mine_disposable_zones.py", "pdns_storage_study.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_exist():
+    for script in FAST_EXAMPLES + SLOW_EXAMPLES:
+        assert (EXAMPLES_DIR / script).is_file(), script
+
+
+def test_examples_have_docstrings_and_main():
+    for script in FAST_EXAMPLES + SLOW_EXAMPLES:
+        source = (EXAMPLES_DIR / script).read_text()
+        assert source.startswith("#!/usr/bin/env python"), script
+        assert '"""' in source, script
+        assert 'if __name__ == "__main__":' in source, script

@@ -1,0 +1,52 @@
+"""Tests for the client population."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.clients import ClientPopulation
+from repro.traffic.population import PopulationConfig, ZonePopulation
+
+
+@pytest.fixture(scope="module")
+def services():
+    population = ZonePopulation(PopulationConfig(
+        n_popular_sites=5, n_longtail_sites=10, n_extra_disposable=2))
+    return population.services
+
+
+class TestClientPopulation:
+    def test_samples_in_range(self, services, rng):
+        clients = ClientPopulation(50, services, seed=1)
+        sample = clients.sample_clients(rng, 1000)
+        assert sample.min() >= 0
+        assert sample.max() < 50
+
+    def test_activity_heavy_tailed(self, services, rng):
+        clients = ClientPopulation(100, services, seed=2,
+                                   activity_exponent=1.4)
+        sample = clients.sample_clients(rng, 50_000)
+        counts = np.bincount(sample, minlength=100)
+        # Top client should dominate the median client heavily.
+        assert counts.max() > 10 * np.median(counts[counts > 0])
+
+    def test_cohort_sizes_follow_fraction(self, services):
+        clients = ClientPopulation(200, services, seed=3)
+        for service in services:
+            expected = max(1, round(service.client_fraction * 200))
+            assert clients.cohort_size(service.name) == expected
+
+    def test_cohort_members_fixed(self, services, rng):
+        clients = ClientPopulation(100, services, seed=4)
+        service = services[0]
+        cohort = set(clients.cohort(service.name).tolist())
+        for _ in range(50):
+            assert clients.sample_cohort_client(rng, service.name) in cohort
+
+    def test_unknown_service_raises(self, services, rng):
+        clients = ClientPopulation(10, services, seed=5)
+        with pytest.raises(KeyError):
+            clients.cohort("nope")
+
+    def test_rejects_zero_clients(self, services):
+        with pytest.raises(ValueError):
+            ClientPopulation(0, services)

@@ -1,0 +1,73 @@
+"""Tests for the diurnal arrival profile."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.diurnal import SECONDS_PER_DAY, DiurnalProfile
+
+
+class TestIntensity:
+    def test_trough_at_configured_hour(self):
+        profile = DiurnalProfile(base=0.2, trough_hour=4.0)
+        assert profile.intensity(4.0) == pytest.approx(0.2)
+
+    def test_peak_opposite_trough(self):
+        profile = DiurnalProfile(base=0.2, trough_hour=4.0)
+        assert profile.intensity(16.0) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        profile = DiurnalProfile()
+        values = [profile.intensity(h) for h in np.linspace(0, 24, 97)]
+        assert min(values) >= profile.base - 1e-9
+        assert max(values) <= 1.0 + 1e-9
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(base=1.5)
+
+
+class TestSampling:
+    def test_sorted_and_in_range(self, rng):
+        profile = DiurnalProfile()
+        ts = profile.sample_timestamps(rng, 5000)
+        assert np.all(np.diff(ts) >= 0)
+        assert ts.min() >= 0
+        assert ts.max() < SECONDS_PER_DAY
+
+    def test_compressed_day(self, rng):
+        profile = DiurnalProfile()
+        ts = profile.sample_timestamps(rng, 5000, day_seconds=3600)
+        assert ts.max() < 3600
+
+    def test_diurnal_shape_visible(self, rng):
+        """The evening bins should carry far more events than the
+        4 am trough bins."""
+        profile = DiurnalProfile(base=0.1, trough_hour=4.0)
+        ts = profile.sample_timestamps(rng, 50_000)
+        hours = (ts / 3600).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts[16] > 3 * counts[4]
+
+    def test_empty(self, rng):
+        assert DiurnalProfile().sample_timestamps(rng, 0).size == 0
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            DiurnalProfile().sample_timestamps(rng, -1)
+
+    def test_rejects_bad_day_seconds(self, rng):
+        with pytest.raises(ValueError):
+            DiurnalProfile().sample_timestamps(rng, 10, day_seconds=0)
+
+
+class TestHourlyWeights:
+    def test_normalised(self):
+        weights = DiurnalProfile().hourly_weights()
+        assert weights.shape == (24,)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_peak_hour_heaviest(self):
+        # Peak is at hour 16; midpoint sampling makes hours 15 and 16
+        # symmetric around it, so either may carry the maximum.
+        weights = DiurnalProfile(trough_hour=4.0).hourly_weights()
+        assert np.argmax(weights) in (15, 16)

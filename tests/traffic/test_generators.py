@@ -1,0 +1,122 @@
+"""Tests for the disposable-name generators (Figure 6 schemes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.names import label_count, labels, shannon_entropy
+from repro.traffic.generators import (AvHashNameGenerator,
+                                      CdnShardNameGenerator,
+                                      DnsblNameGenerator,
+                                      MeasurementNameGenerator,
+                                      TelemetryNameGenerator,
+                                      TrackingNameGenerator)
+
+GENERATORS = [
+    ("telemetry", lambda: TelemetryNameGenerator(
+        "device.trans.manage.esoft.com")),
+    ("av-hash", lambda: AvHashNameGenerator("avqs.mcafee.com")),
+    ("measurement", lambda: MeasurementNameGenerator(
+        "ipv6-exp.l.google.com")),
+    ("dnsbl", lambda: DnsblNameGenerator("zen.spamhaus.org")),
+    ("tracking", lambda: TrackingNameGenerator("dns.xx.fbcdn.net")),
+]
+
+
+@pytest.mark.parametrize("name,factory", GENERATORS)
+class TestCommonProperties:
+    def test_names_end_with_apex(self, name, factory, rng):
+        generator = factory()
+        for _ in range(10):
+            assert generator.generate(rng).endswith("." + generator.apex)
+
+    def test_fixed_depth(self, name, factory, rng):
+        """Disposable names under the same zone section always have the
+        same number of labels (Section IV-A)."""
+        generator = factory()
+        depths = {label_count(generator.generate(rng)) for _ in range(30)}
+        assert len(depths) == 1
+        assert depths == {generator.depth}
+
+    def test_mostly_unique(self, name, factory, rng):
+        generator = factory()
+        names = [generator.generate(rng) for _ in range(200)]
+        assert len(set(names)) > 150
+
+    def test_reuse_probability_zero_is_all_fresh(self, name, factory, rng):
+        generator = factory()
+        generator.reuse_probability = 0.0
+        names = [generator.generate(rng) for _ in range(100)]
+        assert generator.reused == 0
+
+
+class TestReuse:
+    def test_reuse_draws_recent_names(self, rng):
+        generator = TrackingNameGenerator("t.net", reuse_probability=0.5)
+        names = [generator.generate(rng) for _ in range(300)]
+        assert generator.reused > 50
+        assert len(set(names)) < 300
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            TrackingNameGenerator("t.net", reuse_probability=1.0)
+
+
+class TestSchemeShapes:
+    def test_mcafee_scheme(self, rng):
+        generator = AvHashNameGenerator("avqs.mcafee.com")
+        name = generator.generate(rng)
+        parts = labels(name)
+        # Constant prefix then a 26-char hash, per Figure 6 (ii);
+        # 11 periods => 12 labels.
+        assert name.count(".") == 11
+        assert parts[:8] == ["0", "0", "0", "0", "1", "0", "0", "4e"]
+        assert len(parts[8]) == 26
+        assert shannon_entropy(parts[8]) > 3.0
+
+    def test_esoft_scheme(self, rng):
+        generator = TelemetryNameGenerator("device.trans.manage.esoft.com")
+        name = generator.generate(rng)
+        parts = labels(name)
+        assert parts[0].startswith("load-0-p-")
+        assert parts[1].startswith("up-")
+        assert parts[2].startswith("mem-")
+        assert parts[3].startswith("swap-")
+
+    def test_google_scheme(self, rng):
+        generator = MeasurementNameGenerator("ipv6-exp.l.google.com")
+        name = generator.generate(rng)
+        parts = labels(name)
+        assert parts[0] == "p2"
+        assert len(parts[1]) == 13
+        assert len(parts[2]) == 16
+        assert parts[4] in ("i1", "i2", "s1")
+        assert parts[5] in ("ds", "v4")
+
+    def test_dnsbl_scheme(self, rng):
+        generator = DnsblNameGenerator("zen.spamhaus.org")
+        name = generator.generate(rng)
+        parts = labels(name)[:4]
+        assert all(1 <= int(p) <= 254 for p in parts)
+
+    def test_tracking_token_length(self, rng):
+        generator = TrackingNameGenerator("t.net", token_length=20)
+        assert len(labels(generator.generate(rng))[0]) == 20
+
+
+class TestCdnGenerator:
+    def test_popular_objects_repeat(self, rng):
+        generator = CdnShardNameGenerator("akamai.net", n_objects=100,
+                                          popularity_exponent=1.5)
+        names = [generator.generate(rng) for _ in range(500)]
+        # Head objects dominate: far fewer distinct names than draws.
+        assert len(set(names)) < 120
+
+    def test_shard_derived_from_object(self, rng):
+        generator = CdnShardNameGenerator("akamai.net", n_objects=50,
+                                          n_shards=4)
+        for _ in range(20):
+            name = generator.generate(rng)
+            parts = labels(name)
+            object_id = int(parts[0][1:])
+            shard = int(parts[1][1:])
+            assert shard == object_id % 4

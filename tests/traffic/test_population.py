@@ -1,0 +1,133 @@
+"""Tests for the synthetic zone population."""
+
+import pytest
+
+from repro.core.names import label_count
+from repro.dns.message import Question, RRType
+from repro.traffic.population import PopulationConfig, ZonePopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ZonePopulation(PopulationConfig(
+        n_popular_sites=30, n_longtail_sites=200, n_extra_disposable=9,
+        cdn_objects=500))
+
+
+class TestConstruction:
+    def test_sizes(self, population):
+        assert len(population.popular_sites) == 30
+        assert len(population.longtail_sites) == 200
+        # 10 named services + 9 extras.
+        assert len(population.services) == 19
+
+    def test_popular_sites_have_enough_subdomains(self, population):
+        for site in population.popular_sites:
+            assert len(site.hostnames) >= 6
+
+    def test_longtail_sites_unique(self, population):
+        assert len(set(population.longtail_sites)) == 200
+
+    def test_deterministic_given_seed(self):
+        a = ZonePopulation(PopulationConfig(n_popular_sites=10,
+                                            n_longtail_sites=20,
+                                            n_extra_disposable=3))
+        b = ZonePopulation(PopulationConfig(n_popular_sites=10,
+                                            n_longtail_sites=20,
+                                            n_extra_disposable=3))
+        assert [s.zone for s in a.popular_sites] == [s.zone
+                                                     for s in b.popular_sites]
+        assert a.longtail_sites == b.longtail_sites
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_popular_sites=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(subdomains_per_site=(5, 2))
+
+
+class TestServices:
+    def test_weight_growth(self, population):
+        google = next(s for s in population.services
+                      if s.name == "google-ipv6-exp")
+        assert google.weight_at(1.0) > google.weight_at(0.0)
+
+    def test_flat_service_constant(self, population):
+        mcafee = next(s for s in population.services
+                      if s.name == "mcafee-gti")
+        assert mcafee.weight_at(0.0) == mcafee.weight_at(1.0)
+
+    def test_depths_match_generated_names(self, population, rng):
+        for service in population.services[:5]:
+            name = service.generator.generate(rng)
+            assert label_count(name) == service.depth
+
+    def test_disposable_zone_for(self, population, rng):
+        mcafee = next(s for s in population.services
+                      if s.name == "mcafee-gti")
+        name = mcafee.generator.generate(rng)
+        assert population.disposable_zone_for(name) is mcafee
+        assert population.disposable_zone_for("www.bank.com") is None
+
+
+class TestAuthorityMaterialisation:
+    @pytest.fixture(scope="class")
+    def authority(self, population):
+        return population.build_authority()
+
+    def test_popular_hostnames_resolve(self, population, authority):
+        site = population.popular_sites[0]
+        response = authority.resolve(Question(site.hostnames[0]))
+        assert response.is_success
+        assert response.answers[0].ttl == site.ttl
+
+    def test_longtail_resolves(self, population, authority):
+        zone = population.longtail_sites[0]
+        assert authority.resolve(Question("www." + zone)).is_success
+
+    def test_every_service_name_resolves(self, population, authority, rng):
+        for service in population.services:
+            name = service.generator.generate(rng)
+            response = authority.resolve(Question(name))
+            assert response.is_success, service.name
+            assert len(response.answers) == service.answer_count
+
+    def test_cdn_names_resolve(self, population, authority, rng):
+        name = population.cdn_generators[0].generate(rng)
+        assert authority.resolve(Question(name)).is_success
+
+    def test_google_measurement_zone_wins_over_google(self, population,
+                                                      authority, rng):
+        service = next(s for s in population.services
+                       if s.name == "google-ipv6-exp")
+        name = service.generator.generate(rng)
+        zone = authority.find_zone(name)
+        assert zone.apex == population.GOOGLE_MEASUREMENT_ZONE
+
+    def test_cname_into_cdn(self, population, authority):
+        site = population.popular_sites[0]
+        response = authority.resolve(
+            Question(f"cdnlink.{site.zone}", RRType.CNAME))
+        assert response.is_success
+        assert "akamai" in response.answers[0].rdata
+
+    def test_unregistered_nxdomain(self, authority):
+        assert authority.resolve(Question("xx.not-registered.org")).is_nxdomain
+
+
+class TestGroundTruth:
+    def test_truth_covers_all_services(self, population):
+        truth = population.disposable_truth()
+        assert len(truth) == len(population.services)
+
+    def test_labeled_zones_two_classes(self, population):
+        labels = population.labeled_zones()
+        positives = [l for l in labels if l.disposable]
+        negatives = [l for l in labels if not l.disposable]
+        assert len(positives) == len(population.services)
+        assert len(negatives) == len(population.popular_sites)
+
+    def test_labels_without_extras(self, population):
+        labels = population.labeled_zones(include_extras=False)
+        positives = [l for l in labels if l.disposable]
+        assert len(positives) == 10  # only the named services

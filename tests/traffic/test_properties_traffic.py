@@ -1,0 +1,113 @@
+"""Property-based tests for the traffic substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.names import is_subdomain, label_count
+from repro.traffic.diurnal import SECONDS_PER_DAY, DiurnalProfile
+from repro.traffic.generators import (AvHashNameGenerator,
+                                      DnsblNameGenerator,
+                                      MeasurementNameGenerator,
+                                      TelemetryNameGenerator,
+                                      TrackingNameGenerator)
+from repro.traffic.zipf import ZipfSampler
+
+GENERATOR_FACTORIES = [
+    lambda apex: TelemetryNameGenerator(apex),
+    lambda apex: AvHashNameGenerator(apex),
+    lambda apex: MeasurementNameGenerator(apex),
+    lambda apex: DnsblNameGenerator(apex),
+    lambda apex: TrackingNameGenerator(apex),
+]
+
+apex_st = st.sampled_from(["svc.example.com", "d.tracker.net",
+                           "deep.zone.probe.org"])
+seed_st = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(apex=apex_st, seed=seed_st,
+           factory_index=st.integers(min_value=0,
+                                     max_value=len(GENERATOR_FACTORIES) - 1))
+    def test_names_always_under_apex_at_fixed_depth(self, apex, seed,
+                                                    factory_index):
+        generator = GENERATOR_FACTORIES[factory_index](apex)
+        rng = np.random.default_rng(seed)
+        expected_depth = generator.depth
+        for _ in range(5):
+            name = generator.generate(rng)
+            assert is_subdomain(name, apex)
+            assert name != apex
+            assert label_count(name) == expected_depth
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seed_st,
+           reuse=st.floats(min_value=0.0, max_value=0.9,
+                           allow_nan=False))
+    def test_reuse_never_exceeds_window(self, seed, reuse):
+        generator = TrackingNameGenerator("t.net",
+                                          reuse_probability=reuse,
+                                          reuse_window=8)
+        rng = np.random.default_rng(seed)
+        names = [generator.generate(rng) for _ in range(100)]
+        # Reused names must come from the recent window: every name
+        # repeats only within 8 + small slack positions of a prior use.
+        last_seen = {}
+        for i, name in enumerate(names):
+            if name in last_seen:
+                # Window of distinct fresh names between uses <= 8.
+                fresh_between = len({n for n in names[last_seen[name]:i]
+                                     if names.index(n) > last_seen[name]})
+                assert fresh_between <= 16
+            last_seen[name] = i
+
+
+class TestZipfProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=200),
+           exponent=st.floats(min_value=0.0, max_value=2.5,
+                              allow_nan=False),
+           seed=seed_st)
+    def test_probabilities_normalised_and_monotone(self, n, exponent, seed):
+        sampler = ZipfSampler(n, exponent)
+        probabilities = [sampler.probability(rank) for rank in range(n)]
+        assert sum(probabilities) == pytest.approx(1.0)
+        # Non-increasing in rank.
+        assert all(earlier >= later - 1e-12
+                   for earlier, later in zip(probabilities,
+                                             probabilities[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=100), seed=seed_st)
+    def test_samples_within_range(self, n, seed):
+        sampler = ZipfSampler(n, 1.0)
+        rng = np.random.default_rng(seed)
+        samples = sampler.sample(rng, 200)
+        assert samples.min() >= 0
+        assert samples.max() < n
+
+
+class TestDiurnalProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(base=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           trough=st.floats(min_value=0.0, max_value=48.0,
+                            allow_nan=False),
+           seed=seed_st)
+    def test_timestamps_sorted_and_bounded(self, base, trough, seed):
+        profile = DiurnalProfile(base=base, trough_hour=trough)
+        rng = np.random.default_rng(seed)
+        ts = profile.sample_timestamps(rng, 300)
+        assert np.all(np.diff(ts) >= 0)
+        assert ts.min() >= 0
+        assert ts.max() < SECONDS_PER_DAY
+
+    @settings(max_examples=25, deadline=None)
+    @given(base=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           hour=st.floats(min_value=0.0, max_value=24.0, allow_nan=False))
+    def test_intensity_bounded(self, base, hour):
+        profile = DiurnalProfile(base=base)
+        intensity = profile.intensity(hour)
+        assert base - 1e-9 <= intensity <= 1.0 + 1e-9

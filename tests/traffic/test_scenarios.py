@@ -1,0 +1,101 @@
+"""Tests for the named scenario library."""
+
+import pytest
+
+from repro.traffic.scenarios import SCENARIOS, scenario, scenario_names
+from repro.traffic.simulate import MeasurementDate, TraceSimulator
+
+
+class TestScenarioCatalogue:
+    def test_names(self):
+        assert scenario_names() == sorted(SCENARIOS)
+        assert "paper_year" in SCENARIOS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            scenario("nope")
+
+    def test_scale_overrides(self):
+        config = scenario("paper_year", events_per_day=5_000, n_clients=50)
+        assert config.workload.events_per_day == 5_000
+        assert config.workload.n_clients == 50
+
+    def test_all_scenarios_construct_simulators(self):
+        for name in scenario_names():
+            config = scenario(name, events_per_day=1_000, n_clients=30)
+            # Shrink populations so construction stays fast.
+            from dataclasses import replace
+            config.population = replace(config.population,
+                                        n_popular_sites=20,
+                                        n_longtail_sites=50,
+                                        n_extra_disposable=4,
+                                        cdn_objects=200)
+            simulator = TraceSimulator(config)
+            assert len(simulator.authority) > 0, name
+
+
+class TestScenarioSemantics:
+    def test_no_growth_freezes_share(self):
+        config = scenario("no_growth")
+        workload = config.workload
+        assert workload.disposable_share(0.0) == workload.disposable_share(1.0)
+
+    def test_disposable_heavy_doubles_share(self):
+        base = scenario("paper_year").workload
+        heavy = scenario("disposable_heavy").workload
+        assert heavy.disposable_share_start == pytest.approx(
+            base.disposable_share_start * 2)
+
+    def test_av_heavy_boosts_av_services(self):
+        from dataclasses import replace
+        from repro.traffic.population import ZonePopulation
+
+        base_config = scenario("paper_year")
+        heavy_config = scenario("av_heavy")
+        shrink = dict(n_popular_sites=20, n_longtail_sites=50,
+                      n_extra_disposable=4, cdn_objects=200)
+        base = ZonePopulation(replace(base_config.population, **shrink))
+        heavy = ZonePopulation(replace(heavy_config.population, **shrink))
+        base_gti = next(s for s in base.services if s.name == "mcafee-gti")
+        heavy_gti = next(s for s in heavy.services if s.name == "mcafee-gti")
+        assert heavy_gti.base_weight == pytest.approx(
+            base_gti.base_weight * 4)
+
+    def test_cdn_heavy_raises_cdn_share(self):
+        assert scenario("cdn_heavy").workload.cdn_share > \
+            scenario("paper_year").workload.cdn_share
+
+    def test_rfc2308_sets_negative_ttl(self):
+        assert scenario("rfc2308_compliant").negative_ttl == 3_600
+        assert scenario("paper_year").negative_ttl is None
+
+    def test_weight_override_unmatched_pattern_rejected(self):
+        from dataclasses import replace
+        from repro.traffic.population import PopulationConfig, ZonePopulation
+
+        config = PopulationConfig(n_popular_sites=5, n_longtail_sites=10,
+                                  n_extra_disposable=2,
+                                  service_weight_overrides={"ghost": 2.0})
+        with pytest.raises(ValueError):
+            ZonePopulation(config)
+
+
+class TestScenarioBehaviour:
+    def test_rfc2308_scenario_reduces_upstream_nxdomain(self):
+        from dataclasses import replace
+
+        def run(name):
+            config = scenario(name, events_per_day=4_000, n_clients=60)
+            config.population = replace(config.population,
+                                        n_popular_sites=30,
+                                        n_longtail_sites=200,
+                                        n_extra_disposable=6,
+                                        cdn_objects=500)
+            simulator = TraceSimulator(config)
+            day = simulator.run_day(MeasurementDate("probe", 100, 0.5))
+            return day.nxdomain_volume_above(), day.nxdomain_volume_below()
+
+        default_above, default_below = run("paper_year")
+        compliant_above, compliant_below = run("rfc2308_compliant")
+        # Same demand below; far fewer NXDOMAINs escape upstream.
+        assert compliant_above < default_above

@@ -1,0 +1,124 @@
+"""Tests for the workload model."""
+
+import numpy as np
+import pytest
+
+from repro.dns.message import RRType
+from repro.traffic.population import PopulationConfig, ZonePopulation
+from repro.traffic.workload import WorkloadConfig, WorkloadModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    population = ZonePopulation(PopulationConfig(
+        n_popular_sites=20, n_longtail_sites=100, n_extra_disposable=4,
+        cdn_objects=300))
+    config = WorkloadConfig(events_per_day=3000, n_clients=50)
+    return WorkloadModel(population, config)
+
+
+class TestMixture:
+    def test_category_probabilities_normalised(self, model):
+        for t in (0.0, 0.5, 1.0):
+            p = model.category_probabilities(t)
+            assert p.sum() == pytest.approx(1.0)
+            assert (p >= 0).all()
+
+    def test_disposable_share_grows(self, model):
+        p0 = model.category_probabilities(0.0)
+        p1 = model.category_probabilities(1.0)
+        disposable_index = model.CATEGORIES.index("disposable")
+        assert p1[disposable_index] > p0[disposable_index]
+
+    def test_year_fraction_clamped(self, model):
+        assert (model.category_probabilities(2.0)
+                == model.category_probabilities(1.0)).all()
+
+    def test_service_probabilities_shift_toward_growers(self, model):
+        p0 = model.service_probabilities(0.0)
+        p1 = model.service_probabilities(1.0)
+        google = next(i for i, s in enumerate(model.population.services)
+                      if s.name == "google-ipv6-exp")
+        assert p1[google] > p0[google]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(google_share=0.5, cdn_share=0.3,
+                           longtail_share=0.2, typo_share=0.1,
+                           disposable_share_end=0.2)
+
+
+class TestDayGeneration:
+    def test_event_count_and_order(self, model):
+        events = model.generate_day(0)
+        assert len(events) == 3000
+        timestamps = [e.timestamp for e in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_events_deterministic_per_day(self, model):
+        a = model.generate_day(5, 0.3)
+        b = model.generate_day(5, 0.3)
+        assert [(e.timestamp, e.question.qname) for e in a[:50]] == \
+               [(e.timestamp, e.question.qname) for e in b[:50]]
+
+    def test_different_days_differ(self, model):
+        a = model.generate_day(1)
+        b = model.generate_day(2)
+        assert [e.question.qname for e in a[:50]] != \
+               [e.question.qname for e in b[:50]]
+
+    def test_n_events_override(self, model):
+        assert len(model.generate_day(0, n_events=123)) == 123
+
+    def test_all_categories_present(self, model):
+        events = model.generate_day(3, 0.5)
+        categories = {e.category for e in events}
+        assert categories == set(model.CATEGORIES)
+
+    def test_clients_in_range(self, model):
+        events = model.generate_day(4)
+        assert all(0 <= e.client_id < 50 for e in events)
+
+    def test_typo_names_not_registered(self, model):
+        events = [e for e in model.generate_day(6) if e.category == "typo"]
+        assert events
+        registered = model.population.registered_2lds
+        for event in events[:50]:
+            parts = event.question.qname.split(".")
+            two_ld = ".".join(parts[-2:])
+            assert two_ld not in registered
+
+    def test_disposable_events_from_cohort_clients(self, model):
+        events = [e for e in model.generate_day(7, 0.5)
+                  if e.category == "disposable"]
+        assert events
+        # Every disposable event's name belongs to some service, and the
+        # client must be in that service's cohort.
+        for event in events[:100]:
+            service = model.population.disposable_zone_for(
+                event.question.qname)
+            assert service is not None
+            cohort = set(model.clients.cohort(service.name).tolist())
+            assert event.client_id in cohort
+
+    def test_qtype_mix(self, model):
+        events = model.generate_day(8)
+        qtypes = {e.question.qtype for e in events}
+        assert RRType.A in qtypes
+        assert RRType.AAAA in qtypes
+
+    def test_cname_events_target_cdnlink(self, model):
+        events = [e for e in model.generate_day(9)
+                  if e.question.qtype == RRType.CNAME]
+        assert all(e.question.qname.startswith("cdnlink.") for e in events)
+
+
+class TestMisspell:
+    def test_misspelled_differs(self, rng):
+        for _ in range(20):
+            out = WorkloadModel._misspell(rng, "example.com")
+            assert out != "example.com"
+            assert out.endswith(".com")
+
+    def test_short_label(self, rng):
+        assert WorkloadModel._misspell(rng, "a.com") == "xa.com"

@@ -1,0 +1,62 @@
+"""Tests for the Zipf popularity sampler."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self, rng):
+        sampler = ZipfSampler(10, 1.0)
+        samples = sampler.sample(rng, 1000)
+        assert samples.min() >= 0
+        assert samples.max() < 10
+
+    def test_rank_zero_most_frequent(self, rng):
+        sampler = ZipfSampler(50, 1.0)
+        samples = sampler.sample(rng, 20_000)
+        counts = np.bincount(samples, minlength=50)
+        assert counts[0] == counts.max()
+
+    def test_skew_increases_with_exponent(self, rng):
+        flat = ZipfSampler(100, 0.2)
+        steep = ZipfSampler(100, 1.5)
+        flat_counts = np.bincount(flat.sample(rng, 20_000), minlength=100)
+        steep_counts = np.bincount(steep.sample(rng, 20_000), minlength=100)
+        assert steep_counts[0] > flat_counts[0]
+
+    def test_zero_exponent_is_uniform(self, rng):
+        sampler = ZipfSampler(4, 0.0)
+        for rank in range(4):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, 1.1)
+        total = sum(sampler.probability(r) for r in range(20))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_matches_theory(self):
+        sampler = ZipfSampler(3, 1.0)
+        h = 1 + 0.5 + 1 / 3
+        assert sampler.probability(0) == pytest.approx(1 / h)
+        assert sampler.probability(2) == pytest.approx((1 / 3) / h)
+
+    def test_sample_one(self, rng):
+        sampler = ZipfSampler(5, 1.0)
+        assert 0 <= sampler.sample_one(rng) < 5
+
+    def test_single_item(self, rng):
+        sampler = ZipfSampler(1, 1.0)
+        assert sampler.sample(rng, 10).tolist() == [0] * 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.1)
+        with pytest.raises(IndexError):
+            ZipfSampler(5, 1.0).probability(5)
+
+    def test_empty_sample(self, rng):
+        assert ZipfSampler(5, 1.0).sample(rng, 0).size == 0
