@@ -15,6 +15,7 @@ from typing import Dict, Set, Tuple
 
 import numpy as np
 
+from repro.core.numeric import is_zero
 from repro.core.ranking import name_matches_groups
 from repro.pdns.records import FpDnsDataset
 
@@ -50,7 +51,7 @@ class ClientSpreadReport:
     def spread_ratio(self) -> float:
         """Mean clients-per-name, non-disposable over disposable."""
         if (self.disposable_counts.size == 0
-                or self.disposable_counts.mean() == 0):
+                or is_zero(float(self.disposable_counts.mean()))):
             return 0.0
         return float(self.other_counts.mean()
                      / self.disposable_counts.mean())

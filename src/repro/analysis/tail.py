@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.analysis.cdf import EmpiricalCdf
 from repro.core.hitrate import HitRateTable, RRHitRate
+from repro.core.numeric import is_zero
 from repro.core.ranking import name_matches_groups
 from repro.pdns.records import RRKey
 
@@ -91,6 +92,6 @@ def zero_dhr_tail_row(hit_rates: HitRateTable,
     """Table II row: the zero-domain-hit-rate tail split by disposability."""
     return _tail_row(
         hit_rates.day, hit_rates.records(),
-        in_tail=lambda record: record.domain_hit_rate == 0.0,
+        in_tail=lambda record: is_zero(record.domain_hit_rate),
         is_disposable=lambda key: name_matches_groups(key[0],
                                                       disposable_groups))

@@ -60,7 +60,7 @@ class BinaryClassifier:
 class Standardizer:
     """Column-wise (x - mean) / std scaling with constant-column safety."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.mean_: Optional[np.ndarray] = None
         self.std_: Optional[np.ndarray] = None
 

@@ -10,7 +10,7 @@ contrast to the boosted LAD tree the paper selected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -41,7 +41,8 @@ def _gini(positives: float, total: float) -> float:
     return 2.0 * p * (1.0 - p)
 
 
-def _best_split(X: np.ndarray, y: np.ndarray, max_candidates: int):
+def _best_split(X: np.ndarray, y: np.ndarray, max_candidates: int) \
+        -> Optional[Tuple[int, float, float]]:
     """(feature, threshold, impurity decrease) or None."""
     n, n_features = X.shape
     total_pos = float(y.sum())
@@ -77,7 +78,7 @@ class DecisionTreeClassifier(BinaryClassifier):
     """Greedy Gini CART tree for binary classification."""
 
     def __init__(self, max_depth: int = 6, min_samples_leaf: int = 2,
-                 max_candidates: int = 64):
+                 max_candidates: int = 64) -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         if min_samples_leaf < 1:

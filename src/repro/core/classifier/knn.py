@@ -19,7 +19,7 @@ __all__ = ["KNearestNeighbors"]
 class KNearestNeighbors(BinaryClassifier):
     """Standardised, distance-weighted k-NN."""
 
-    def __init__(self, k: int = 5):
+    def __init__(self, k: int = 5) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k

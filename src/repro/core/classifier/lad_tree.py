@@ -44,7 +44,7 @@ class LadTreeClassifier(BinaryClassifier):
     """
 
     def __init__(self, n_rounds: int = 30, z_clip: float = 4.0,
-                 weight_floor: float = 1e-6):
+                 weight_floor: float = 1e-6) -> None:
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
         self.n_rounds = n_rounds

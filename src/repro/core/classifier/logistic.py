@@ -17,7 +17,7 @@ __all__ = ["LogisticRegressionClassifier"]
 
 class LogisticRegressionClassifier(BinaryClassifier):
     def __init__(self, learning_rate: float = 0.5, n_iterations: int = 500,
-                 l2: float = 1e-3):
+                 l2: float = 1e-3) -> None:
         self.learning_rate = learning_rate
         self.n_iterations = n_iterations
         self.l2 = l2

@@ -17,7 +17,7 @@ __all__ = ["NeuralNetworkClassifier"]
 
 class NeuralNetworkClassifier(BinaryClassifier):
     def __init__(self, hidden_units: int = 16, learning_rate: float = 0.1,
-                 n_iterations: int = 800, l2: float = 1e-4, seed: int = 7):
+                 n_iterations: int = 800, l2: float = 1e-4, seed: int = 7) -> None:
         if hidden_units < 1:
             raise ValueError(f"hidden_units must be >= 1, got {hidden_units}")
         self.hidden_units = hidden_units

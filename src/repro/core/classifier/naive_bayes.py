@@ -17,7 +17,7 @@ class GaussianNaiveBayes(BinaryClassifier):
     features from producing zero-variance Gaussians.
     """
 
-    def __init__(self, var_smoothing: float = 1e-9):
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
         self.var_smoothing = var_smoothing
         self.class_prior_ = np.array([0.5, 0.5])
         self.means_ = None

@@ -1,0 +1,40 @@
+"""Shared DNS vocabulary: record-type and response-code enums.
+
+These live in ``repro.core`` — the bottom of the layering DAG — because
+they are the vocabulary every layer speaks: the miner's record keys, the
+resolver simulator's messages, and the passive-DNS containers all name
+RR types and response codes. :mod:`repro.dns.message` re-exports them,
+so ``from repro.dns.message import RRType`` keeps working.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["RCode", "RRType"]
+
+
+class RRType(enum.Enum):
+    """Resource-record types present in the fpDNS dataset (A/AAAA/CNAME)."""
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+    # Types below only appear in the DNSSEC substrate, never in fpDNS.
+    DNSKEY = "DNSKEY"
+    DS = "DS"
+    RRSIG = "RRSIG"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RCode(enum.Enum):
+    """DNS response codes the simulator distinguishes."""
+
+    NOERROR = 0
+    NXDOMAIN = 3
+    SERVFAIL = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

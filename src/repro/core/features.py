@@ -84,7 +84,7 @@ def _entropy_stats(label_set: Sequence[str]) -> tuple:
 class FeatureExtractor:
     """Computes :class:`GroupFeatures` from a tree + hit-rate table."""
 
-    def __init__(self, tree: DomainNameTree, hit_rates: HitRateTable):
+    def __init__(self, tree: DomainNameTree, hit_rates: HitRateTable) -> None:
         self._tree = tree
         self._hit_rates = hit_rates
 

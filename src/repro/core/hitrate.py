@@ -25,7 +25,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
-from repro.pdns.records import FpDnsDataset, RRKey
+from repro.core.records import FpDnsDataset, RRKey
 
 __all__ = ["RRHitRate", "HitRateTable", "compute_hit_rates"]
 
@@ -57,7 +57,7 @@ class RRHitRate:
 class HitRateTable:
     """All per-RR hit rates for one fpDNS day, with aggregation helpers."""
 
-    def __init__(self, rates: Mapping[RRKey, RRHitRate], day: str = ""):
+    def __init__(self, rates: Mapping[RRKey, RRHitRate], day: str = "") -> None:
         self._rates = dict(rates)
         self.day = day
 

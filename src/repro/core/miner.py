@@ -65,7 +65,7 @@ class DisposableZoneMiner:
 
     def __init__(self, classifier: BinaryClassifier,
                  config: Optional[MinerConfig] = None,
-                 suffix_list: Optional[SuffixList] = None):
+                 suffix_list: Optional[SuffixList] = None) -> None:
         self.classifier = classifier
         self.config = config or MinerConfig()
         self.suffix_list = suffix_list or default_suffix_list()

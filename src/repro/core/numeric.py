@@ -1,0 +1,29 @@
+"""Tolerance-based float comparison helpers.
+
+The measurement layers compare hit rates, ratios, and cache fractions;
+exact ``==`` on such values is banned by reprolint rule R006 (see
+``docs/STATIC_ANALYSIS.md``). These helpers make the tolerance explicit.
+The default absolute tolerance is far below any meaningful hit-rate
+resolution (1 part in 1e12 of a query) yet far above accumulated
+rounding error in the analyses.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ABS_TOL", "REL_TOL", "approx_eq", "is_zero"]
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def approx_eq(a: float, b: float, rel_tol: float = REL_TOL,
+              abs_tol: float = ABS_TOL) -> bool:
+    """True when ``a`` and ``b`` agree within tolerance."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(value: float, abs_tol: float = ABS_TOL) -> bool:
+    """True when ``value`` is zero within absolute tolerance."""
+    return abs(value) <= abs_tol

@@ -113,7 +113,7 @@ class ZoneProfiler:
     """Builds :class:`ZoneProfile` reports from a day's artifacts."""
 
     def __init__(self, tree: DomainNameTree, hit_rates: HitRateTable,
-                 classifier: BinaryClassifier):
+                 classifier: BinaryClassifier) -> None:
         self._tree = tree
         self._hit_rates = hit_rates
         self._classifier = classifier

@@ -22,7 +22,7 @@ from repro.core.miner import (DisposableZoneFinding, DisposableZoneMiner,
 from repro.core.names import label_count, parent
 from repro.core.suffix import SuffixList, default_suffix_list
 from repro.core.tree import DomainNameTree
-from repro.pdns.records import FpDnsDataset
+from repro.core.records import FpDnsDataset
 
 __all__ = ["DailyMiningResult", "DisposableZoneRanker", "build_tree_for_day"]
 
@@ -92,7 +92,7 @@ class DisposableZoneRanker:
 
     def __init__(self, classifier: BinaryClassifier,
                  config: Optional[MinerConfig] = None,
-                 suffix_list: Optional[SuffixList] = None):
+                 suffix_list: Optional[SuffixList] = None) -> None:
         self.classifier = classifier
         self.config = config or MinerConfig()
         self.suffix_list = suffix_list or default_suffix_list()

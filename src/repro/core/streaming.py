@@ -28,8 +28,8 @@ from repro.core.hitrate import HitRateTable, RRHitRate
 from repro.core.miner import (DisposableZoneFinding, DisposableZoneMiner,
                               MinerConfig)
 from repro.core.tree import DomainNameTree
-from repro.dns.message import RCode
-from repro.pdns.records import FpDnsEntry, RRKey
+from repro.core.dnstypes import RCode
+from repro.core.records import FpDnsEntry, RRKey
 
 __all__ = ["StreamStats", "StreamingDayBuilder", "mine_stream"]
 
@@ -54,7 +54,7 @@ class StreamStats:
 class StreamingDayBuilder:
     """Incrementally builds the tree and hit-rate table for one day."""
 
-    def __init__(self, day: str = ""):
+    def __init__(self, day: str = "") -> None:
         self.day = day
         self._below: Dict[RRKey, int] = {}
         self._above: Dict[RRKey, int] = {}

@@ -74,7 +74,7 @@ class SuffixList:
         effective TLD; ``"!www.ck"`` exempts a name from a wildcard.
     """
 
-    def __init__(self, rules: Iterable[str]):
+    def __init__(self, rules: Iterable[str]) -> None:
         self._plain: Set[str] = set()
         self._wildcard: Set[str] = set()  # stores the parent, e.g. "ck"
         self._exception: Set[str] = set()

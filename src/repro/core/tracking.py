@@ -42,7 +42,7 @@ class TrackedZone:
 class ZoneTracker:
     """Accumulates daily mining results into a discovery ledger."""
 
-    def __init__(self, suffix_list: Optional[SuffixList] = None):
+    def __init__(self, suffix_list: Optional[SuffixList] = None) -> None:
         self._entries: Dict[GroupKey, TrackedZone] = {}
         self._new_per_day: Dict[str, int] = {}
         self._days: List[str] = []

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.names import label_count, labels, normalize
+from repro.core.suffix import SuffixList
 
 __all__ = ["TreeNode", "DomainNameTree"]
 
@@ -52,7 +53,7 @@ class TreeNode:
 class DomainNameTree:
     """Tree over the domain names observed in one fpDNS day."""
 
-    def __init__(self, names: Optional[Iterable[str]] = None):
+    def __init__(self, names: Optional[Iterable[str]] = None) -> None:
         self._root = TreeNode(name="", label=".", depth=0)
         self._black_count = 0
         for name in names or []:
@@ -160,7 +161,7 @@ class DomainNameTree:
             return []
         return [child.name for child in node.children.values()]
 
-    def effective_2lds(self, suffix_list) -> List[str]:
+    def effective_2lds(self, suffix_list: SuffixList) -> List[str]:
         """All effective 2LDs present in the tree — the starting zones
         for Algorithm 1.
 

@@ -58,7 +58,7 @@ class AuthoritativeHierarchy:
     _REFERRAL_DEPTH_HIT = 3      # root -> TLD -> zone NS
     _REFERRAL_DEPTH_NXDOMAIN = 2  # root -> TLD says no such delegation
 
-    def __init__(self, suffix_list: Optional[SuffixList] = None):
+    def __init__(self, suffix_list: Optional[SuffixList] = None) -> None:
         self._zones_by_apex: Dict[str, Zone] = {}
         self._suffixes = suffix_list or default_suffix_list()
         self.stats = AuthorityStats()

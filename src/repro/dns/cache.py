@@ -88,7 +88,7 @@ class LruDnsCache:
     """
 
     def __init__(self, capacity: int, min_ttl: int = 0,
-                 negative_ttl: Optional[int] = None):
+                 negative_ttl: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if min_ttl < 0:

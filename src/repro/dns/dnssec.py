@@ -56,7 +56,7 @@ class ZoneSigner:
 
     def __init__(self, signed_zones: Optional[Set[str]] = None,
                  wildcard_zones: Optional[Set[str]] = None,
-                 unsigned_subtrees: Optional[Set[str]] = None):
+                 unsigned_subtrees: Optional[Set[str]] = None) -> None:
         self._signed = {normalize(z) for z in (signed_zones or set())}
         self._wildcard = {normalize(z) for z in (wildcard_zones or set())}
         self._signed |= self._wildcard

@@ -9,39 +9,13 @@ just the semantic tuple the fpDNS dataset stores.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from repro.core.dnstypes import RCode, RRType
 from repro.core.names import normalize
 
 __all__ = ["RRType", "RCode", "ResourceRecord", "Question", "Response"]
-
-
-class RRType(enum.Enum):
-    """Resource-record types present in the fpDNS dataset (A/AAAA/CNAME)."""
-
-    A = "A"
-    AAAA = "AAAA"
-    CNAME = "CNAME"
-    # Types below only appear in the DNSSEC substrate, never in fpDNS.
-    DNSKEY = "DNSKEY"
-    DS = "DS"
-    RRSIG = "RRSIG"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
-
-
-class RCode(enum.Enum):
-    """DNS response codes the simulator distinguishes."""
-
-    NOERROR = 0
-    NXDOMAIN = 3
-    SERVFAIL = 2
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.name
 
 
 @dataclass(frozen=True)

@@ -47,7 +47,7 @@ class RecursiveResolver:
 
     MAX_CNAME_CHAIN = 8  # RFC 1034 loop protection
 
-    def __init__(self, authority: AuthoritativeHierarchy, cache: LruDnsCache):
+    def __init__(self, authority: AuthoritativeHierarchy, cache: LruDnsCache) -> None:
         self.authority = authority
         self.cache = cache
         self.upstream_queries = 0
@@ -112,7 +112,7 @@ class RdnsCluster:
     def __init__(self, authority: AuthoritativeHierarchy, n_servers: int = 4,
                  cache_capacity: int = 100_000, min_ttl: int = 0,
                  negative_ttl: Optional[int] = None,
-                 taps: Optional[Sequence[MonitoringTap]] = None):
+                 taps: Optional[Sequence[MonitoringTap]] = None) -> None:
         if n_servers < 1:
             raise ValueError(f"n_servers must be >= 1, got {n_servers}")
         self.authority = authority

@@ -22,7 +22,7 @@ class StubResolver:
     """Client-side resolver pinned to one client identity."""
 
     def __init__(self, client_id: int, cluster: RdnsCluster,
-                 local_cache_capacity: int = 0):
+                 local_cache_capacity: int = 0) -> None:
         self.client_id = client_id
         self.cluster = cluster
         self._local_cache: Optional[LruDnsCache] = (

@@ -60,7 +60,7 @@ class NameCompressor:
     2-byte pointer.  Only sizes are tracked, never actual offsets.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._known: set = set()
 
     def name_size(self, name: str) -> int:

@@ -53,7 +53,7 @@ def synthesize_ip(name: str, rtype: RRType, salt: str = "") -> str:
 class Zone:
     """Base class: an authoritative zone rooted at ``apex``."""
 
-    def __init__(self, apex: str, signed: bool = False):
+    def __init__(self, apex: str, signed: bool = False) -> None:
         self.apex = normalize(apex)
         self.signed = signed
 
@@ -72,7 +72,7 @@ class StaticZone(Zone):
     """Zone answering from an explicit record set."""
 
     def __init__(self, apex: str, records: Optional[List[ResourceRecord]] = None,
-                 signed: bool = False):
+                 signed: bool = False) -> None:
         super().__init__(apex, signed=signed)
         self._records: Dict[Tuple[str, RRType], List[ResourceRecord]] = {}
         for record in records or []:
@@ -127,7 +127,7 @@ class WildcardZone(Zone):
     def __init__(self, apex: str, ttl: int = 300, rtype: RRType = RRType.A,
                  rdata_mode: str = "per-name", shared_rdata: Optional[str] = None,
                  signed: bool = False, min_depth: int = 0,
-                 answer_count: int = 1):
+                 answer_count: int = 1) -> None:
         super().__init__(apex, signed=signed)
         if rdata_mode not in ("per-name", "shared"):
             raise ValueError(f"unknown rdata_mode: {rdata_mode!r}")
@@ -172,7 +172,7 @@ class CallbackZone(Zone):
     """Zone whose answers come from a user-supplied callable."""
 
     def __init__(self, apex: str, callback: Callable[[Question], Response],
-                 signed: bool = False):
+                 signed: bool = False) -> None:
         super().__init__(apex, signed=signed)
         self._callback = callback
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.experiments.ablations import (run_classifier_comparison,
                                          run_feature_ablation,
@@ -62,7 +62,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
 _PROFILES: Dict[str, ScaleProfile] = {"small": SMALL, "medium": MEDIUM}
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.")

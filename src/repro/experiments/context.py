@@ -81,7 +81,7 @@ TRAINING_DATE = MeasurementDate("2011-11-10", 313, 0.85)
 class ExperimentContext:
     """Lazily computed, cached experiment artifacts for one profile."""
 
-    def __init__(self, profile: ScaleProfile):
+    def __init__(self, profile: ScaleProfile) -> None:
         self.profile = profile
         self.simulator = TraceSimulator(profile.simulator_config())
         self._datasets: Dict[str, FpDnsDataset] = {}

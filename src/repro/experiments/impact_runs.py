@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import format_kv, format_percent, format_table
@@ -13,6 +13,7 @@ from repro.impact.dnssec_cost import DnssecStudyResult, run_dnssec_study
 from repro.impact.pdns_storage import PdnsStorageResult, run_pdns_storage_study
 from repro.traffic.diurnal import SECONDS_PER_DAY
 from repro.traffic.simulate import RPDNS_WINDOW_DATES, MeasurementDate
+from repro.traffic.workload import QueryEvent
 
 __all__ = ["Sec6aResult", "run_sec6a_cache_pressure",
            "Sec6bResult", "run_sec6b_dnssec",
@@ -21,7 +22,8 @@ __all__ = ["Sec6aResult", "run_sec6a_cache_pressure",
 _IMPACT_DATE = MeasurementDate("impact-day", 400, 0.95)
 
 
-def _impact_events(ctx: ExperimentContext, n_events: int = None):
+def _impact_events(ctx: ExperimentContext,
+                   n_events: Optional[int] = None) -> List[QueryEvent]:
     workload = ctx.simulator.workload
     return workload.generate_day(_IMPACT_DATE.day_index,
                                  year_fraction=_IMPACT_DATE.year_fraction,

@@ -87,7 +87,7 @@ class ParameterSweep:
                  metrics: Dict[str, MetricFn],
                  probe_date: MeasurementDate = _DEFAULT_PROBE,
                  warmup_date: Optional[MeasurementDate] = _DEFAULT_WARMUP,
-                 events_per_day: Optional[int] = None):
+                 events_per_day: Optional[int] = None) -> None:
         if not metrics:
             raise ValueError("need at least one metric")
         self.base = base

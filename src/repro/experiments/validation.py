@@ -70,7 +70,8 @@ def validate_calibration(simulator: TraceSimulator,
     volumes = day_summary(dataset)
     checks: List[CalibrationCheck] = []
 
-    def check(name, measured, passed, expectation):
+    def check(name: str, measured: float, passed: bool,
+              expectation: str) -> None:
         checks.append(CalibrationCheck(name=name, passed=bool(passed),
                                        measured=float(measured),
                                        expectation=expectation))

@@ -131,7 +131,7 @@ class OccupancyReport:
 
 
 def cache_occupancy(cluster: RdnsCluster, now: float,
-                    disposable_groups) -> OccupancyReport:
+                    disposable_groups: Set[Tuple[str, int]]) -> OccupancyReport:
     """Snapshot live cache contents across a cluster and attribute
     them to disposable (zone, depth) groups."""
     from repro.core.ranking import name_matches_groups

@@ -20,7 +20,7 @@ __all__ = ["PassiveDnsCollector"]
 class PassiveDnsCollector:
     """Records both monitored streams into per-day fpDNS datasets."""
 
-    def __init__(self, day: str):
+    def __init__(self, day: str) -> None:
         self._dataset = FpDnsDataset(day=day)
         self._finished: List[FpDnsDataset] = []
 

@@ -53,7 +53,7 @@ class IngestReport:
 class PassiveDnsDatabase:
     """Append-only store of distinct RRs with first-seen tracking."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._first_seen: Dict[RRKey, str] = {}
         self._new_per_day: Dict[str, int] = {}
         self._ingest_order: List[str] = []

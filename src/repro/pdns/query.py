@@ -40,7 +40,7 @@ class PdnsQueryIndex:
     rebuild after further ingestion.
     """
 
-    def __init__(self, database: PassiveDnsDatabase):
+    def __init__(self, database: PassiveDnsDatabase) -> None:
         self._by_name: Dict[str, List[RpDnsEntry]] = {}
         self._by_rdata: Dict[str, List[RpDnsEntry]] = {}
         self._names_by_zone: Dict[str, Set[str]] = {}

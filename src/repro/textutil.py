@@ -24,7 +24,7 @@ def format_table(headers: Sequence[str],
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
-    def line(cells):
+    def line(cells: Sequence[str]) -> str:
         return "  ".join(cell.ljust(width)
                          for cell, width in zip(cells, widths)).rstrip()
     out = [line(headers), line(["-" * width for width in widths])]

@@ -23,7 +23,7 @@ class ClientPopulation:
     """Subscribers with heavy-tailed activity and service cohorts."""
 
     def __init__(self, n_clients: int, services: Sequence[DisposableService],
-                 seed: int = 1, activity_exponent: float = 1.2):
+                 seed: int = 1, activity_exponent: float = 1.2) -> None:
         if n_clients < 1:
             raise ValueError(f"n_clients must be >= 1, got {n_clients}")
         self.n_clients = n_clients

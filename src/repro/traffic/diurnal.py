@@ -23,7 +23,7 @@ class DiurnalProfile:
     ``trough_hour``.
     """
 
-    def __init__(self, base: float = 0.25, trough_hour: float = 4.0):
+    def __init__(self, base: float = 0.25, trough_hour: float = 4.0) -> None:
         if not 0.0 <= base <= 1.0:
             raise ValueError(f"base must be in [0, 1], got {base}")
         self.base = base

@@ -52,7 +52,7 @@ class DisposableNameGenerator:
     """Base class: fixed-depth name generation under one zone apex."""
 
     def __init__(self, apex: str, reuse_probability: float = 0.1,
-                 reuse_window: int = 64):
+                 reuse_window: int = 64) -> None:
         if not 0.0 <= reuse_probability < 1.0:
             raise ValueError(
                 f"reuse_probability must be in [0, 1), got {reuse_probability}")
@@ -151,7 +151,7 @@ class TrackingNameGenerator(DisposableNameGenerator):
     """Cookie-tracking / analytics beacon: one random token label."""
 
     def __init__(self, apex: str, token_length: int = 12,
-                 reuse_probability: float = 0.1, reuse_window: int = 64):
+                 reuse_probability: float = 0.1, reuse_window: int = 64) -> None:
         super().__init__(apex, reuse_probability, reuse_window)
         self.token_length = token_length
 
@@ -170,7 +170,7 @@ class CdnShardNameGenerator(DisposableNameGenerator):
     """
 
     def __init__(self, apex: str, n_objects: int = 20_000, n_shards: int = 8,
-                 popularity_exponent: float = 1.1):
+                 popularity_exponent: float = 1.1) -> None:
         super().__init__(apex, reuse_probability=0.0)
         from repro.traffic.zipf import ZipfSampler
         self.n_objects = n_objects

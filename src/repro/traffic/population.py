@@ -153,7 +153,7 @@ class ZonePopulation:
     GOOGLE_MEASUREMENT_ZONE = "ipv6-exp.l.google.com"
     AKAMAI_APEXES = ("akamai.net", "akamaiedge.net")
 
-    def __init__(self, config: Optional[PopulationConfig] = None):
+    def __init__(self, config: Optional[PopulationConfig] = None) -> None:
         self.config = config or PopulationConfig()
         rng = np.random.default_rng(self.config.seed)
         self.popular_sites = self._build_popular_sites(rng)

@@ -102,7 +102,7 @@ SCENARIOS: Dict[str, Callable[..., SimulatorConfig]] = {
 }
 
 
-def scenario(name: str, **kwargs) -> SimulatorConfig:
+def scenario(name: str, **kwargs: object) -> SimulatorConfig:
     """Build a named scenario's config; kwargs override scale knobs."""
     try:
         factory = SCENARIOS[name]

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.labeling import LabeledZone
 from repro.dns.authority import AuthoritativeHierarchy
 from repro.dns.resolver import RdnsCluster
 from repro.pdns.collector import PassiveDnsCollector
@@ -77,11 +78,23 @@ class SimulatorConfig:
     population: PopulationConfig = field(default_factory=PopulationConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
 
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError(f"need at least one server, got {self.n_servers}")
+        if self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.min_ttl < 0:
+            raise ValueError(f"min_ttl must be >= 0, got {self.min_ttl}")
+        if self.negative_ttl is not None and self.negative_ttl < 0:
+            raise ValueError(
+                f"negative_ttl must be >= 0, got {self.negative_ttl}")
+
 
 class TraceSimulator:
     """End-to-end synthetic trace generation."""
 
-    def __init__(self, config: Optional[SimulatorConfig] = None):
+    def __init__(self, config: Optional[SimulatorConfig] = None) -> None:
         self.config = config or SimulatorConfig()
         self.population = ZonePopulation(self.config.population)
         self.workload = WorkloadModel(self.population, self.config.workload)
@@ -131,5 +144,5 @@ class TraceSimulator:
     def disposable_truth(self) -> Set[Tuple[str, int]]:
         return self.population.disposable_truth()
 
-    def labeled_zones(self):
+    def labeled_zones(self) -> List[LabeledZone]:
         return self.population.labeled_zones()

@@ -83,7 +83,7 @@ class WorkloadModel:
 
     def __init__(self, population: ZonePopulation,
                  config: Optional[WorkloadConfig] = None,
-                 diurnal: Optional[DiurnalProfile] = None):
+                 diurnal: Optional[DiurnalProfile] = None) -> None:
         self.population = population
         self.config = config or WorkloadConfig()
         self.diurnal = diurnal or DiurnalProfile()

@@ -16,7 +16,7 @@ __all__ = ["ZipfSampler"]
 class ZipfSampler:
     """Finite Zipf distribution over ranks ``0..n-1``."""
 
-    def __init__(self, n: int, exponent: float = 1.0):
+    def __init__(self, n: int, exponent: float = 1.0) -> None:
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         if exponent < 0:

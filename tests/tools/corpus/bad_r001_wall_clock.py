@@ -1,0 +1,16 @@
+# reprolint: module=repro.traffic.fixture_bad_clock
+"""Corpus fixture: wall-clock reads inside repro code (R001 x3)."""
+
+import time
+from datetime import datetime
+
+from datetime import datetime as dt
+
+__all__ = ["stamp_events"]
+
+
+def stamp_events() -> float:
+    started = time.time()
+    cutoff = datetime.now()
+    legacy = dt.utcnow()
+    return started + cutoff.timestamp() + legacy.timestamp()

@@ -1,0 +1,16 @@
+# reprolint: module=repro.traffic.fixture_bad_rng
+"""Corpus fixture: global-state and unseeded RNG use (R002 x4)."""
+
+import random
+
+import numpy as np
+
+__all__ = ["jitter"]
+
+
+def jitter() -> float:
+    draw = random.random()
+    pick = np.random.randint(0, 10)
+    rng = np.random.default_rng()
+    legacy = np.random.RandomState(7)
+    return draw + pick + rng.random() + legacy.rand()

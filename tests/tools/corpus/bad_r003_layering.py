@@ -1,0 +1,7 @@
+# reprolint: module=repro.core.fixture_bad_layering
+"""Corpus fixture: the mining core importing upward (R003 x2)."""
+
+from repro.experiments.context import ExperimentContext
+from repro.traffic.workload import WorkloadModel
+
+__all__ = ["ExperimentContext", "WorkloadModel"]

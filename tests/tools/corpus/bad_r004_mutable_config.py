@@ -1,0 +1,12 @@
+# reprolint: module=repro.traffic.fixture_bad_config
+"""Corpus fixture: a mutable, unvalidated *Config dataclass (R004 x1)."""
+
+from dataclasses import dataclass
+
+__all__ = ["ShardConfig"]
+
+
+@dataclass
+class ShardConfig:
+    n_shards: int = 4
+    capacity: int = 1_000

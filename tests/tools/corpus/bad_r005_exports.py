@@ -1,0 +1,8 @@
+# reprolint: module=repro.analysis.fixture_bad_exports
+"""Corpus fixture: __all__ exporting an undefined name (R005 x1)."""
+
+__all__ = ["existing_helper", "ghost_function"]
+
+
+def existing_helper() -> int:
+    return 1

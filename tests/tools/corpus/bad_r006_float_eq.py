@@ -1,0 +1,11 @@
+# reprolint: module=repro.analysis.fixture_bad_floats
+"""Corpus fixture: exact equality on float-valued expressions (R006 x3)."""
+
+__all__ = ["hit_rate_checks"]
+
+
+def hit_rate_checks(hits: int, total: int, domain_hit_rate: float) -> bool:
+    exact_zero = domain_hit_rate == 0.0
+    ratio_match = hits / total == 1.0
+    rate_differs = domain_hit_rate != 0.5
+    return exact_zero or ratio_match or rate_differs

@@ -1,0 +1,180 @@
+"""reprolint test suite: corpus rules fire, suppressions work, src is clean.
+
+The known-bad corpus lives in ``tests/tools/corpus/``; each file fakes
+its module identity with a ``# reprolint: module=...`` directive so
+rules scoped to ``repro.*`` apply. Default CLI discovery skips
+directories named ``corpus`` (so linting ``tests`` stays clean), but
+passing the directory explicitly lints it — that asymmetry is what the
+exit-code tests exercise.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import ALL_RULES, lint_source
+from tools.reprolint.cli import main
+from tools.reprolint.engine import LintEngine, discover_files, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = REPO_ROOT / "tests" / "tools" / "corpus"
+
+CORPUS_EXPECTATIONS = {
+    "R001": ("bad_r001_wall_clock.py", 3),
+    "R002": ("bad_r002_unseeded_rng.py", 4),
+    "R003": ("bad_r003_layering.py", 2),
+    "R004": ("bad_r004_mutable_config.py", 1),
+    "R005": ("bad_r005_exports.py", 1),
+    "R006": ("bad_r006_float_eq.py", 3),
+}
+
+
+def lint_file(path, **kwargs):
+    return lint_source(path.read_text(), str(path), ALL_RULES, **kwargs)
+
+
+# --------------------------------------------------------- corpus rules
+
+
+@pytest.mark.parametrize("rule_id,filename,expected",
+                         [(rule, name, count) for rule, (name, count)
+                          in sorted(CORPUS_EXPECTATIONS.items())])
+def test_corpus_file_fires_rule(rule_id, filename, expected):
+    violations = lint_file(CORPUS / filename)
+    fired = [v for v in violations if v.rule_id == rule_id]
+    assert len(fired) == expected, (
+        f"{filename} should trigger {rule_id} x{expected}, got "
+        f"{[v.render() for v in violations]}")
+
+
+def test_corpus_files_cover_every_rule():
+    assert set(CORPUS_EXPECTATIONS) == {rule.rule_id for rule in ALL_RULES}
+
+
+def test_violations_carry_position_and_message():
+    violations = lint_file(CORPUS / "bad_r001_wall_clock.py")
+    first = [v for v in violations if v.rule_id == "R001"][0]
+    assert first.line > 1
+    assert "time.time" in first.message
+    rendered = first.render()
+    assert rendered.startswith(str(CORPUS / "bad_r001_wall_clock.py"))
+    assert ":R001".replace(":", " ") in rendered or " R001 " in rendered
+
+
+# --------------------------------------------------------- suppressions
+
+
+def test_same_line_suppression_silences_rule():
+    source = (
+        "# reprolint: module=repro.traffic.tmp\n"
+        "__all__ = []\n"
+        "import time\n"
+        "NOW = time.time()  # reprolint: disable=R001\n")
+    assert lint_source(source, "tmp.py", ALL_RULES) == []
+
+
+def test_preceding_comment_line_suppression():
+    source = (
+        "# reprolint: module=repro.traffic.tmp\n"
+        "__all__ = []\n"
+        "import time\n"
+        "# reprolint: disable=R001\n"
+        "NOW = time.time()\n")
+    assert lint_source(source, "tmp.py", ALL_RULES) == []
+
+
+def test_suppression_is_rule_specific():
+    source = (
+        "# reprolint: module=repro.traffic.tmp\n"
+        "__all__ = []\n"
+        "import time\n"
+        "NOW = time.time()  # reprolint: disable=R002\n")
+    violations = lint_source(source, "tmp.py", ALL_RULES)
+    assert [v.rule_id for v in violations] == ["R001"]
+
+
+def test_file_level_suppression():
+    source = (
+        "# reprolint: module=repro.traffic.tmp\n"
+        "# reprolint: disable-file=R001,R005\n"
+        "import time\n"
+        "NOW = time.time()\n")
+    assert lint_source(source, "tmp.py", ALL_RULES) == []
+
+
+def test_no_suppressions_flag_reports_anyway():
+    source = (
+        "# reprolint: module=repro.traffic.tmp\n"
+        "__all__ = []\n"
+        "import time\n"
+        "NOW = time.time()  # reprolint: disable=R001\n")
+    violations = lint_source(source, "tmp.py", ALL_RULES,
+                             respect_suppressions=False)
+    assert [v.rule_id for v in violations] == ["R001"]
+
+
+# ------------------------------------------------------------ discovery
+
+
+def test_discovery_skips_corpus_by_default():
+    found = discover_files([str(REPO_ROOT / "tests")])
+    assert not any("corpus" in str(path) for path in found)
+
+
+def test_explicit_corpus_path_is_linted():
+    found = discover_files([str(CORPUS)])
+    assert len(found) == len(CORPUS_EXPECTATIONS)
+
+
+def test_module_name_resolution():
+    assert module_name_for(
+        REPO_ROOT / "src" / "repro" / "analysis" / "tail.py") \
+        == "repro.analysis.tail"
+    assert module_name_for(
+        REPO_ROOT / "src" / "repro" / "core" / "__init__.py") == "repro.core"
+
+
+# ------------------------------------------------------- self-check CLI
+
+
+def test_src_tests_examples_are_violation_free():
+    engine = LintEngine(ALL_RULES)
+    violations = engine.run([str(REPO_ROOT / "src"),
+                             str(REPO_ROOT / "tests"),
+                             str(REPO_ROOT / "examples")])
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    assert main([str(REPO_ROOT / "src")]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_cli_exit_nonzero_on_corpus(capsys):
+    assert main([str(CORPUS)]) == 1
+    out = capsys.readouterr().out
+    for rule_id in CORPUS_EXPECTATIONS:
+        assert rule_id in out
+
+
+def test_cli_select_limits_rules(capsys):
+    assert main([str(CORPUS), "--select", "R004"]) == 1
+    out = capsys.readouterr().out
+    assert "R004" in out
+    assert "R001" not in out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.rule_id in out
+
+
+def test_cli_module_invocation_from_repo_root():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "src"],
+        cwd=str(REPO_ROOT), capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

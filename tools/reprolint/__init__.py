@@ -1,0 +1,31 @@
+"""reprolint — repo-specific static analysis for the DNS Noise reproduction.
+
+An AST-based rule engine (stdlib only) that machine-checks the invariants
+this reproduction depends on: simulated-time-only determinism, seeded-RNG
+discipline, package layering, frozen/validated configs, honest ``__all__``
+exports, and tolerance-based float comparisons.
+
+Run it as::
+
+    python -m tools.reprolint src tests examples
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the layering
+DAG, and ``tests/tools/test_reprolint.py`` for the known-bad corpus.
+"""
+
+from tools.reprolint.engine import (LintEngine, ModuleContext, Rule,
+                                    Violation, lint_source)
+from tools.reprolint.rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "LintEngine",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "__version__",
+    "lint_source",
+    "rule_by_id",
+]
+
+__version__ = "1.0.0"

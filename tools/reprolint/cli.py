@@ -1,0 +1,95 @@
+"""Command-line front end: ``python -m tools.reprolint src tests examples``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from tools.reprolint.engine import LintEngine, Rule, Violation
+from tools.reprolint.rules import ALL_RULES
+
+__all__ = ["build_parser", "main", "select_rules"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-specific static analysis for the DNS Noise "
+                    "reproduction (determinism, layering, typing "
+                    "invariants).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (e.g. "
+                             "R001,R003); default: all")
+    parser.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--no-suppressions", action="store_true",
+                        help="report violations even where '# reprolint: "
+                             "disable' comments would silence them")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    return parser
+
+
+def select_rules(select: Optional[str],
+                 ignore: Optional[str]) -> List[Rule]:
+    chosen = list(ALL_RULES)
+    if select:
+        wanted = {part.strip() for part in select.split(",") if part.strip()}
+        unknown = wanted - {rule.rule_id for rule in chosen}
+        if unknown:
+            raise SystemExit(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = [rule for rule in chosen if rule.rule_id in wanted]
+    if ignore:
+        dropped = {part.strip() for part in ignore.split(",") if part.strip()}
+        chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+    return chosen
+
+
+def _render_text(violations: Sequence[Violation]) -> str:
+    lines = [violation.render() for violation in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"reprolint: {len(violations)} {noun}")
+    return "\n".join(lines)
+
+
+def _render_json(violations: Sequence[Violation]) -> str:
+    payload = [{"rule": v.rule_id, "path": v.path, "line": v.line,
+                "col": v.col, "message": v.message} for v in violations]
+    return json.dumps({"violations": payload, "count": len(payload)},
+                      indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name}")
+            print(f"      {rule.description}")
+        return 0
+
+    rules = select_rules(args.select, args.ignore)
+    engine = LintEngine(rules,
+                        respect_suppressions=not args.no_suppressions)
+    try:
+        violations = engine.run(args.paths)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(_render_json(violations))
+    else:
+        print(_render_text(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Rule engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately small: a :class:`Rule` sees one parsed module
+(:class:`ModuleContext`) at a time and yields :class:`Violation` objects.
+Suppression comments are applied centrally so individual rules never need
+to know about them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from tools.reprolint.suppressions import Suppressions, scan_comments
+
+__all__ = [
+    "EXCLUDED_DIR_NAMES",
+    "LintEngine",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "discover_files",
+    "lint_source",
+    "module_name_for",
+]
+
+#: Directory names skipped during recursive discovery. ``corpus`` holds
+#: intentionally-bad lint fixtures; passing such a directory *explicitly*
+#: on the command line still lints it (explicit beats default).
+EXCLUDED_DIR_NAMES = frozenset({
+    "__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".ruff_cache",
+    "build", "dist", "corpus",
+})
+
+#: Pseudo rule id for files that fail to parse.
+PARSE_ERROR_ID = "E999"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and a human-readable message."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: Optional[str]  # dotted name, e.g. "repro.analysis.tail"
+    suppressions: Suppressions = field(default_factory=lambda: scan_comments(""))
+
+    @property
+    def module_parts(self) -> Sequence[str]:
+        return self.module.split(".") if self.module else ()
+
+    def in_package(self, prefix: str) -> bool:
+        """True if the module is ``prefix`` or lives under ``prefix.``."""
+        if self.module is None:
+            return False
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+
+class Rule:
+    """Base class for all rules.
+
+    Subclasses set ``rule_id``/``name``/``description`` and implement
+    :meth:`check`; :meth:`applies_to` scopes the rule to parts of the
+    tree (e.g. determinism rules only run on ``repro.*`` modules).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: ModuleContext, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(rule_id=self.rule_id, path=ctx.path,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0),
+                         message=message)
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Infer the dotted module name from package ``__init__.py`` files.
+
+    Walks up from the file while each parent directory is a package, so
+    ``src/repro/analysis/tail.py`` resolves to ``repro.analysis.tail``
+    regardless of where the tree is rooted.
+    """
+    path = path.resolve()
+    parts: List[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+def discover_files(roots: Sequence[str]) -> List[Path]:
+    """Expand the given paths into a sorted, de-duplicated file list."""
+    seen: Dict[Path, None] = {}
+    for root in roots:
+        root_path = Path(root)
+        if root_path.is_file():
+            seen.setdefault(root_path, None)
+            continue
+        if not root_path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in sorted(root_path.rglob("*.py")):
+            relative = candidate.relative_to(root_path)
+            skip = any(part in EXCLUDED_DIR_NAMES or part.endswith(".egg-info")
+                       for part in relative.parts[:-1])
+            if not skip:
+                seen.setdefault(candidate, None)
+    return sorted(seen, key=str)
+
+
+def lint_source(source: str, path: str, rules: Sequence[Rule],
+                module: Optional[str] = None,
+                respect_suppressions: bool = True) -> List[Violation]:
+    """Lint one in-memory module. The unit the tests drive directly."""
+    suppressions = scan_comments(source)
+    if suppressions.module_override is not None:
+        module = suppressions.module_override
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(rule_id=PARSE_ERROR_ID, path=path,
+                          line=exc.lineno or 1, col=exc.offset or 0,
+                          message=f"syntax error: {exc.msg}")]
+    ctx = ModuleContext(path=path, source=source, tree=tree, module=module,
+                        suppressions=suppressions)
+    found: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if respect_suppressions and suppressions.is_suppressed(
+                    violation.rule_id, violation.line):
+                continue
+            found.append(violation)
+    return sorted(found, key=Violation.sort_key)
+
+
+class LintEngine:
+    """Run a rule set over files and directories."""
+
+    def __init__(self, rules: Sequence[Rule],
+                 respect_suppressions: bool = True) -> None:
+        self.rules = list(rules)
+        self.respect_suppressions = respect_suppressions
+
+    def run(self, roots: Sequence[str]) -> List[Violation]:
+        violations: List[Violation] = []
+        for path in discover_files(roots):
+            violations.extend(self.run_file(path))
+        return sorted(violations, key=Violation.sort_key)
+
+    def run_file(self, path: Path) -> List[Violation]:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Violation(rule_id=PARSE_ERROR_ID, path=str(path), line=1,
+                              col=0, message=f"unreadable file: {exc}")]
+        return lint_source(source, str(path), self.rules,
+                           module=module_name_for(path),
+                           respect_suppressions=self.respect_suppressions)

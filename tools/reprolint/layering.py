@@ -1,0 +1,59 @@
+"""The package layering DAG enforced by rule R003.
+
+The reproduction is layered so the simulator can later be sharded and
+parallelized without import cycles (ROADMAP north-star)::
+
+    core ──► {dns, pdns} ──► traffic ──► analysis ──► impact ──► experiments
+
+``textutil`` is a leaf utility importable from every layer (including
+``core``, whose profiler renders reports with it); ``analysis``
+and ``impact`` form the measurement band, with ``impact`` allowed to
+consume ``analysis`` results (e.g. pDNS dedup feeding the storage study)
+but never the reverse. ``experiments`` is the only layer allowed to see
+everything; nothing may import it back.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Optional
+
+__all__ = ["ALLOWED_IMPORTS", "subpackage_of"]
+
+_EVERYTHING = frozenset({
+    "textutil", "core", "dns", "pdns", "traffic", "analysis", "impact",
+    "experiments",
+})
+
+#: For each first-level subpackage (or top-level module) of ``repro``,
+#: the set of sibling subpackages it may import from.
+ALLOWED_IMPORTS: Mapping[str, FrozenSet[str]] = {
+    "textutil": frozenset(),
+    "core": frozenset({"textutil"}),
+    "dns": frozenset({"core", "textutil"}),
+    "pdns": frozenset({"core", "dns", "textutil"}),
+    "traffic": frozenset({"core", "dns", "pdns", "textutil"}),
+    "analysis": frozenset({"core", "dns", "pdns", "traffic", "textutil"}),
+    "impact": frozenset({"core", "dns", "pdns", "traffic", "analysis",
+                         "textutil"}),
+    "experiments": _EVERYTHING,
+    # The package root and its __main__ shim wire the CLI together and
+    # may touch anything.
+    "": _EVERYTHING,
+    "__main__": _EVERYTHING,
+}
+
+
+def subpackage_of(module: Optional[str]) -> Optional[str]:
+    """First-level component under ``repro``, or ``None`` if not ours.
+
+    ``repro.analysis.tail`` → ``analysis``; ``repro.textutil`` →
+    ``textutil``; ``repro`` itself → ``""``.
+    """
+    if module is None:
+        return None
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return ""
+    return parts[1]

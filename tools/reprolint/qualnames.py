@@ -1,0 +1,57 @@
+"""Resolve call targets to dotted qualified names through import aliases.
+
+``import numpy as np`` followed by ``np.random.rand(3)`` resolves to
+``numpy.random.rand``; ``from datetime import datetime`` followed by
+``datetime.now()`` resolves to ``datetime.datetime.now``. Purely
+syntactic — no imports are executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["build_alias_table", "qualified_name"]
+
+
+def build_alias_table(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted origin they were imported as."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never reach stdlib/numpy names
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def qualified_name(node: ast.AST,
+                   aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted name for a ``Name``/``Attribute`` chain, alias-expanded.
+
+    Returns ``None`` for anything else (subscripts, calls, literals):
+    those cannot be statically resolved and are left alone.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head = parts[0]
+    if head in aliases:
+        return ".".join([aliases[head]] + parts[1:])
+    return ".".join(parts)

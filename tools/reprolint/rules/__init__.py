@@ -1,0 +1,29 @@
+"""Rule registry. Import a rule's module to add it; order fixes output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from tools.reprolint.engine import Rule
+from tools.reprolint.rules.config import FrozenConfigRule
+from tools.reprolint.rules.determinism import NoWallClockRule, SeededRngOnlyRule
+from tools.reprolint.rules.exports import AllExportsExistRule
+from tools.reprolint.rules.floats import NoFloatEqRule
+from tools.reprolint.rules.imports import ImportLayeringRule
+
+__all__ = ["ALL_RULES", "rule_by_id"]
+
+ALL_RULES: List[Rule] = [
+    NoWallClockRule(),
+    SeededRngOnlyRule(),
+    ImportLayeringRule(),
+    FrozenConfigRule(),
+    AllExportsExistRule(),
+    NoFloatEqRule(),
+]
+
+_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def rule_by_id(rule_id: str) -> Optional[Rule]:
+    return _BY_ID.get(rule_id)

@@ -1,0 +1,72 @@
+"""R004 frozen-config: ``*Config`` dataclasses must be frozen or validate.
+
+Config objects are captured by long-lived simulators and experiment
+contexts; silent mutation or out-of-range values corrupt a whole run.
+A dataclass whose name ends in ``Config`` must therefore either be
+``@dataclass(frozen=True)`` or define ``__post_init__`` validation, the
+pattern set by ``MinerConfig`` in ``src/repro/core/miner.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+from tools.reprolint.qualnames import build_alias_table, qualified_name
+
+__all__ = ["FrozenConfigRule"]
+
+_DATACLASS_NAMES = frozenset({"dataclass", "dataclasses.dataclass"})
+
+
+def _dataclass_decorator(node: ast.ClassDef,
+                         aliases: Dict[str, str]) -> Optional[ast.expr]:
+    """The ``@dataclass`` decorator node, or ``None``."""
+    for decorator in node.decorator_list:
+        func = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if qualified_name(func, aliases) in _DATACLASS_NAMES:
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _has_post_init(node: ast.ClassDef) -> bool:
+    return any(isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+               and stmt.name == "__post_init__"
+               for stmt in node.body)
+
+
+class FrozenConfigRule(Rule):
+    rule_id = "R004"
+    name = "frozen-config"
+    description = ("Dataclasses named *Config must be frozen=True or "
+                   "validate in __post_init__.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        aliases = build_alias_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config"):
+                continue
+            decorator = _dataclass_decorator(node, aliases)
+            if decorator is None:
+                continue
+            if _is_frozen(decorator) or _has_post_init(node):
+                continue
+            yield self.violation(
+                ctx, node,
+                f"config dataclass `{node.name}` is mutable and unvalidated "
+                f"— declare `@dataclass(frozen=True)` or add a "
+                f"`__post_init__` that range-checks its fields (see "
+                f"MinerConfig)")

@@ -1,0 +1,112 @@
+"""R001 no-wall-clock and R002 seeded-rng-only.
+
+Every figure and table in EXPERIMENTS.md must be bit-reproducible from a
+seed. A single ``time.time()`` or unseeded ``random`` call inside
+``src/repro/`` silently breaks that contract, so both are banned at the
+AST level: simulation code sees only simulated timestamps
+(``QueryEvent.timestamp``) and RNG instances threaded through
+constructors (``np.random.default_rng(seed)`` / ``random.Random(seed)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+from tools.reprolint.qualnames import build_alias_table, qualified_name
+
+__all__ = ["NoWallClockRule", "SeededRngOnlyRule"]
+
+#: Clock reads that leak host wall-time into simulated results.
+BANNED_CLOCKS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: The only sanctioned RNG entry points; both require an explicit seed.
+SEEDED_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "random.SystemRandom",  # flagged separately below: never reproducible
+    "numpy.random.default_rng",
+})
+
+#: ``numpy.random`` names that are types/infrastructure, not implicit
+#: global-state draws.
+NUMPY_RANDOM_OK = frozenset({
+    "numpy.random.default_rng", "numpy.random.Generator",
+    "numpy.random.SeedSequence", "numpy.random.BitGenerator",
+    "numpy.random.PCG64", "numpy.random.Philox",
+})
+
+
+class NoWallClockRule(Rule):
+    rule_id = "R001"
+    name = "no-wall-clock"
+    description = ("Wall-clock reads (time.time, datetime.now, ...) are "
+                   "banned inside src/repro/ — simulated time only.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        aliases = build_alias_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = qualified_name(node.func, aliases)
+            if target in BANNED_CLOCKS:
+                yield self.violation(
+                    ctx, node,
+                    f"wall-clock read `{target}()` — repro code must use "
+                    f"simulated timestamps (e.g. QueryEvent.timestamp), "
+                    f"never host time")
+
+
+class SeededRngOnlyRule(Rule):
+    rule_id = "R002"
+    name = "seeded-rng-only"
+    description = ("Module-level random.*/np.random.* convenience calls are "
+                   "banned; thread random.Random(seed) or "
+                   "np.random.default_rng(seed) instances through "
+                   "constructors instead.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        aliases = build_alias_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = qualified_name(node.func, aliases)
+            if target is None:
+                continue
+            if target == "random.SystemRandom":
+                yield self.violation(
+                    ctx, node,
+                    "`random.SystemRandom` is never reproducible; use "
+                    "`random.Random(seed)` or `np.random.default_rng(seed)`")
+            elif target in SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx, node,
+                        f"`{target}()` without an explicit seed is "
+                        f"entropy-seeded and breaks bit-reproducibility; "
+                        f"pass a seed")
+            elif target.startswith("random."):
+                yield self.violation(
+                    ctx, node,
+                    f"global-state RNG call `{target}()` — construct "
+                    f"`random.Random(seed)` and thread it through instead")
+            elif (target.startswith("numpy.random.")
+                  and target not in NUMPY_RANDOM_OK):
+                yield self.violation(
+                    ctx, node,
+                    f"legacy/global numpy RNG call `{target}()` — use a "
+                    f"`np.random.default_rng(seed)` Generator instance "
+                    f"threaded through constructors")

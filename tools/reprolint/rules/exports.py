@@ -1,0 +1,132 @@
+"""R005 all-exports-exist: honest ``__all__`` in every public module.
+
+``tests/test_public_api.py`` checks exports resolve at runtime for the
+packages it lists; this rule closes the gap statically for *every*
+module: each name in ``__all__`` must be defined or imported, and each
+public module must declare ``__all__`` at all (the convention this repo
+uses to mark its supported surface and to make mypy's implicit-reexport
+rules predictable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+
+__all__ = ["AllExportsExistRule"]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                ast.Lambda)
+
+
+def _collect_names(body: List[ast.stmt], defined: Set[str],
+                   star_import: List[bool]) -> None:
+    """Names bound at module level, descending into compound statements
+    (if/try/for/while/with) but not into new scopes."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                               ast.For, ast.AsyncFor)):
+            targets: List[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            else:
+                targets = [stmt.target]
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        defined.add(node.id)
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                _collect_names(stmt.body, defined, star_import)
+                _collect_names(stmt.orelse, defined, star_import)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                defined.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    star_import[0] = True
+                else:
+                    defined.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.If):
+            _collect_names(stmt.body, defined, star_import)
+            _collect_names(stmt.orelse, defined, star_import)
+        elif isinstance(stmt, ast.Try):
+            _collect_names(stmt.body, defined, star_import)
+            for handler in stmt.handlers:
+                _collect_names(handler.body, defined, star_import)
+            _collect_names(stmt.orelse, defined, star_import)
+            _collect_names(stmt.finalbody, defined, star_import)
+        elif isinstance(stmt, (ast.While,)):
+            _collect_names(stmt.body, defined, star_import)
+            _collect_names(stmt.orelse, defined, star_import)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for node in ast.walk(item.optional_vars):
+                        if isinstance(node, ast.Name):
+                            defined.add(node.id)
+            _collect_names(stmt.body, defined, star_import)
+
+
+def _literal_all(tree: ast.Module) \
+        -> Tuple[Optional[ast.stmt], List[Tuple[str, ast.stmt]]]:
+    """The ``__all__`` statement and its string entries, if present."""
+    found: Optional[ast.stmt] = None
+    names: List[Tuple[str, ast.stmt]] = []
+    for stmt in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name) and target.id == "__all__"):
+            continue
+        found = stmt
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    names.append((element.value, stmt))
+    return found, names
+
+
+class AllExportsExistRule(Rule):
+    rule_id = "R005"
+    name = "all-exports-exist"
+    description = ("Every name in __all__ must be defined; every public "
+                   "repro module must declare __all__.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not ctx.in_package("repro"):
+            return False
+        # Private modules (and __main__ shims) are exempt; module names
+        # for packages are the package itself, never "__init__".
+        return not ctx.module_parts[-1].startswith("_")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        all_stmt, exported = _literal_all(ctx.tree)
+        if all_stmt is None:
+            yield self.violation(
+                ctx, ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                f"public module `{ctx.module}` does not declare __all__ — "
+                f"list its supported names explicitly")
+            return
+        defined: Set[str] = set()
+        star_import = [False]
+        _collect_names(ctx.tree.body, defined, star_import)
+        if star_import[0]:
+            return  # `import *` makes static verification impossible
+        for name, stmt in exported:
+            if name not in defined:
+                yield self.violation(
+                    ctx, stmt,
+                    f"`__all__` exports `{name}` but `{ctx.module}` never "
+                    f"defines or imports it")

@@ -1,0 +1,79 @@
+"""R006 no-float-eq: tolerance helpers instead of ``==`` on floats.
+
+The measurement layers (``repro.analysis``, ``repro.impact``) aggregate
+hit rates, ratios, and cache fractions; exact ``==``/``!=`` on such
+values is a latent bug the interpreter will never flag. Compare integer
+counts where possible, or use :func:`repro.core.numeric.approx_eq` /
+:func:`repro.core.numeric.is_zero`.
+
+Static float-ness is undecidable, so this rule flags comparisons where
+either operand *syntactically* looks float-valued:
+
+- a float literal (``x == 0.0``),
+- a true division (``hits / total == other``),
+- a call to ``.mean()`` / ``.std()`` / ``.var()``,
+- a name or attribute whose final identifier ends in ``_rate``,
+  ``_ratio``, ``_fraction``, ``_frac``, or ``_share``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+
+__all__ = ["NoFloatEqRule"]
+
+_FLOAT_METHODS = frozenset({"mean", "std", "var"})
+_FLOAT_SUFFIXES = ("_rate", "_ratio", "_fraction", "_frac", "_share")
+
+
+def _identifier(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _looks_float(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _FLOAT_METHODS:
+            return True
+    if isinstance(node, ast.UnaryOp):
+        return _looks_float(node.operand)
+    name = _identifier(node)
+    return name.endswith(_FLOAT_SUFFIXES)
+
+
+class NoFloatEqRule(Rule):
+    rule_id = "R006"
+    name = "no-float-eq"
+    description = ("No ==/!= between float-typed expressions in analysis/ "
+                   "and impact/; use repro.core.numeric.approx_eq/is_zero "
+                   "or compare integer counts.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return (ctx.in_package("repro.analysis")
+                or ctx.in_package("repro.impact"))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _looks_float(left) or _looks_float(right):
+                    yield self.violation(
+                        ctx, node,
+                        "exact ==/!= on a float-valued expression — use "
+                        "repro.core.numeric.approx_eq/is_zero (or compare "
+                        "the underlying integer counts)")
+                    break

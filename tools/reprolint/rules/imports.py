@@ -1,0 +1,77 @@
+"""R003 import-layering: enforce the DAG in :mod:`tools.reprolint.layering`.
+
+The layering is what will let the simulator shard and parallelize later:
+``repro.core`` must stay import-free of the traffic/experiment layers so
+a worker process can load just the miner. Violations name the offending
+edge so the fix is obvious.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+from tools.reprolint.layering import ALLOWED_IMPORTS, subpackage_of
+
+__all__ = ["ImportLayeringRule"]
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted name for a relative ``from ... import`` target."""
+    parts = module.split(".")
+    # level=1 means "current package": drop the module's own leaf name.
+    if node.level > len(parts):
+        return None
+    base = parts[:len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None
+
+
+class ImportLayeringRule(Rule):
+    rule_id = "R003"
+    name = "import-layering"
+    description = ("Enforce the package DAG core -> {dns, pdns} -> traffic "
+                   "-> analysis -> impact -> experiments; textutil is a "
+                   "shared leaf.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return subpackage_of(ctx.module) is not None
+
+    def _imported_modules(self, ctx: ModuleContext) \
+            -> Iterator[Tuple[ast.stmt, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield node, alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    assert ctx.module is not None
+                    resolved = _resolve_relative(ctx.module, node)
+                    if resolved is not None:
+                        yield node, resolved
+                elif node.module is not None:
+                    yield node, node.module
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        src_sub = subpackage_of(ctx.module)
+        assert src_sub is not None
+        allowed = ALLOWED_IMPORTS.get(src_sub)
+        for node, imported in self._imported_modules(ctx):
+            dst_sub = subpackage_of(imported)
+            if dst_sub is None or dst_sub == src_sub or dst_sub == "":
+                continue
+            if allowed is None:
+                yield self.violation(
+                    ctx, node,
+                    f"unknown subpackage `repro.{src_sub}` — add it to the "
+                    f"layering DAG in tools/reprolint/layering.py")
+                return
+            if dst_sub not in allowed:
+                yield self.violation(
+                    ctx, node,
+                    f"layering violation: edge `{src_sub} -> {dst_sub}` is "
+                    f"not in the DAG ({ctx.module} imports {imported}); "
+                    f"allowed targets for `{src_sub}`: "
+                    f"{sorted(allowed) or 'none'}")

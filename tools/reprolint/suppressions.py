@@ -1,0 +1,106 @@
+"""Suppression-comment handling.
+
+Two comment directives are recognized anywhere a ``#`` comment is legal:
+
+``# reprolint: disable=R001`` (or ``disable=R001,R006`` or ``disable=all``)
+    Suppresses the named rules on the physical line carrying the comment.
+    When the comment is the only thing on its line, it suppresses the
+    *next* line instead, so multi-line statements can be annotated above.
+
+``# reprolint: disable-file=R001`` (or ``disable-file=all``)
+    Suppresses the named rules for the whole file.
+
+A third directive, ``# reprolint: module=repro.core.something``, does not
+suppress anything: it overrides the module name the engine infers from
+the file path. It exists so the known-bad fixture corpus under
+``tests/tools/corpus/`` can exercise rules that are scoped to ``repro.*``
+modules without living inside the package.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = ["Suppressions", "scan_comments"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(disable-file|disable|module)\s*=\s*([\w.,*\s-]+)")
+
+ALL_RULES_TOKEN = frozenset({"all", "*"})
+
+
+def _parse_rule_list(raw: str) -> FrozenSet[str]:
+    parts = {part.strip() for part in raw.split(",") if part.strip()}
+    if parts & ALL_RULES_TOKEN:
+        return frozenset({"all"})
+    return frozenset(parts)
+
+
+class Suppressions:
+    """Per-file suppression state queried by the engine."""
+
+    def __init__(self, line_rules: Dict[int, FrozenSet[str]],
+                 file_rules: FrozenSet[str],
+                 module_override: Optional[str] = None) -> None:
+        self._line_rules = line_rules
+        self._file_rules = file_rules
+        self.module_override = module_override
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self._file_rules or rule_id in self._file_rules:
+            return True
+        rules = self._line_rules.get(line)
+        if rules is None:
+            return False
+        return "all" in rules or rule_id in rules
+
+
+def scan_comments(source: str) -> Suppressions:
+    """Extract suppression directives from ``source``.
+
+    Tokenizes so that directives inside string literals are ignored.
+    Falls back to a line scan if the file does not tokenize (the engine
+    reports the syntax error separately).
+    """
+    comments: List[Tuple[int, str, bool]] = []  # (line, text, comment_only)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            stripped = text.strip()
+            if "#" in text:
+                comments.append((lineno, text[text.index("#"):],
+                                 stripped.startswith("#")))
+    else:
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comment_only = tok.line.strip().startswith("#")
+                comments.append((tok.start[0], tok.string, comment_only))
+
+    line_rules: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    module_override: Optional[str] = None
+    for lineno, text, comment_only in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        kind, payload = match.group(1), match.group(2)
+        if kind == "module":
+            module_override = payload.strip()
+            continue
+        rules = _parse_rule_list(payload)
+        if kind == "disable-file":
+            file_rules |= rules
+        else:
+            target = lineno + 1 if comment_only else lineno
+            line_rules.setdefault(target, set()).update(rules)
+            if comment_only:
+                # A standalone directive also covers its own line so a
+                # block of stacked directives never mis-targets.
+                line_rules.setdefault(lineno, set()).update(rules)
+
+    frozen = {line: frozenset(rules) for line, rules in line_rules.items()}
+    return Suppressions(frozen, frozenset(file_rules), module_override)
