@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from functools import lru_cache
 from typing import List, Optional
 
 __all__ = [
@@ -34,11 +35,19 @@ class InvalidDomainError(ValueError):
     """Raised when a string cannot be interpreted as a domain name."""
 
 
+@lru_cache(maxsize=65_536)
 def normalize(name: str) -> str:
     """Return the canonical form of ``name``: lowercase, no trailing dot.
 
     Raises :class:`InvalidDomainError` for names that are empty (after
     stripping the root dot) or contain empty interior labels.
+
+    Memoized: every :class:`~repro.dns.message.Question` and
+    :class:`~repro.dns.message.ResourceRecord` construction normalizes
+    its name, and a simulated day re-queries the same few thousand hot
+    names millions of times, so the cache turns the dominant
+    ``str.split``/validation work into one dict probe.  (Results are
+    cached, raised :class:`InvalidDomainError` is not.)
     """
     if not isinstance(name, str):
         raise InvalidDomainError(f"domain name must be a string, got {type(name)!r}")

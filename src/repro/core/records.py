@@ -21,7 +21,7 @@ compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
 from repro.core.dnstypes import RCode, RRType
 
@@ -30,8 +30,7 @@ __all__ = ["FpDnsEntry", "FpDnsDataset", "RpDnsEntry", "RRKey"]
 RRKey = Tuple[str, RRType, str]
 
 
-@dataclass(frozen=True)
-class FpDnsEntry:
+class FpDnsEntry(NamedTuple):
     """One observed response record.
 
     For a successful answer there is one entry per resource record in
@@ -40,6 +39,12 @@ class FpDnsEntry:
     plots NXDOMAIN volumes, so failures must be visible in the stream.
     ``client_id`` is ``None`` for above-the-resolver events (the
     requester there is the RDNS server, not a customer).
+
+    Tuple-backed (``NamedTuple``) rather than a dataclass: the
+    collector constructs one of these per answer RR per response —
+    tens of millions per simulated year — so C-level construction,
+    ``__slots__``-free tuple storage, and compact pickling (the shard
+    workers ship entries back over IPC) all matter here.
     """
 
     timestamp: float

@@ -16,9 +16,9 @@ upstream traffic), so the simulator defaults to negative caching off.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dns.message import Question, RCode, ResourceRecord, Response, RRType
 
@@ -85,14 +85,26 @@ class LruDnsCache:
     negative_ttl:
         TTL for cached NXDOMAIN responses; ``None`` disables negative
         caching entirely (the monitored ISP's observed behaviour).
+    eviction_log_limit:
+        Size bound for :attr:`live_eviction_log`, the per-victim detail
+        record only the Section VI-A study consumes.  ``0`` (default)
+        disables the log entirely — under sustained eviction pressure
+        it otherwise grows by one tuple per live eviction for the cache
+        lifetime; a positive value keeps the most recent N victims;
+        ``None`` keeps every victim (the study's setting).  The
+        ``evicted_live`` *counter* is always maintained regardless.
     """
 
     def __init__(self, capacity: int, min_ttl: int = 0,
-                 negative_ttl: Optional[int] = None) -> None:
+                 negative_ttl: Optional[int] = None,
+                 eviction_log_limit: Optional[int] = 0) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if min_ttl < 0:
             raise ValueError(f"min_ttl must be >= 0, got {min_ttl}")
+        if eviction_log_limit is not None and eviction_log_limit < 0:
+            raise ValueError(
+                f"eviction_log_limit must be >= 0, got {eviction_log_limit}")
         self.capacity = capacity
         self.min_ttl = min_ttl
         self.negative_ttl = negative_ttl
@@ -100,15 +112,27 @@ class LruDnsCache:
         self._entries: "OrderedDict[_Key, CacheEntry]" = OrderedDict()
         self._negative: "OrderedDict[_Key, float]" = OrderedDict()
         # Which qnames were ever evicted with live TTL — consumed by
-        # the cache-pressure impact study to attribute victims.
-        self.live_eviction_log: List[Tuple[float, str, RRType, int]] = []
+        # the cache-pressure impact study to attribute victims.  None
+        # when disabled; a deque carries the bound when one is set.
+        self._eviction_log: Optional[
+            Deque[Tuple[float, str, RRType, int]]]
+        if eviction_log_limit == 0:
+            self._eviction_log = None
+        else:
+            self._eviction_log = deque(maxlen=eviction_log_limit)
+
+    @property
+    def live_eviction_log(self) -> List[Tuple[float, str, RRType, int]]:
+        """Recorded live-eviction victims (empty when logging is off)."""
+        return list(self._eviction_log) if self._eviction_log is not None \
+            else []
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def lookup(self, question: Question, now: float) -> Optional[List[ResourceRecord]]:
         """Return cached answers with decayed TTLs, or ``None`` on miss."""
-        key = (question.qname, question.qtype)
+        key = question.key
         if self.negative_ttl is not None:
             neg_expiry = self._negative.get(key)
             if neg_expiry is not None:
@@ -132,7 +156,7 @@ class LruDnsCache:
 
     def insert(self, response: Response, now: float) -> None:
         """Cache ``response`` (positive answers; NXDOMAIN if enabled)."""
-        key = (response.question.qname, response.question.qtype)
+        key = response.question.key
         if response.is_nxdomain:
             if self.negative_ttl is not None:
                 self._negative[key] = now + self.negative_ttl
@@ -156,12 +180,13 @@ class LruDnsCache:
             self.stats.evictions += 1
             if not entry.is_expired(now):
                 self.stats.evicted_live += 1
-                self.live_eviction_log.append(
-                    (now, key[0], key[1], entry.remaining_ttl(now)))
+                if self._eviction_log is not None:
+                    self._eviction_log.append(
+                        (now, key[0], key[1], entry.remaining_ttl(now)))
 
     def contains(self, question: Question, now: float) -> bool:
         """Non-mutating peek: is a live entry present?"""
-        entry = self._entries.get((question.qname, question.qtype))
+        entry = self._entries.get(question.key)
         return entry is not None and not entry.is_expired(now)
 
     def flush_expired(self, now: float) -> int:

@@ -43,19 +43,38 @@ class ResourceRecord:
         return (self.name, self.rtype, self.rdata)
 
     def with_ttl(self, ttl: int) -> "ResourceRecord":
-        """Copy of this record carrying a different (e.g. decayed) TTL."""
-        return ResourceRecord(self.name, self.rtype, ttl, self.rdata)
+        """Copy of this record carrying a different (e.g. decayed) TTL.
+
+        Hot path: every cache hit decays TTLs on each answer record, so
+        the copy bypasses ``__init__`` — ``name`` is already normalized
+        and only the new TTL needs validating.
+        """
+        if ttl < 0:
+            raise ValueError(f"TTL must be non-negative, got {ttl}")
+        rr = object.__new__(ResourceRecord)
+        object.__setattr__(rr, "name", self.name)
+        object.__setattr__(rr, "rtype", self.rtype)
+        object.__setattr__(rr, "ttl", ttl)
+        object.__setattr__(rr, "rdata", self.rdata)
+        return rr
 
 
 @dataclass(frozen=True)
 class Question:
-    """A DNS question: qname + qtype."""
+    """A DNS question: qname + qtype.
+
+    ``key`` is the precomputed ``(qname, qtype)`` identity tuple the
+    resolver caches index by; building it once at construction spares
+    the cache lookup/insert path a tuple allocation per query.
+    """
 
     qname: str
     qtype: RRType = RRType.A
+    key: Tuple[str, RRType] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "qname", normalize(self.qname))
+        object.__setattr__(self, "key", (self.qname, self.qtype))
 
 
 @dataclass

@@ -65,10 +65,13 @@ class RecursiveResolver:
                 response = Response(question, RCode.NXDOMAIN, [])
             return ResolutionResult(response, cache_hit=True, server_index=-1,
                                     upstream_referrals=0)
+        before = self.upstream_queries
         upstream = self._resolve_upstream(question)
         self.cache.insert(upstream, now)
+        # CNAME chains make the upstream cost variable: one authority
+        # round-trip for the original question plus one per chased hop.
         return ResolutionResult(upstream, cache_hit=False, server_index=-1,
-                                upstream_referrals=3)
+                                upstream_referrals=self.upstream_queries - before)
 
     def _resolve_upstream(self, question: Question) -> Response:
         """Iteratively resolve, chasing CNAME chains (RFC 1034 §3.6.2).

@@ -15,6 +15,7 @@ Two scale profiles ship by default:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -28,6 +29,8 @@ from repro.core.miner import MinerConfig
 from repro.core.ranking import (DailyMiningResult, DisposableZoneRanker,
                                 build_tree_for_day)
 from repro.pdns.records import FpDnsDataset
+from repro.traffic.artifacts import FpDnsArtifactCache, artifact_key
+from repro.traffic.parallel import ShardedTraceSimulator
 from repro.traffic.population import PopulationConfig
 from repro.traffic.simulate import (PAPER_DATES, RPDNS_WINDOW_DATES,
                                     MeasurementDate, SimulatorConfig,
@@ -79,10 +82,28 @@ TRAINING_DATE = MeasurementDate("2011-11-10", 313, 0.85)
 
 
 class ExperimentContext:
-    """Lazily computed, cached experiment artifacts for one profile."""
+    """Lazily computed, cached experiment artifacts for one profile.
 
-    def __init__(self, profile: ScaleProfile) -> None:
+    Parameters
+    ----------
+    profile:
+        The simulation scale.
+    n_workers:
+        Shard the calendar simulation across this many worker processes
+        (:class:`~repro.traffic.parallel.ShardedTraceSimulator`).  The
+        merged result is byte-identical to serial, so this is purely a
+        wall-clock knob.  Default 1 (serial).
+    artifact_cache:
+        Optional :class:`~repro.traffic.artifacts.FpDnsArtifactCache`.
+        Each completed day is persisted there, and a later session with
+        the same profile loads it instead of simulating.
+    """
+
+    def __init__(self, profile: ScaleProfile, n_workers: int = 1,
+                 artifact_cache: Optional[FpDnsArtifactCache] = None) -> None:
         self.profile = profile
+        self.n_workers = n_workers
+        self.artifacts = artifact_cache
         self.simulator = TraceSimulator(profile.simulator_config())
         self._datasets: Dict[str, FpDnsDataset] = {}
         self._hit_rates: Dict[str, HitRateTable] = {}
@@ -90,6 +111,14 @@ class ExperimentContext:
         self._training_set: Optional[TrainingSet] = None
         self._classifier: Optional[LadTreeClassifier] = None
         self._last_day_index = -1
+        # Chronological record of every day produced (simulated or
+        # loaded) — the artifact-cache key material — plus how many of
+        # those days the *serial* simulator has actually executed.  When
+        # the two diverge (cache hits, sharded runs), the serial caches
+        # are cold and must be rewarmed by replay before simulating a
+        # later day.
+        self._history: List[MeasurementDate] = []
+        self._replayed = 0
 
     def _calendar(self) -> List[MeasurementDate]:
         """Every standard date, in chronological order."""
@@ -99,6 +128,48 @@ class ExperimentContext:
         return sorted(dates.values(), key=lambda d: d.day_index)
 
     # -- datasets ---------------------------------------------------------
+
+    def _record_day(self, date: MeasurementDate, dataset: FpDnsDataset,
+                    store: bool) -> None:
+        self._history.append(date)
+        self._datasets[date.label] = dataset
+        self._last_day_index = date.day_index
+        if store and self.artifacts is not None:
+            self.artifacts.store(
+                artifact_key(self.simulator.config, self._history), dataset)
+
+    def _simulate_batch(self, dates: List[MeasurementDate]) -> None:
+        """Produce ``dates`` (chronological), cheapest source first:
+        artifact cache, then sharded-parallel (cold start only), then
+        the serial simulator (rewarming its caches by replay if they
+        are behind the recorded history)."""
+        remaining = list(dates)
+        while remaining and self.artifacts is not None:
+            key = artifact_key(self.simulator.config,
+                               [*self._history, remaining[0]])
+            cached = self.artifacts.load(key)
+            if cached is None:
+                break
+            self._record_day(remaining.pop(0), cached, store=False)
+        if not remaining:
+            return
+        if self.n_workers > 1 and not self._history and len(remaining) > 1:
+            # Nothing produced yet: the sharded engine's cold-cache
+            # window is exactly this batch.
+            sharded = ShardedTraceSimulator(self.simulator.config,
+                                            n_workers=self.n_workers)
+            for date, dataset in zip(remaining, sharded.run_days(remaining)):
+                self._record_day(date, dataset, store=True)
+            return
+        # Serial path: replay any days the serial simulator missed
+        # (their outputs exist already; only the cache state matters).
+        for date in self._history[self._replayed:]:
+            self.simulator.run_day(date)
+            self._replayed += 1
+        for date in remaining:
+            dataset = self.simulator.run_day(date)
+            self._replayed += 1
+            self._record_day(date, dataset, store=True)
 
     def dataset(self, date: MeasurementDate) -> FpDnsDataset:
         """Simulated fpDNS day for ``date``.
@@ -113,18 +184,14 @@ class ExperimentContext:
         pending = [d for d in self._calendar()
                    if d.label not in self._datasets]
         if any(d.label == date.label for d in pending):
-            for calendar_date in pending:
-                self._datasets[calendar_date.label] = \
-                    self.simulator.run_day(calendar_date)
-                self._last_day_index = calendar_date.day_index
+            self._simulate_batch(pending)
             return self._datasets[date.label]
         if date.day_index < self._last_day_index:
             raise ValueError(
                 f"cannot simulate {date.label} (day {date.day_index}) after "
                 f"day {self._last_day_index}: resolver caches would travel "
                 "back in time")
-        self._datasets[date.label] = self.simulator.run_day(date)
-        self._last_day_index = date.day_index
+        self._simulate_batch([date])
         return self._datasets[date.label]
 
     def datasets(self, dates: Sequence[MeasurementDate]) -> List[FpDnsDataset]:
@@ -182,8 +249,30 @@ class ExperimentContext:
 _CONTEXTS: Dict[str, ExperimentContext] = {}
 
 
+def _options_from_env() -> Tuple[int, Optional[FpDnsArtifactCache]]:
+    """Opt-in acceleration knobs for shared contexts.
+
+    ``REPRO_SIM_WORKERS`` shards the calendar simulation across that
+    many processes; ``REPRO_ARTIFACT_CACHE`` names a directory to
+    persist/load fpDNS days.  Both leave every produced byte identical
+    to the serial, cache-less run — they only change wall-clock time —
+    so reading them here does not violate the determinism contract.
+    """
+    n_workers = int(os.environ.get("REPRO_SIM_WORKERS", "1"))
+    cache_dir = os.environ.get("REPRO_ARTIFACT_CACHE")
+    cache = FpDnsArtifactCache(cache_dir) if cache_dir else None
+    return n_workers, cache
+
+
 def get_context(profile: ScaleProfile = MEDIUM) -> ExperimentContext:
-    """Shared per-profile context (benchmarks reuse one simulation)."""
+    """Shared per-profile context (benchmarks reuse one simulation).
+
+    Honours the ``REPRO_SIM_WORKERS`` / ``REPRO_ARTIFACT_CACHE``
+    environment knobs (see :func:`_options_from_env`) when the context
+    is first created; later calls return the existing instance.
+    """
     if profile.name not in _CONTEXTS:
-        _CONTEXTS[profile.name] = ExperimentContext(profile)
+        n_workers, artifact_cache = _options_from_env()
+        _CONTEXTS[profile.name] = ExperimentContext(
+            profile, n_workers=n_workers, artifact_cache=artifact_cache)
     return _CONTEXTS[profile.name]

@@ -42,7 +42,10 @@ def _format_entry(side: str, entry: FpDnsEntry) -> str:
     client = _ABSENT if entry.client_id is None else str(entry.client_id)
     ttl = _ABSENT if entry.ttl is None else str(entry.ttl)
     rdata = _ABSENT if entry.rdata is None else entry.rdata
-    return "\t".join([side, f"{entry.timestamp:.3f}", client, entry.qname,
+    # repr() is the shortest string that parses back to the same float
+    # (exact round-trip) — required for the artifact cache, whose loaded
+    # days must be byte-identical to the simulated originals.
+    return "\t".join([side, repr(entry.timestamp), client, entry.qname,
                       entry.qtype.value, entry.rcode.name, ttl, rdata])
 
 

@@ -1,7 +1,9 @@
 """Synthetic ISP workload: the substitute for the paper's Comcast traces."""
 
+from repro.traffic.artifacts import FpDnsArtifactCache, artifact_key
 from repro.traffic.clients import ClientPopulation
 from repro.traffic.diurnal import SECONDS_PER_DAY, DiurnalProfile
+from repro.traffic.parallel import ShardedTraceSimulator, default_worker_count
 from repro.traffic.generators import (AvHashNameGenerator,
                                       CdnShardNameGenerator,
                                       DisposableNameGenerator,
@@ -19,8 +21,10 @@ from repro.traffic.workload import QueryEvent, WorkloadConfig, WorkloadModel
 from repro.traffic.zipf import ZipfSampler
 
 __all__ = [
+    "FpDnsArtifactCache", "artifact_key",
     "ClientPopulation",
     "SECONDS_PER_DAY", "DiurnalProfile",
+    "ShardedTraceSimulator", "default_worker_count",
     "AvHashNameGenerator", "CdnShardNameGenerator",
     "DisposableNameGenerator", "DnsblNameGenerator",
     "MeasurementNameGenerator", "TelemetryNameGenerator",

@@ -1,0 +1,110 @@
+"""On-disk fpDNS artifact cache.
+
+Simulating the calendar is the expensive part of every experiment
+session; the resulting fpDNS days are pure functions of the simulator
+config and the chronological day sequence.  This module caches each
+completed day on disk (the gzip-TSV format of :mod:`repro.pdns.io`)
+keyed by a content hash of exactly those inputs, so a warm second
+session loads the year instead of re-simulating it.
+
+Key derivation
+--------------
+:func:`artifact_key` hashes the canonical JSON of
+
+* a format-version tag (bump to invalidate the whole cache on layout
+  or semantics changes),
+* the full :class:`~repro.traffic.simulate.SimulatorConfig` (including
+  the nested population and workload configs — any knob change, e.g. a
+  different seed or cache capacity, yields different traffic and must
+  miss),
+* the *chronological day history up to and including the keyed day* —
+  resolver caches persist across days, so the same calendar day
+  simulated after a different prefix is a different artifact,
+* the per-day event-count override, if any.
+
+Corrupt or truncated cache files are treated as misses, never errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.pdns.io import FormatError, load_fpdns, save_fpdns
+from repro.pdns.records import FpDnsDataset
+from repro.traffic.simulate import MeasurementDate, SimulatorConfig
+
+__all__ = ["ARTIFACT_FORMAT", "artifact_key", "FpDnsArtifactCache"]
+
+#: Version tag baked into every key; bump on any change to the on-disk
+#: layout or to simulation semantics that old artifacts would misstate.
+ARTIFACT_FORMAT = "repro-fpdns-cache-v1"
+
+PathLike = Union[str, Path]
+
+
+def artifact_key(config: SimulatorConfig,
+                 history: Sequence[MeasurementDate],
+                 n_events: Optional[int] = None) -> str:
+    """Content hash identifying one simulated day.
+
+    ``history`` is the chronological sequence of simulated days ending
+    with the day being keyed.
+    """
+    if not history:
+        raise ValueError("history must end with the day being keyed")
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "config": asdict(config),
+        "history": [(date.label, date.day_index, date.year_fraction)
+                    for date in history],
+        "n_events": n_events,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class FpDnsArtifactCache:
+    """Directory of cached fpDNS days, one gzip-TSV file per key.
+
+    Counts ``hits`` and ``misses`` so callers (and the cache tests) can
+    verify that a warm session skipped simulation.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.fpdns.gz"
+
+    def load(self, key: str) -> Optional[FpDnsDataset]:
+        """Cached day for ``key``, or ``None`` (counted as a miss)."""
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            dataset = load_fpdns(path)
+        except (OSError, EOFError, FormatError):
+            # Truncated/corrupt artifact: drop it and re-simulate.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dataset
+
+    def store(self, key: str, dataset: FpDnsDataset) -> Path:
+        """Persist ``dataset`` under ``key``; returns the file path."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        save_fpdns(dataset, tmp)
+        tmp.replace(path)  # atomic publish: readers never see partials
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.fpdns.gz"))

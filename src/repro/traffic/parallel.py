@@ -1,0 +1,264 @@
+"""Sharded-parallel trace simulation.
+
+The monitored cluster of Section III-A is a set of *independent*
+recursive caches with clients pinned to servers by hash
+(:meth:`repro.dns.resolver.RdnsCluster.server_for`).  Because no state
+is shared between servers, the simulated query stream can be
+partitioned by pinned server and each partition simulated in its own
+process — the same observation that makes DNS measurement at scale a
+parallel-workers problem (ZDNS).
+
+Determinism contract
+--------------------
+The parallel result is **byte-identical** to a serial
+:class:`~repro.traffic.simulate.TraceSimulator` run over the same
+config and dates:
+
+* every worker regenerates the *full* day's event stream from the
+  workload seed (generation is a pure function of the config and day),
+  then simulates only the events pinned to its shard's servers;
+* each fpDNS entry group is tagged with the index of the generating
+  query event, and the per-shard streams are k-way merged on
+  ``(timestamp, event index)``.  Event streams are timestamp-sorted at
+  generation, so this restores exactly the serial interleaving — note
+  that ``(timestamp, client_id, qname)`` alone is *not* a total order
+  over entries (every member of a CNAME chain shares the timestamp and
+  client of its query), which is why the generation-order index is the
+  tie-break;
+* per-server cache statistics ride back with the shard results, so
+  :meth:`ShardedTraceSimulator.total_stats` equals the serial
+  cluster's :meth:`~repro.dns.resolver.RdnsCluster.total_stats`.
+
+Worker entry points are top-level picklable functions (reprolint R007):
+no lambdas or closures are handed to the pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+from dataclasses import dataclass
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.labeling import LabeledZone
+from repro.dns.cache import CacheStats, LruDnsCache
+from repro.dns.resolver import RecursiveResolver
+from repro.pdns.collector import entries_for_response
+from repro.pdns.records import FpDnsDataset, FpDnsEntry
+from repro.traffic.diurnal import SECONDS_PER_DAY
+from repro.traffic.population import ZonePopulation
+from repro.traffic.simulate import (MeasurementDate, SimulatorConfig,
+                                    apply_ttl_schedule)
+from repro.traffic.workload import WorkloadModel
+
+__all__ = ["ShardedTraceSimulator", "default_worker_count"]
+
+#: One tagged fpDNS stream: (timestamp, generating-event index, entries).
+_TaggedGroup = Tuple[float, int, List[FpDnsEntry]]
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to simulate its servers' year."""
+
+    config: SimulatorConfig
+    server_indices: Tuple[int, ...]
+    dates: Tuple[MeasurementDate, ...]
+    n_events: Optional[int]
+
+
+@dataclass(frozen=True)
+class _ServerStats:
+    """Per-server counters shipped back from a worker."""
+
+    cache: CacheStats
+    upstream_queries: int
+    answered_queries: int
+
+
+@dataclass
+class _ShardDay:
+    """One shard's contribution to one simulated day."""
+
+    below: List[_TaggedGroup]
+    above: List[_TaggedGroup]
+
+
+@dataclass
+class _ShardResult:
+    """A worker's full output: per-day streams plus final stats."""
+
+    days: List[_ShardDay]
+    stats: Dict[int, _ServerStats]
+
+
+def _simulate_shard(task: _ShardTask) -> _ShardResult:
+    """Worker entry point: simulate ``task.dates`` for a server subset.
+
+    Top-level (picklable) by design — handed to ``Pool.map``.  Builds a
+    private population/authority/workload (deterministic from the
+    config seeds, so identical across workers) and one resolver per
+    assigned server, then replays each day's full event stream,
+    executing only the events whose pinned server belongs to the shard.
+    """
+    config = task.config
+    population = ZonePopulation(config.population)
+    workload = WorkloadModel(population, config.workload)
+    authority = population.build_authority()
+    servers: Dict[int, RecursiveResolver] = {
+        index: RecursiveResolver(
+            authority,
+            LruDnsCache(config.cache_capacity, min_ttl=config.min_ttl,
+                        negative_ttl=config.negative_ttl))
+        for index in task.server_indices
+    }
+    n_servers = config.n_servers
+    days: List[_ShardDay] = []
+    for date in task.dates:
+        apply_ttl_schedule(population, authority, date.year_fraction)
+        events = workload.generate_day(
+            date.day_index, year_fraction=date.year_fraction,
+            n_events=task.n_events)
+        day_start = date.day_index * SECONDS_PER_DAY
+        below: List[_TaggedGroup] = []
+        above: List[_TaggedGroup] = []
+        for seq, event in enumerate(events):
+            server = servers.get(event.client_id % n_servers)
+            if server is None:
+                continue
+            now = day_start + event.timestamp
+            result = server.resolve(event.question, now)
+            # Mirror RdnsCluster.query + PassiveDnsCollector exactly:
+            # the above-tap fires first on a miss, then the below-tap.
+            if not result.cache_hit:
+                above.append((now, seq,
+                              entries_for_response(now, None,
+                                                   result.response)))
+            below.append((now, seq,
+                          entries_for_response(now, event.client_id,
+                                               result.response)))
+        days.append(_ShardDay(below=below, above=above))
+    stats = {
+        index: _ServerStats(cache=server.cache.stats,
+                            upstream_queries=server.upstream_queries,
+                            answered_queries=server.answered_queries)
+        for index, server in servers.items()
+    }
+    return _ShardResult(days=days, stats=stats)
+
+
+def _merge_streams(streams: Sequence[List[_TaggedGroup]]) -> List[FpDnsEntry]:
+    """K-way merge tagged shard streams back into serial order.
+
+    Each shard's stream is already sorted by ``(timestamp, seq)`` and
+    event indices are disjoint across shards, so the merge is a total
+    deterministic order; within a group (one response), entry order is
+    preserved as produced.
+    """
+    merged: List[FpDnsEntry] = []
+    for _ts, _seq, entries in heapq.merge(*streams, key=itemgetter(0, 1)):
+        merged.extend(entries)
+    return merged
+
+
+def default_worker_count(n_servers: int) -> int:
+    """Workers to use when unspecified: one per core, capped by shards."""
+    return max(1, min(n_servers, os.cpu_count() or 1))
+
+
+class ShardedTraceSimulator:
+    """Parallel drop-in for :class:`~repro.traffic.simulate.TraceSimulator`
+    over a contiguous run of days.
+
+    One :meth:`run_days` call simulates one contiguous window from cold
+    caches — exactly what a freshly constructed serial simulator would
+    produce for the same dates.  Server ``i`` is assigned to worker
+    ``i % n_workers``, so any worker count from 1 to ``n_servers``
+    yields the identical merged output.
+    """
+
+    def __init__(self, config: Optional[SimulatorConfig] = None,
+                 n_workers: Optional[int] = None) -> None:
+        self.config = config or SimulatorConfig()
+        if n_workers is None:
+            n_workers = default_worker_count(self.config.n_servers)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = min(n_workers, self.config.n_servers)
+        self._population: Optional[ZonePopulation] = None
+        self._stats: Optional[Dict[int, _ServerStats]] = None
+
+    # -- shard planning -----------------------------------------------------
+
+    def _tasks(self, dates: Sequence[MeasurementDate],
+               n_events: Optional[int]) -> List[_ShardTask]:
+        shards: List[List[int]] = [[] for _ in range(self.n_workers)]
+        for index in range(self.config.n_servers):
+            shards[index % self.n_workers].append(index)
+        return [
+            _ShardTask(config=self.config, server_indices=tuple(shard),
+                       dates=tuple(dates), n_events=n_events)
+            for shard in shards if shard
+        ]
+
+    # -- running ------------------------------------------------------------
+
+    def run_days(self, dates: Sequence[MeasurementDate],
+                 n_events: Optional[int] = None) -> List[FpDnsDataset]:
+        """Simulate ``dates`` (chronological) and return one dataset each."""
+        tasks = self._tasks(dates, n_events)
+        if len(tasks) == 1:
+            # Single shard: same code path, no process overhead.
+            results = [_simulate_shard(tasks[0])]
+        else:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=len(tasks)) as pool:
+                results = pool.map(_simulate_shard, tasks)
+        stats: Dict[int, _ServerStats] = {}
+        for result in results:
+            stats.update(result.stats)
+        self._stats = stats
+        datasets: List[FpDnsDataset] = []
+        for day_index, date in enumerate(dates):
+            shard_days = [result.days[day_index] for result in results]
+            datasets.append(FpDnsDataset(
+                day=date.label,
+                below=_merge_streams([day.below for day in shard_days]),
+                above=_merge_streams([day.above for day in shard_days])))
+        return datasets
+
+    def total_stats(self) -> dict:
+        """Aggregate cache statistics, matching
+        :meth:`repro.dns.resolver.RdnsCluster.total_stats` for the same
+        simulated window."""
+        if self._stats is None:
+            raise RuntimeError("total_stats() requires a prior run_days()")
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "evicted_live": 0,
+                  "inserts": 0, "upstream_queries": 0, "answered_queries": 0}
+        for server_stats in self._stats.values():
+            cache = server_stats.cache
+            totals["hits"] += cache.hits
+            totals["misses"] += cache.misses
+            totals["evictions"] += cache.evictions
+            totals["evicted_live"] += cache.evicted_live
+            totals["inserts"] += cache.inserts
+            totals["upstream_queries"] += server_stats.upstream_queries
+            totals["answered_queries"] += server_stats.answered_queries
+        return totals
+
+    # -- ground truth -------------------------------------------------------
+
+    @property
+    def population(self) -> ZonePopulation:
+        """The zone population (built lazily; identical to the workers')."""
+        if self._population is None:
+            self._population = ZonePopulation(self.config.population)
+        return self._population
+
+    def disposable_truth(self) -> set:
+        return self.population.disposable_truth()
+
+    def labeled_zones(self) -> List[LabeledZone]:
+        return self.population.labeled_zones()

@@ -25,7 +25,7 @@ from repro.traffic.population import PopulationConfig, ZonePopulation
 from repro.traffic.workload import WorkloadConfig, WorkloadModel
 
 __all__ = ["MeasurementDate", "PAPER_DATES", "RPDNS_WINDOW_DATES",
-           "SimulatorConfig", "TraceSimulator"]
+           "SimulatorConfig", "TraceSimulator", "apply_ttl_schedule"]
 
 
 @dataclass(frozen=True)
@@ -91,6 +91,24 @@ class SimulatorConfig:
                 f"negative_ttl must be >= 0, got {self.negative_ttl}")
 
 
+def apply_ttl_schedule(population: ZonePopulation,
+                       authority: AuthoritativeHierarchy,
+                       year_fraction: float) -> None:
+    """Publish each service's TTL for this point of the year
+    (Figure 14: operators moved from ~1 s to ~300 s during 2011).
+
+    Module-level so the sharded workers of
+    :mod:`repro.traffic.parallel` apply the identical schedule to
+    their private authority copies.
+    """
+    from repro.dns.zone import WildcardZone
+
+    for service in population.services:
+        zone = authority.zone_at(service.zone)
+        if isinstance(zone, WildcardZone):
+            zone.ttl = service.ttl_at(year_fraction)
+
+
 class TraceSimulator:
     """End-to-end synthetic trace generation."""
 
@@ -111,28 +129,27 @@ class TraceSimulator:
     # -- running ----------------------------------------------------------
 
     def _apply_ttl_schedule(self, year_fraction: float) -> None:
-        """Publish each service's TTL for this point of the year
-        (Figure 14: operators moved from ~1 s to ~300 s during 2011)."""
-        from repro.dns.zone import WildcardZone
-
-        for service in self.population.services:
-            zone = self.authority.zone_at(service.zone)
-            if isinstance(zone, WildcardZone):
-                zone.ttl = service.ttl_at(year_fraction)
+        apply_ttl_schedule(self.population, self.authority, year_fraction)
 
     def run_day(self, date: MeasurementDate,
                 n_events: Optional[int] = None) -> FpDnsDataset:
-        """Simulate one day and return its fpDNS dataset."""
+        """Simulate one day and return its fpDNS dataset.
+
+        One collector roll per day: ``begin_day`` opens the dataset,
+        ``end_day`` closes and returns it (the collector retains
+        nothing by default, so long calendars stay bounded-memory).
+        """
         self._apply_ttl_schedule(date.year_fraction)
-        self.collector.roll_day(date.label)
+        self.collector.begin_day(date.label)
         events = self.workload.generate_day(
             date.day_index, year_fraction=date.year_fraction,
             n_events=n_events)
         day_start = date.day_index * SECONDS_PER_DAY
+        query = self.cluster.query
         for event in events:
-            self.cluster.query(event.client_id, event.question,
-                               day_start + event.timestamp)
-        return self.collector.roll_day(f"after-{date.label}")
+            query(event.client_id, event.question,
+                  day_start + event.timestamp)
+        return self.collector.end_day()
 
     def run_days(self, dates: Sequence[MeasurementDate],
                  n_events: Optional[int] = None) -> List[FpDnsDataset]:

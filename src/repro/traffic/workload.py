@@ -12,7 +12,7 @@ observations).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -25,9 +25,13 @@ from repro.traffic.zipf import ZipfSampler
 __all__ = ["WorkloadConfig", "QueryEvent", "WorkloadModel"]
 
 
-@dataclass(frozen=True)
-class QueryEvent:
-    """One client query: when, who, what."""
+class QueryEvent(NamedTuple):
+    """One client query: when, who, what.
+
+    Tuple-backed: a MEDIUM day materialises 60k of these and the
+    sharded engine regenerates the full stream in every worker, so
+    construction cost is squarely on the hot path.
+    """
 
     timestamp: float  # seconds since day start
     client_id: int
@@ -120,7 +124,16 @@ class WorkloadModel:
     def generate_day(self, day_index: int,
                      year_fraction: float = 0.0,
                      n_events: Optional[int] = None) -> List[QueryEvent]:
-        """Generate one day's events, sorted by timestamp."""
+        """Generate one day's events, sorted by timestamp.
+
+        Event construction is batched per category: one vectorised RNG
+        draw per decision column (site rank, client, qtype, ...)
+        instead of several scalar draws per event.  The RNG consumption
+        order is fixed by the CATEGORIES tuple, so the stream stays a
+        pure function of (config, day_index, year_fraction, n_events) —
+        which is what lets the sharded workers of
+        :mod:`repro.traffic.parallel` regenerate it independently.
+        """
         rng = np.random.default_rng(self.config.seed + 1000 + day_index)
         count = self.config.events_per_day if n_events is None else n_events
         timestamps = self.diurnal.sample_timestamps(
@@ -129,79 +142,142 @@ class WorkloadModel:
         category_ids = rng.choice(len(self.CATEGORIES), size=count,
                                   p=category_p)
         service_p = self.service_probabilities(year_fraction)
-        events: List[QueryEvent] = []
-        for ts, cat_id in zip(timestamps, category_ids):
-            category = self.CATEGORIES[cat_id]
-            client, question = self._make_event(rng, category, service_p)
-            events.append(QueryEvent(timestamp=float(ts), client_id=client,
-                                     question=question, category=category))
-        return events
+        events: List[Optional[QueryEvent]] = [None] * count
+        for cat_id, category in enumerate(self.CATEGORIES):
+            indices = np.flatnonzero(category_ids == cat_id)
+            if indices.size == 0:
+                continue
+            batch = self._BATCH_BUILDERS[category]
+            batch(self, rng, indices, timestamps, service_p, events)
+        return events  # type: ignore[return-value]
 
-    # -- per-category event construction -----------------------------------
+    # -- per-category batch builders ----------------------------------------
+    #
+    # Each builder fills ``out[i]`` for every ``i`` in ``indices``.  All
+    # per-event randomness that can be drawn as a column is; only string
+    # synthesis (generator names, misspellings) stays scalar.
 
-    def _make_event(self, rng: np.random.Generator, category: str,
-                    service_p: np.ndarray) -> Tuple[int, Question]:
-        if category == "popular":
-            return self._popular_event(rng)
-        if category == "google":
-            return self._google_event(rng)
-        if category == "cdn":
-            return self._cdn_event(rng)
-        if category == "longtail":
-            return self._longtail_event(rng)
-        if category == "typo":
-            return self._typo_event(rng)
-        return self._disposable_event(rng, service_p)
+    def _qtypes(self, rng: np.random.Generator,
+                n: int) -> List[RRType]:
+        u = rng.random(n)
+        aaaa = self.config.aaaa_fraction
+        return [RRType.AAAA if x < aaaa else RRType.A for x in u]
 
-    def _qtype(self, rng: np.random.Generator) -> RRType:
-        u = rng.random()
-        if u < self.config.aaaa_fraction:
-            return RRType.AAAA
-        return RRType.A
-
-    def _popular_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
-        site = self.population.popular_sites[self._site_sampler.sample_one(rng)]
-        client = self.clients.sample_client(rng)
-        if rng.random() < self.config.cname_fraction:
-            return client, Question(f"cdnlink.{site.zone}", RRType.A)
+    def _popular_batch(self, rng: np.random.Generator, indices: np.ndarray,
+                       timestamps: np.ndarray, service_p: np.ndarray,
+                       out: List[Optional[QueryEvent]]) -> None:
+        n = indices.size
+        sites = self.population.popular_sites
+        site_ranks = self._site_sampler.sample(rng, n)
+        clients = self.clients.sample_clients(rng, n)
+        cname_u = rng.random(n)
         # Within a site, hostnames follow a mild popularity skew: the
         # first (www-like) hostname dominates.
-        n_hosts = len(site.hostnames)
-        host_rank = min(int(rng.geometric(0.45)) - 1, n_hosts - 1)
-        hostname = site.hostnames[host_rank]
-        return client, Question(hostname, self._qtype(rng))
+        host_ranks = rng.geometric(0.45, size=n) - 1
+        qtypes = self._qtypes(rng, n)
+        cname_fraction = self.config.cname_fraction
+        for k in range(n):
+            i = int(indices[k])
+            site = sites[int(site_ranks[k])]
+            if cname_u[k] < cname_fraction:
+                question = Question(f"cdnlink.{site.zone}", RRType.A)
+            else:
+                hostnames = site.hostnames
+                rank = int(host_ranks[k])
+                if rank >= len(hostnames):
+                    rank = len(hostnames) - 1
+                question = Question(hostnames[rank], qtypes[k])
+            out[i] = QueryEvent(float(timestamps[i]), int(clients[k]),
+                                question, "popular")
 
-    def _google_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
+    def _google_batch(self, rng: np.random.Generator, indices: np.ndarray,
+                      timestamps: np.ndarray, service_p: np.ndarray,
+                      out: List[Optional[QueryEvent]]) -> None:
+        n = indices.size
         hosts = self.population.GOOGLE_HOSTS
-        rank = min(int(rng.geometric(0.35)) - 1, len(hosts) - 1)
-        client = self.clients.sample_client(rng)
-        return client, Question(hosts[rank], self._qtype(rng))
+        ranks = np.minimum(rng.geometric(0.35, size=n) - 1, len(hosts) - 1)
+        clients = self.clients.sample_clients(rng, n)
+        qtypes = self._qtypes(rng, n)
+        for k in range(n):
+            i = int(indices[k])
+            out[i] = QueryEvent(float(timestamps[i]), int(clients[k]),
+                                Question(hosts[int(ranks[k])], qtypes[k]),
+                                "google")
 
-    def _cdn_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
+    def _cdn_batch(self, rng: np.random.Generator, indices: np.ndarray,
+                   timestamps: np.ndarray, service_p: np.ndarray,
+                   out: List[Optional[QueryEvent]]) -> None:
+        n = indices.size
         generators = self.population.cdn_generators
-        generator = generators[int(rng.integers(0, len(generators)))]
-        client = self.clients.sample_client(rng)
-        return client, Question(generator.generate(rng), RRType.A)
+        generator_ids = rng.integers(0, len(generators), size=n)
+        clients = self.clients.sample_clients(rng, n)
+        for k in range(n):
+            i = int(indices[k])
+            generator = generators[int(generator_ids[k])]
+            out[i] = QueryEvent(float(timestamps[i]), int(clients[k]),
+                                Question(generator.generate(rng), RRType.A),
+                                "cdn")
 
-    def _longtail_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
-        zone = self.population.longtail_sites[
-            self._longtail_sampler.sample_one(rng)]
-        name = zone if rng.random() < 0.4 else "www." + zone
-        client = self.clients.sample_client(rng)
-        return client, Question(name, RRType.A)
+    def _longtail_batch(self, rng: np.random.Generator, indices: np.ndarray,
+                        timestamps: np.ndarray, service_p: np.ndarray,
+                        out: List[Optional[QueryEvent]]) -> None:
+        n = indices.size
+        zones = self.population.longtail_sites
+        zone_ranks = self._longtail_sampler.sample(rng, n)
+        bare_u = rng.random(n)
+        clients = self.clients.sample_clients(rng, n)
+        for k in range(n):
+            i = int(indices[k])
+            zone = zones[int(zone_ranks[k])]
+            name = zone if bare_u[k] < 0.4 else "www." + zone
+            out[i] = QueryEvent(float(timestamps[i]), int(clients[k]),
+                                Question(name, RRType.A), "longtail")
 
-    def _typo_event(self, rng: np.random.Generator) -> Tuple[int, Question]:
-        """A misspelled popular domain: resolves to NXDOMAIN."""
+    def _typo_batch(self, rng: np.random.Generator, indices: np.ndarray,
+                    timestamps: np.ndarray, service_p: np.ndarray,
+                    out: List[Optional[QueryEvent]]) -> None:
+        """Misspelled popular domains: resolve to NXDOMAIN."""
+        n = indices.size
         registered = self.population.registered_2lds
-        for _ in range(8):
-            site = self.population.popular_sites[
-                self._site_sampler.sample_one(rng)]
-            zone = self._misspell(rng, site.zone)
-            if zone not in registered:
-                break
-        name = zone if rng.random() < 0.5 else "www." + zone
-        client = self.clients.sample_client(rng)
-        return client, Question(name, RRType.A)
+        sites = self.population.popular_sites
+        bare_u = rng.random(n)
+        clients = self.clients.sample_clients(rng, n)
+        for k in range(n):
+            i = int(indices[k])
+            for _ in range(8):
+                site = sites[self._site_sampler.sample_one(rng)]
+                zone = self._misspell(rng, site.zone)
+                if zone not in registered:
+                    break
+            name = zone if bare_u[k] < 0.5 else "www." + zone
+            out[i] = QueryEvent(float(timestamps[i]), int(clients[k]),
+                                Question(name, RRType.A), "typo")
+
+    def _disposable_batch(self, rng: np.random.Generator, indices: np.ndarray,
+                          timestamps: np.ndarray, service_p: np.ndarray,
+                          out: List[Optional[QueryEvent]]) -> None:
+        n = indices.size
+        services = self.population.services
+        service_ids = rng.choice(len(services), size=n, p=service_p)
+        for k in range(n):
+            i = int(indices[k])
+            service = services[int(service_ids[k])]
+            client = self.clients.sample_cohort_client(rng, service.name)
+            out[i] = QueryEvent(float(timestamps[i]), client,
+                                Question(service.generator.generate(rng),
+                                         RRType.A),
+                                "disposable")
+
+    #: Category -> batch builder, in CATEGORIES order (fixes the RNG
+    #: consumption order and therefore the generated stream).
+    _BATCH_BUILDERS = {
+        "popular": _popular_batch,
+        "google": _google_batch,
+        "cdn": _cdn_batch,
+        "longtail": _longtail_batch,
+        "typo": _typo_batch,
+        "disposable": _disposable_batch,
+    }
 
     @staticmethod
     def _misspell(rng: np.random.Generator, zone: str) -> str:
@@ -219,10 +295,3 @@ class WorkloadModel:
         else:  # double a character
             label = label[:pos] + label[pos] + label[pos:]
         return f"{label}.{tld}"
-
-    def _disposable_event(self, rng: np.random.Generator,
-                          service_p: np.ndarray) -> Tuple[int, Question]:
-        index = int(rng.choice(len(self.population.services), p=service_p))
-        service = self.population.services[index]
-        client = self.clients.sample_cohort_client(rng, service.name)
-        return client, Question(service.generator.generate(rng), RRType.A)

@@ -83,11 +83,31 @@ class TestLruEviction:
         assert cache.lookup(Question("b.com"), 4.0) is None
 
     def test_live_eviction_tracked(self):
-        cache = LruDnsCache(1)
+        cache = LruDnsCache(1, eviction_log_limit=None)
         cache.insert(response_for("a.com", ttl=1000), 0.0)
         cache.insert(response_for("b.com", ttl=1000), 1.0)
         assert cache.stats.evicted_live == 1
         assert cache.live_eviction_log[0][1] == "a.com"
+
+    def test_eviction_log_off_by_default(self):
+        cache = LruDnsCache(1)
+        cache.insert(response_for("a.com", ttl=1000), 0.0)
+        cache.insert(response_for("b.com", ttl=1000), 1.0)
+        assert cache.stats.evicted_live == 1
+        assert cache.live_eviction_log == []
+
+    def test_eviction_log_bounded(self):
+        cache = LruDnsCache(1, eviction_log_limit=2)
+        for i in range(5):
+            cache.insert(response_for(f"n{i}.com", ttl=1000), float(i))
+        assert cache.stats.evicted_live == 4
+        log = cache.live_eviction_log
+        assert len(log) == 2
+        assert [victim[1] for victim in log] == ["n2.com", "n3.com"]
+
+    def test_eviction_log_limit_validated(self):
+        with pytest.raises(ValueError):
+            LruDnsCache(1, eviction_log_limit=-1)
 
     def test_expired_eviction_not_live(self):
         cache = LruDnsCache(1)

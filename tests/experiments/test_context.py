@@ -2,8 +2,17 @@
 
 import pytest
 
-from repro.experiments.context import MEDIUM, SMALL, ExperimentContext
+from repro.experiments.context import (MEDIUM, SMALL, ExperimentContext,
+                                       ScaleProfile)
+from repro.traffic.artifacts import FpDnsArtifactCache
 from repro.traffic.simulate import PAPER_DATES, MeasurementDate
+
+# Seconds-scale profile for the acceleration-path tests below: they
+# each run the full standard calendar, so the per-day cost must be tiny.
+TINY = ScaleProfile(name="tiny-accel", events_per_day=800,
+                    n_popular_sites=30, n_longtail_sites=200,
+                    n_extra_disposable=8, n_clients=40,
+                    cache_capacity=2_000, cdn_objects=800)
 
 
 class TestProfiles:
@@ -55,3 +64,53 @@ class TestContext:
 
     def test_truth_groups_nonempty(self, small_context):
         assert len(small_context.truth_groups()) > 10
+
+
+class TestAcceleratedContext:
+    """The sharded and artifact-cached paths must change nothing but
+    wall-clock time."""
+
+    def test_sharded_context_matches_serial(self):
+        serial = ExperimentContext(TINY)
+        sharded = ExperimentContext(TINY, n_workers=2)
+        for date in PAPER_DATES[:2]:
+            a = serial.dataset(date)
+            b = sharded.dataset(date)
+            assert a.below == b.below
+            assert a.above == b.above
+
+    def test_warm_session_skips_simulation(self, tmp_path):
+        cold_cache = FpDnsArtifactCache(tmp_path)
+        cold = ExperimentContext(TINY, artifact_cache=cold_cache)
+        cold_day = cold.dataset(PAPER_DATES[0])
+        assert cold_cache.hits == 0
+        stored = len(cold_cache)
+        assert stored > 0
+
+        warm_cache = FpDnsArtifactCache(tmp_path)
+        warm = ExperimentContext(TINY, artifact_cache=warm_cache)
+        warm_day = warm.dataset(PAPER_DATES[0])
+        # Every calendar day came from disk: no misses, no simulation.
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == stored
+        assert warm._replayed == 0
+        assert warm_day.below == cold_day.below
+        assert warm_day.above == cold_day.above
+
+    def test_adhoc_date_after_warm_hits_replays(self, tmp_path):
+        cache = FpDnsArtifactCache(tmp_path)
+        ExperimentContext(TINY, artifact_cache=cache).dataset(PAPER_DATES[0])
+
+        serial = ExperimentContext(TINY)
+        warm = ExperimentContext(TINY,
+                                 artifact_cache=FpDnsArtifactCache(tmp_path))
+        adhoc = MeasurementDate("ad-hoc-future", 999, 1.0)
+        serial.dataset(PAPER_DATES[0])   # runs the standard calendar
+        warm.dataset(PAPER_DATES[0])     # loads it from disk instead
+        a = serial.dataset(adhoc)
+        b = warm.dataset(adhoc)
+        # The warm context loaded the calendar from disk, then had to
+        # rewarm its serial caches by replay before the ad-hoc day.
+        assert warm._replayed > 0
+        assert a.below == b.below
+        assert a.above == b.above

@@ -38,7 +38,7 @@ class TestCollector:
         assert not collector.dataset.below[0].is_answer
 
     def test_roll_day(self):
-        collector = PassiveDnsCollector(day="d1")
+        collector = PassiveDnsCollector(day="d1", retain_days=None)
         collector.observe_below(1.0, 7, ok_response("a.com", ["1.1.1.1"]))
         completed = collector.roll_day("d2")
         assert completed.day == "d1"
@@ -46,6 +46,38 @@ class TestCollector:
         assert collector.dataset.day == "d2"
         assert collector.dataset.below == []
         assert completed in collector.finished_datasets
+
+    def test_no_retention_by_default(self):
+        collector = PassiveDnsCollector(day="d1")
+        collector.observe_below(1.0, 7, ok_response("a.com", ["1.1.1.1"]))
+        completed = collector.roll_day("d2")
+        assert completed.below_volume() == 1
+        assert collector.finished_datasets == []
+
+    def test_bounded_retention(self):
+        collector = PassiveDnsCollector(day="d0", retain_days=2)
+        for i in range(1, 5):
+            collector.observe_below(float(i), 1,
+                                    ok_response("a.com", ["1.1.1.1"]))
+            collector.roll_day(f"d{i}")
+        retained = [ds.day for ds in collector.finished_datasets]
+        assert retained == ["d2", "d3"]
+
+    def test_begin_end_day_single_dataset_per_day(self):
+        collector = PassiveDnsCollector(day="warmup", retain_days=None)
+        collector.begin_day("d1")
+        collector.observe_below(1.0, 7, ok_response("a.com", ["1.1.1.1"]))
+        completed = collector.end_day()
+        assert completed.day == "d1"
+        assert completed.below_volume() == 1
+        # Only the real day is retained — no warmup/idle placeholders.
+        collector.begin_day("d2")
+        collector.end_day()
+        assert [ds.day for ds in collector.finished_datasets] == ["d1", "d2"]
+
+    def test_retain_days_validated(self):
+        with pytest.raises(ValueError):
+            PassiveDnsCollector(day="d1", retain_days=-1)
 
     def test_timestamps_preserved(self):
         collector = PassiveDnsCollector(day="d1")

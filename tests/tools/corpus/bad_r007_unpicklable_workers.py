@@ -1,0 +1,19 @@
+# reprolint: module=repro.traffic.fixture_bad_workers
+"""Corpus fixture: unpicklable multiprocessing workers (R007 x3)."""
+
+import multiprocessing
+
+__all__ = ["run_all"]
+
+
+def run_all(items):
+    def local_worker(item):
+        return item * 2
+
+    with multiprocessing.Pool(2) as pool:
+        doubled = pool.map(lambda item: item * 2, items)
+        tripled = pool.map(local_worker, items)
+    process = multiprocessing.Process(target=lambda: None)
+    process.start()
+    process.join()
+    return doubled + tripled

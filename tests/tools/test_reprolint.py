@@ -28,6 +28,7 @@ CORPUS_EXPECTATIONS = {
     "R004": ("bad_r004_mutable_config.py", 1),
     "R005": ("bad_r005_exports.py", 1),
     "R006": ("bad_r006_float_eq.py", 3),
+    "R007": ("bad_r007_unpicklable_workers.py", 3),
 }
 
 

@@ -1,0 +1,158 @@
+"""Record the simulator performance baseline.
+
+Times the three simulation paths on a fixed workload and writes the
+numbers to ``BENCH_simulator.json`` at the repo root:
+
+* **serial** — :class:`repro.traffic.simulate.TraceSimulator`;
+* **sharded** — :class:`repro.traffic.parallel.ShardedTraceSimulator`
+  at 1/2/4 workers (byte-identical output, wall-clock only);
+* **artifact cache** — a cold session that stores every day, then a
+  warm session that loads them instead of simulating.
+
+The recorded file also captures ``cpu_count``: sharding cannot beat
+serial on fewer cores than workers, so numbers are only comparable
+across machines together with that field.  Timing lives here in
+``tools/`` because ``src/repro`` is wall-clock-free by the determinism
+contract (reprolint R001).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_baseline.py            # MEDIUM
+    PYTHONPATH=src python tools/bench_baseline.py --quick    # SMALL, CI
+
+The ``--quick`` mode runs the SMALL profile with few events so CI can
+smoke-test the whole harness in seconds; its numbers are not meant to
+be compared, only to prove the paths still run and still agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.context import MEDIUM, SMALL, ScaleProfile  # noqa: E402
+from repro.pdns.records import FpDnsDataset  # noqa: E402
+from repro.traffic.artifacts import (FpDnsArtifactCache,  # noqa: E402
+                                     artifact_key)
+from repro.traffic.parallel import ShardedTraceSimulator  # noqa: E402
+from repro.traffic.simulate import (PAPER_DATES,  # noqa: E402
+                                    TraceSimulator)
+
+OUTPUT = REPO_ROOT / "BENCH_simulator.json"
+
+
+def _check_identical(reference: List[FpDnsDataset],
+                     candidate: List[FpDnsDataset], label: str) -> None:
+    for ref_day, cand_day in zip(reference, candidate):
+        if (ref_day.day != cand_day.day or ref_day.below != cand_day.below
+                or ref_day.above != cand_day.above):
+            raise AssertionError(
+                f"{label} output differs from serial on {ref_day.day}")
+
+
+def bench(profile: ScaleProfile, n_days: int,
+          n_events: Optional[int]) -> Dict[str, object]:
+    dates = PAPER_DATES[:n_days]
+    config = profile.simulator_config()
+    results: Dict[str, object] = {
+        "profile": profile.name,
+        "n_days": len(dates),
+        "events_per_day": n_events or profile.events_per_day,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+
+    start = time.perf_counter()
+    serial = TraceSimulator(profile.simulator_config())
+    serial_days = serial.run_days(dates, n_events=n_events)
+    serial_s = time.perf_counter() - start
+    results["serial_s"] = round(serial_s, 3)
+    print(f"serial: {serial_s:.2f}s")
+
+    sharded_timings: Dict[str, float] = {}
+    for n_workers in (1, 2, 4):
+        start = time.perf_counter()
+        sharded = ShardedTraceSimulator(profile.simulator_config(),
+                                        n_workers=n_workers)
+        sharded_days = sharded.run_days(dates, n_events=n_events)
+        elapsed = time.perf_counter() - start
+        _check_identical(serial_days, sharded_days,
+                         f"sharded(n_workers={n_workers})")
+        sharded_timings[str(n_workers)] = round(elapsed, 3)
+        print(f"sharded n_workers={n_workers}: {elapsed:.2f}s "
+              f"(speedup {serial_s / elapsed:.2f}x, output identical)")
+    results["sharded_s"] = sharded_timings
+    results["speedup_at_4_workers"] = round(
+        serial_s / sharded_timings["4"], 2)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = FpDnsArtifactCache(tmp)
+        start = time.perf_counter()
+        cold = TraceSimulator(profile.simulator_config())
+        history = []
+        cold_days = []
+        for date in dates:
+            day = cold.run_day(date, n_events=n_events)
+            history.append(date)
+            cache.store(artifact_key(cold.config, history,
+                                     n_events=n_events), day)
+            cold_days.append(day)
+        cold_s = time.perf_counter() - start
+
+        warm_cache = FpDnsArtifactCache(tmp)
+        start = time.perf_counter()
+        warm_config = profile.simulator_config()
+        warm_history = []
+        warm_days = []
+        for date in dates:
+            warm_history.append(date)
+            day = warm_cache.load(artifact_key(warm_config, warm_history,
+                                               n_events=n_events))
+            assert day is not None, "warm session missed the cache"
+            warm_days.append(day)
+        warm_s = time.perf_counter() - start
+        assert warm_cache.misses == 0
+        _check_identical(cold_days, warm_days, "artifact cache")
+
+    results["cache_cold_s"] = round(cold_s, 3)
+    results["cache_warm_s"] = round(warm_s, 3)
+    results["cache_warm_speedup"] = round(cold_s / warm_s, 2)
+    print(f"artifact cache: cold {cold_s:.2f}s, warm {warm_s:.2f}s "
+          f"(speedup {cold_s / warm_s:.2f}x, {warm_cache.hits} hits, "
+          "output identical)")
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="SMALL profile, few events: CI smoke mode "
+                             "(does not overwrite the recorded baseline)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"where to write results (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        results = bench(SMALL, n_days=2, n_events=4_000)
+        results["mode"] = "quick"
+        print(json.dumps(results, indent=2))
+        return 0
+
+    results = bench(MEDIUM, n_days=3, n_events=None)
+    results["mode"] = "baseline"
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

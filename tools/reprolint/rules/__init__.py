@@ -10,6 +10,7 @@ from tools.reprolint.rules.determinism import NoWallClockRule, SeededRngOnlyRule
 from tools.reprolint.rules.exports import AllExportsExistRule
 from tools.reprolint.rules.floats import NoFloatEqRule
 from tools.reprolint.rules.imports import ImportLayeringRule
+from tools.reprolint.rules.multiprocessing import PicklableWorkersRule
 
 __all__ = ["ALL_RULES", "rule_by_id"]
 
@@ -20,6 +21,7 @@ ALL_RULES: List[Rule] = [
     FrozenConfigRule(),
     AllExportsExistRule(),
     NoFloatEqRule(),
+    PicklableWorkersRule(),
 ]
 
 _BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
