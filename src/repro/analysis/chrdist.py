@@ -10,16 +10,18 @@ are exactly zero while non-disposable zones keep a "natural" spread
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.analysis.cdf import EmpiricalCdf
-from repro.core.hitrate import HitRateTable
+from repro.core.hitrate import HitRateTable, hit_rates_from_digest
+from repro.core.interning import DayDigest
 from repro.core.names import is_subdomain
 from repro.core.ranking import name_matches_groups
 
-__all__ = ["chr_cdf", "chr_cdf_for_zones", "ChrSplit", "chr_split"]
+__all__ = ["chr_cdf", "chr_cdf_for_zones", "ChrSplit", "chr_split",
+           "chr_split_from_digest"]
 
 
 def chr_cdf(hit_rates: HitRateTable) -> EmpiricalCdf:
@@ -70,6 +72,37 @@ def chr_split(hit_rates: HitRateTable,
             other_records.append(record)
     return ChrSplit(
         day=hit_rates.day,
+        disposable=EmpiricalCdf.from_samples(
+            hit_rates.chr_values(disposable_records)),
+        non_disposable=EmpiricalCdf.from_samples(
+            hit_rates.chr_values(other_records)))
+
+
+def chr_split_from_digest(digest: DayDigest,
+                          disposable_groups: Set[Tuple[str, int]],
+                          hit_rates: Optional[HitRateTable] = None
+                          ) -> ChrSplit:
+    """:func:`chr_split` over a columnar digest.
+
+    The per-record zone-membership test becomes one memoised per-name
+    mask indexed by the RR identity table; the CDFs sort their samples,
+    so the result equals the legacy split.
+    """
+    if hit_rates is None:
+        hit_rates = hit_rates_from_digest(digest)
+    mask = digest.names.match_mask(disposable_groups)
+    disposable_records = []
+    other_records = []
+    for rid, key in enumerate(digest.rr_keys):
+        record = hit_rates.get(key)
+        if record is None:  # pragma: no cover - digest tables carry all keys
+            continue
+        if mask[digest.rr_name_ids[rid]]:
+            disposable_records.append(record)
+        else:
+            other_records.append(record)
+    return ChrSplit(
+        day=digest.day,
         disposable=EmpiricalCdf.from_samples(
             hit_rates.chr_values(disposable_records)),
         non_disposable=EmpiricalCdf.from_samples(

@@ -15,11 +15,13 @@ from typing import Dict, Set, Tuple
 
 import numpy as np
 
+from repro.core.interning import DayDigest
 from repro.core.numeric import is_zero
 from repro.core.ranking import name_matches_groups
 from repro.pdns.records import FpDnsDataset
 
-__all__ = ["ClientSpreadReport", "clients_per_name"]
+__all__ = ["ClientSpreadReport", "clients_per_name",
+           "clients_per_name_from_digest"]
 
 
 @dataclass
@@ -77,3 +79,21 @@ def clients_per_name(dataset: FpDnsDataset,
         day=dataset.day,
         disposable_counts=np.array(sorted(disposable), dtype=int),
         other_counts=np.array(sorted(other), dtype=int))
+
+
+def clients_per_name_from_digest(digest: DayDigest,
+                                 disposable_groups: Set[Tuple[str, int]]
+                                 ) -> ClientSpreadReport:
+    """:func:`clients_per_name` over a columnar digest.
+
+    Distinct (name, client) pairs come from one ``np.unique`` over the
+    packed id columns and the disposable split from the memoised
+    per-name match mask; the reported count arrays are sorted either
+    way, so the result compares equal to the legacy report.
+    """
+    name_ids, counts = digest.client_counts_by_name()
+    disposable_mask = digest.names.match_mask(disposable_groups)[name_ids]
+    return ClientSpreadReport(
+        day=digest.day,
+        disposable_counts=np.sort(counts[disposable_mask]).astype(int),
+        other_counts=np.sort(counts[~disposable_mask]).astype(int))

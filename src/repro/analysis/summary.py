@@ -16,14 +16,18 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.analysis.tail import LOW_VOLUME_THRESHOLD
-from repro.analysis.volume import DayVolumeSummary, day_summary
-from repro.core.hitrate import HitRateTable, compute_hit_rates
+from repro.analysis.volume import (DayVolumeSummary, day_summary,
+                                   day_summary_from_digest)
+from repro.core.hitrate import (HitRateTable, compute_hit_rates,
+                                hit_rates_from_digest)
+from repro.core.interning import DayDigest
 from repro.core.ranking import name_matches_groups
 from repro.core.suffix import SuffixList, default_suffix_list
 from repro.pdns.records import FpDnsDataset
 from repro.textutil import format_kv, format_percent, format_table
 
-__all__ = ["DailyTrafficReport", "build_daily_report"]
+__all__ = ["DailyTrafficReport", "build_daily_report",
+           "build_daily_report_from_digest"]
 
 
 @dataclass
@@ -131,6 +135,77 @@ def build_daily_report(dataset: FpDnsDataset,
         zero_dhr_fraction=hit_rates.zero_dhr_fraction(),
         chr_median=hit_rates.chr_median(),
         top_zones=top_zones,
+        disposable_queried_fraction=disposable_queried,
+        disposable_resolved_fraction=disposable_resolved,
+        disposable_rr_fraction=disposable_rr)
+
+
+def _top_zones_from_digest(digest: DayDigest, suffixes: SuffixList,
+                           top_n: int) -> List[Tuple[str, int]]:
+    """Top effective-2LDs by below answer volume, digest-side.
+
+    Replicates the legacy dict accumulation exactly, including the
+    tie-break: ``sorted`` is stable, so equal-volume zones keep their
+    first-seen order among the below answer entries.  The first-seen
+    order is recovered with ``np.unique(return_index=True)`` over the
+    per-entry zone ids.
+    """
+    e2ld_ids, zones = digest.names.effective_2ld_ids(suffixes)
+    below = digest.below
+    entry_zone_ids = e2ld_ids[below.name_ids[below.answer_mask]]
+    entry_zone_ids = entry_zone_ids[entry_zone_ids >= 0]
+    if entry_zone_ids.size == 0:
+        return []
+    zone_ids, first_positions = np.unique(entry_zone_ids, return_index=True)
+    counts = np.bincount(entry_zone_ids, minlength=len(zones))
+    first_seen_order = zone_ids[np.argsort(first_positions, kind="stable")]
+    per_2ld = [(zones[int(zid)], int(counts[zid]))
+               for zid in first_seen_order]
+    return sorted(per_2ld, key=lambda kv: -kv[1])[:top_n]
+
+
+def build_daily_report_from_digest(
+        digest: DayDigest,
+        hit_rates: Optional[HitRateTable] = None,
+        disposable_groups: Optional[Set[Tuple[str, int]]] = None,
+        suffix_list: Optional[SuffixList] = None,
+        top_n: int = 10) -> DailyTrafficReport:
+    """:func:`build_daily_report` over a columnar digest.
+
+    All population counts, the top-zone table and the disposable
+    shares come from numpy reductions over the digest columns; output
+    is equal to the legacy report on the same day.
+    """
+    if hit_rates is None:
+        hit_rates = hit_rates_from_digest(digest)
+    suffixes = suffix_list or default_suffix_list()
+
+    lookup_counts = hit_rates.lookup_counts()
+    low_tail = (float(np.mean(lookup_counts < LOW_VOLUME_THRESHOLD))
+                if lookup_counts.size else 0.0)
+
+    n_queried = int(digest.queried_name_ids().shape[0])
+    n_resolved = int(digest.resolved_name_ids().shape[0])
+    n_rrs = digest.distinct_rr_count()
+
+    disposable_queried = disposable_resolved = disposable_rr = None
+    if disposable_groups is not None:
+        queried_hits, resolved_hits, rr_hits = (
+            digest.match_counts(disposable_groups))
+        disposable_queried = queried_hits / n_queried if n_queried else 0.0
+        disposable_resolved = resolved_hits / n_resolved if n_resolved else 0.0
+        disposable_rr = rr_hits / n_rrs if n_rrs else 0.0
+
+    return DailyTrafficReport(
+        day=digest.day,
+        volumes=day_summary_from_digest(digest),
+        queried_domains=n_queried,
+        resolved_domains=n_resolved,
+        distinct_rrs=n_rrs,
+        low_volume_tail_fraction=low_tail,
+        zero_dhr_fraction=hit_rates.zero_dhr_fraction(),
+        chr_median=hit_rates.chr_median(),
+        top_zones=_top_zones_from_digest(digest, suffixes, top_n),
         disposable_queried_fraction=disposable_queried,
         disposable_resolved_fraction=disposable_resolved,
         disposable_rr_fraction=disposable_rr)

@@ -13,12 +13,14 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.interning import DayDigest, StreamColumns
 from repro.core.names import is_subdomain
 from repro.dns.message import RCode
 from repro.pdns.records import FpDnsDataset, FpDnsEntry
 
 __all__ = ["ZONE_GROUPS", "VolumeSeries", "DayVolumeSummary",
-           "hourly_volumes", "day_summary", "multi_day_series"]
+           "hourly_volumes", "day_summary", "multi_day_series",
+           "hourly_volumes_from_digest", "day_summary_from_digest"]
 
 # The paper's two reference zone groups (its footnote 1).
 ZONE_GROUPS: Dict[str, Tuple[str, ...]] = {
@@ -62,25 +64,80 @@ def hourly_volumes(dataset: FpDnsDataset, side: str = "below",
     else:
         raise ValueError(f"side must be 'below' or 'above', got {side!r}")
 
+    # Single pass over the entries: pull the three relevant columns
+    # out, then bin with vectorised numpy ops (the old min() pre-pass
+    # plus per-entry bucketing loop walked the list twice).
+    timestamps = np.empty(len(entries), dtype=np.float64)
+    is_nx = np.empty(len(entries), dtype=bool)
+    in_google = np.empty(len(entries), dtype=bool)
+    in_akamai = np.empty(len(entries), dtype=bool)
+    for position, entry in enumerate(entries):
+        timestamps[position] = entry.timestamp
+        is_nx[position] = entry.rcode is RCode.NXDOMAIN
+        in_google[position] = _in_group(entry.qname, ZONE_GROUPS["google"])
+        in_akamai[position] = (not in_google[position]
+                               and _in_group(entry.qname,
+                                             ZONE_GROUPS["akamai"]))
+    return _bin_volumes(dataset.day, side, n_bins, day_seconds,
+                        timestamps, is_nx, in_google, in_akamai)
+
+
+def _bin_volumes(day: str, side: str, n_bins: int, day_seconds: float,
+                 timestamps: np.ndarray, is_nx: np.ndarray,
+                 in_google: np.ndarray,
+                 in_akamai: np.ndarray) -> VolumeSeries:
+    """Vectorised binning shared by the entry and digest paths.
+
+    Replicates the scalar arithmetic exactly: bin index is
+    ``min(int((ts - min_ts) / width), n_bins - 1)``, evaluated in
+    float64 either way.
+    """
     total = np.zeros(n_bins, dtype=int)
     nxdomain = np.zeros(n_bins, dtype=int)
     google = np.zeros(n_bins, dtype=int)
     akamai = np.zeros(n_bins, dtype=int)
-    if entries:
-        base = min(entry.timestamp for entry in entries)
+    if timestamps.size:
         width = day_seconds / n_bins
-        for entry in entries:
-            index = min(int((entry.timestamp - base) / width), n_bins - 1)
-            total[index] += 1
-            if entry.rcode is RCode.NXDOMAIN:
-                nxdomain[index] += 1
-            if _in_group(entry.qname, ZONE_GROUPS["google"]):
-                google[index] += 1
-            elif _in_group(entry.qname, ZONE_GROUPS["akamai"]):
-                akamai[index] += 1
-    return VolumeSeries(day=dataset.day, side=side,
+        index = ((timestamps - timestamps.min()) / width).astype(np.int64)
+        np.minimum(index, n_bins - 1, out=index)
+        total += np.bincount(index, minlength=n_bins)
+        nxdomain += np.bincount(index[is_nx], minlength=n_bins)
+        google += np.bincount(index[in_google], minlength=n_bins)
+        akamai += np.bincount(index[in_akamai], minlength=n_bins)
+    return VolumeSeries(day=day, side=side,
                         bin_seconds=day_seconds / n_bins, total=total,
                         nxdomain=nxdomain, google=google, akamai=akamai)
+
+
+def _stream_group_masks(digest: DayDigest, stream: StreamColumns
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """(google, akamai) per-entry masks from memoised per-name masks,
+    with the legacy elif precedence (google wins on overlap)."""
+    google_names = digest.names.subdomain_mask(ZONE_GROUPS["google"])
+    akamai_names = digest.names.subdomain_mask(ZONE_GROUPS["akamai"])
+    in_google = google_names[stream.name_ids]
+    in_akamai = akamai_names[stream.name_ids] & ~in_google
+    return in_google, in_akamai
+
+
+def hourly_volumes_from_digest(digest: DayDigest, side: str = "below",
+                               n_bins: int = 24,
+                               day_seconds: float = 86_400.0
+                               ) -> VolumeSeries:
+    """:func:`hourly_volumes` over a columnar digest — per-name zone
+    membership is computed once per distinct name, and the binning is
+    pure numpy over the digest columns."""
+    if side == "below":
+        stream = digest.below
+    elif side == "above":
+        stream = digest.above
+    else:
+        raise ValueError(f"side must be 'below' or 'above', got {side!r}")
+    in_google, in_akamai = _stream_group_masks(digest, stream)
+    return _bin_volumes(digest.day, side, n_bins, day_seconds,
+                        stream.timestamps,
+                        stream.rcodes == RCode.NXDOMAIN.value,
+                        in_google, in_akamai)
 
 
 @dataclass(frozen=True)
@@ -128,6 +185,27 @@ def day_summary(dataset: FpDnsDataset) -> DayVolumeSummary:
         above_nxdomain=dataset.nxdomain_volume_above(),
         below_google=below_google,
         below_akamai=below_akamai)
+
+
+def day_summary_from_digest(digest: DayDigest) -> DayVolumeSummary:
+    """:func:`day_summary` over a columnar digest.
+
+    Unlike the hourly series, the summary counts google and akamai
+    membership independently (no precedence), matching the legacy
+    two-``sum`` form.
+    """
+    google_names = digest.names.subdomain_mask(ZONE_GROUPS["google"])
+    akamai_names = digest.names.subdomain_mask(ZONE_GROUPS["akamai"])
+    below = digest.below
+    nx_value = RCode.NXDOMAIN.value
+    return DayVolumeSummary(
+        day=digest.day,
+        below_total=int(below.timestamps.size),
+        above_total=int(digest.above.timestamps.size),
+        below_nxdomain=int(np.count_nonzero(below.rcodes == nx_value)),
+        above_nxdomain=int(np.count_nonzero(digest.above.rcodes == nx_value)),
+        below_google=int(np.count_nonzero(google_names[below.name_ids])),
+        below_akamai=int(np.count_nonzero(akamai_names[below.name_ids])))
 
 
 def multi_day_series(datasets: Iterable[FpDnsDataset]

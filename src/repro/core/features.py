@@ -19,13 +19,16 @@ The resulting 8-dimensional vector is what the classifier consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence
 
 import numpy as np
 
-from repro.core.hitrate import HitRateTable
+from repro.core.hitrate import HitRateTable, hit_rates_from_digest
 from repro.core.names import shannon_entropy
 from repro.core.tree import DomainNameTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.interning import DayDigest
 
 __all__ = ["FEATURE_NAMES", "GroupFeatures", "FeatureExtractor"]
 
@@ -87,6 +90,14 @@ class FeatureExtractor:
     def __init__(self, tree: DomainNameTree, hit_rates: HitRateTable) -> None:
         self._tree = tree
         self._hit_rates = hit_rates
+
+    @classmethod
+    def from_digest(cls, digest: "DayDigest") -> "FeatureExtractor":
+        """Extractor over a columnar day digest: tree and hit-rate
+        table are both derived from the digest columns (no entry
+        re-scan), producing the same features as the legacy path."""
+        return cls(DomainNameTree(digest.resolved_names_ordered()),
+                   hit_rates_from_digest(digest))
 
     def features_for(self, zone: str, depth: int,
                      group: Iterable[str]) -> GroupFeatures:

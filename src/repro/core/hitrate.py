@@ -21,13 +21,18 @@ the signal that separates disposable from non-disposable zones (Fig. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping,
+                    Optional)
 
 import numpy as np
 
 from repro.core.records import FpDnsDataset, RRKey
 
-__all__ = ["RRHitRate", "HitRateTable", "compute_hit_rates"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.interning import DayDigest
+
+__all__ = ["RRHitRate", "HitRateTable", "compute_hit_rates",
+           "hit_rates_from_digest"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,11 @@ class HitRateTable:
     def __init__(self, rates: Mapping[RRKey, RRHitRate], day: str = "") -> None:
         self._rates = dict(rates)
         self.day = day
+        # name -> positions into the table order, built lazily: the
+        # miner asks for_names() once per depth group, and a full-table
+        # scan per group is quadratic over a day's mining run.
+        self._name_positions: Optional[Dict[str, List[int]]] = None
+        self._indexed_records: Optional[List[RRHitRate]] = None
 
     def __len__(self) -> int:
         return len(self._rates)
@@ -76,9 +86,25 @@ class HitRateTable:
     # -- selections -----------------------------------------------------
 
     def for_names(self, names: Iterable[str]) -> List[RRHitRate]:
-        """All RR hit rates whose owner name is in ``names``."""
-        wanted = set(names)
-        return [rate for key, rate in self._rates.items() if key[0] in wanted]
+        """All RR hit rates whose owner name is in ``names``.
+
+        Results keep table order (as if the whole table were scanned),
+        but the scan is replaced by a lazily built name index, so the
+        cost is proportional to the selection, not the table.
+        """
+        if self._name_positions is None or self._indexed_records is None:
+            index: Dict[str, List[int]] = {}
+            ordered: List[RRHitRate] = []
+            for position, (key, rate) in enumerate(self._rates.items()):
+                index.setdefault(key[0], []).append(position)
+                ordered.append(rate)
+            self._name_positions = index
+            self._indexed_records = ordered
+        positions: List[int] = []
+        for name in set(names):
+            positions.extend(self._name_positions.get(name, ()))
+        positions.sort()
+        return [self._indexed_records[position] for position in positions]
 
     def filter(self, predicate: Callable[[RRKey], bool]) -> List[RRHitRate]:
         return [rate for key, rate in self._rates.items() if predicate(key)]
@@ -140,3 +166,22 @@ def compute_hit_rates(dataset: FpDnsDataset) -> HitRateTable:
                                queries_below=below.get(key, 0),
                                misses_above=above.get(key, 0))
     return HitRateTable(rates, day=dataset.day)
+
+
+def hit_rates_from_digest(digest: "DayDigest") -> HitRateTable:
+    """Digest-based :func:`compute_hit_rates` — no entry re-scan.
+
+    Every RR interned by the digest was carried by at least one answer
+    entry in one of the streams, so the RR id range *is* the legacy
+    ``set(below) | set(above)`` key set; the per-RR counts come from
+    two ``bincount`` reductions instead of two entry-list walks.  The
+    resulting table compares equal to the legacy one (same keys, same
+    integer counts), with a deterministic RR-id iteration order.
+    """
+    below_counts = digest.below_rr_counts().tolist()
+    above_counts = digest.above_rr_counts().tolist()
+    rates: Dict[RRKey, RRHitRate] = {
+        key: RRHitRate(key=key, queries_below=below_counts[rid],
+                       misses_above=above_counts[rid])
+        for rid, key in enumerate(digest.rr_keys)}
+    return HitRateTable(rates, day=digest.day)

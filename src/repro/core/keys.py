@@ -1,0 +1,77 @@
+"""Content-hash key derivation shared by the on-disk caches.
+
+Two cache layers key their artifacts by content hash:
+
+* the fpDNS artifact cache (:mod:`repro.traffic.artifacts`) keys each
+  simulated day by the canonical JSON of the simulator configuration
+  plus the chronological day history;
+* the miner result cache (:mod:`repro.core.mining_pipeline`) keys each
+  day's mining output by the *data content* of the fpDNS day plus the
+  miner configuration and classifier fingerprint.
+
+Both reduce to the same primitive — a SHA-256 over a canonical byte
+serialisation — which lives here, at the bottom of the layering DAG,
+so every layer can derive keys without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from typing import Any, Mapping
+
+from repro.core.records import FpDnsDataset, FpDnsEntry
+
+__all__ = ["canonical_json_key", "dataset_content_key",
+           "object_fingerprint"]
+
+
+def canonical_json_key(payload: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``.
+
+    Canonical means sorted keys and no whitespace, so logically equal
+    payloads always hash identically regardless of construction order.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _entry_bytes(entry: FpDnsEntry) -> bytes:
+    """A stable byte serialisation of one fpDNS entry.
+
+    ``repr`` of the underlying tuple is deterministic: floats render
+    via the shortest round-trip representation, enum members by their
+    fixed names, and strings verbatim.
+    """
+    return repr(tuple(entry)).encode("utf-8")
+
+
+def dataset_content_key(dataset: FpDnsDataset) -> str:
+    """SHA-256 hex digest of an fpDNS day's *data content*.
+
+    Hashes the day label and every entry of both streams in order, so
+    two datasets hash equal exactly when they compare equal — whether
+    they were simulated, loaded from an artifact cache, or built by
+    hand.  This is the key material for the miner result cache: a
+    warm session with unchanged data can skip mining entirely.
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.day.encode("utf-8"))
+    for stream_tag, entries in ((b"<", dataset.below), (b">", dataset.above)):
+        digest.update(stream_tag)
+        for entry in entries:
+            digest.update(_entry_bytes(entry))
+    return digest.hexdigest()
+
+
+def object_fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of an object's pickle serialisation.
+
+    Used to fingerprint trained classifiers: training is deterministic
+    (seeded), so equal configurations produce byte-equal pickles and
+    therefore equal fingerprints, while any retrained or reconfigured
+    model invalidates dependent cache entries.
+    """
+    return hashlib.sha256(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).hexdigest()

@@ -19,7 +19,7 @@ test trees still exercise the path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -72,11 +72,21 @@ class DisposableZoneMiner:
         self.groups_examined = 0
         self.groups_skipped_small = 0
 
-    def mine(self, tree: DomainNameTree,
-             extractor: FeatureExtractor) -> List[DisposableZoneFinding]:
-        """Run the full mining pass; the tree is decolored in place."""
+    def mine(self, tree: DomainNameTree, extractor: FeatureExtractor,
+             roots: Optional[Sequence[str]] = None
+             ) -> List[DisposableZoneFinding]:
+        """Run the full mining pass; the tree is decolored in place.
+
+        ``roots`` overrides the starting zones (Algorithm 1 mines from
+        every effective 2LD of the tree).  The digest pipeline passes
+        the memoised per-name effective-2LD column here, sorted — the
+        same zones :meth:`~repro.core.tree.DomainNameTree.effective_2lds`
+        would derive by re-walking the black nodes.
+        """
+        if roots is None:
+            roots = tree.effective_2lds(self.suffix_list)
         findings: List[DisposableZoneFinding] = []
-        for zone in tree.effective_2lds(self.suffix_list):
+        for zone in roots:
             self._mine_zone(zone, tree, extractor, findings, recursion_depth=0)
         return findings
 
@@ -110,7 +120,10 @@ class DisposableZoneMiner:
                     zone=zone, depth=depth, confidence=confidence,
                     group_size=len(group)))
         # Lines 15-17: recurse into every child of the inspected zone.
-        for child in tree.children_of(zone):
+        # Children without black descendants are pruned via the tree's
+        # maintained subtree counters: they would return at the
+        # lines-1-3 guard anyway, so no finding changes.
+        for child in tree.children_with_black(zone):
             self._mine_zone(child, tree, extractor, findings,
                             recursion_depth + 1)
 

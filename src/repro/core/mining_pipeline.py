@@ -1,0 +1,231 @@
+"""Parallel calendar mining with an on-disk miner-result cache.
+
+Mining is embarrassingly parallel across days: each day's pipeline
+(digest, tree, Algorithm 1, coverage counts) depends only on that
+day's fpDNS data and the shared trained classifier.  This module
+
+* mines each calendar day in a worker process — the worker entry point
+  is a top-level picklable function (reprolint R007), mirroring the
+  discipline of :mod:`repro.traffic.parallel` — and reduces results in
+  deterministic day order (``Pool.map`` preserves input order, and the
+  digest pipeline itself is order-deterministic, so any worker count
+  produces the identical result list);
+* caches each day's :class:`~repro.core.ranking.DailyMiningResult` on
+  disk, keyed by the *content* of the fpDNS day plus the classifier
+  fingerprint and miner configuration
+  (:func:`repro.core.keys.dataset_content_key` /
+  :func:`~repro.core.keys.object_fingerprint`), so a warm session with
+  unchanged data and model replays mining results without running the
+  miner at all.
+
+Corrupt or missing cache files are misses, never errors — the same
+contract as :class:`repro.traffic.artifacts.FpDnsArtifactCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.classifier.base import BinaryClassifier
+from repro.core.interning import build_day_digest
+from repro.core.keys import (canonical_json_key, dataset_content_key,
+                             object_fingerprint)
+from repro.core.miner import DisposableZoneFinding, MinerConfig
+from repro.core.ranking import DailyMiningResult, DisposableZoneRanker
+from repro.core.records import FpDnsDataset
+from repro.core.suffix import SuffixList
+
+__all__ = ["MINER_CACHE_FORMAT", "miner_result_key", "MinerResultCache",
+           "CalendarMiner", "mine_day"]
+
+#: Version tag baked into every cache key; bump on any change to the
+#: result payload layout or to mining semantics that would make old
+#: cached results misstate the current pipeline's output.
+MINER_CACHE_FORMAT = "repro-miner-cache-v1"
+
+PathLike = Union[str, Path]
+
+
+def miner_result_key(dataset: FpDnsDataset, classifier: BinaryClassifier,
+                     config: MinerConfig) -> str:
+    """Content hash identifying one day's mining result.
+
+    Any change to the day's data, the trained classifier, or the miner
+    tunables yields a different key and therefore a cache miss.
+    """
+    payload = {
+        "format": MINER_CACHE_FORMAT,
+        "data": dataset_content_key(dataset),
+        "classifier": object_fingerprint(classifier),
+        "config": asdict(config),
+    }
+    return canonical_json_key(payload)
+
+
+def _result_to_payload(result: DailyMiningResult) -> Dict[str, Any]:
+    """JSON-serialisable form of a mining result.
+
+    Confidences are floats; JSON round-trips Python floats exactly
+    (shortest-repr encoding), so a replayed result compares equal to
+    the freshly mined one.
+    """
+    return {
+        "day": result.day,
+        "findings": [[f.zone, f.depth, f.confidence, f.group_size]
+                     for f in result.findings],
+        "queried_domains": result.queried_domains,
+        "resolved_domains": result.resolved_domains,
+        "distinct_rrs": result.distinct_rrs,
+        "disposable_queried": result.disposable_queried,
+        "disposable_resolved": result.disposable_resolved,
+        "disposable_rrs": result.disposable_rrs,
+    }
+
+
+def _result_from_payload(payload: Dict[str, Any]) -> DailyMiningResult:
+    return DailyMiningResult(
+        day=payload["day"],
+        findings=[DisposableZoneFinding(zone=zone, depth=depth,
+                                        confidence=confidence,
+                                        group_size=group_size)
+                  for zone, depth, confidence, group_size
+                  in payload["findings"]],
+        queried_domains=payload["queried_domains"],
+        resolved_domains=payload["resolved_domains"],
+        distinct_rrs=payload["distinct_rrs"],
+        disposable_queried=payload["disposable_queried"],
+        disposable_resolved=payload["disposable_resolved"],
+        disposable_rrs=payload["disposable_rrs"])
+
+
+class MinerResultCache:
+    """Directory of cached mining results, one JSON file per key.
+
+    Counts ``hits`` and ``misses`` so callers (and the cache tests) can
+    verify that a warm replay skipped the miner.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.mining.json"
+
+    def load(self, key: str) -> Optional[DailyMiningResult]:
+        """Cached result for ``key``, or ``None`` (counted as a miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = _result_from_payload(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated or corrupt entry: re-mine.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: DailyMiningResult) -> Path:
+        """Persist ``result`` under ``key``; returns the file path."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(_result_to_payload(result), handle,
+                      separators=(",", ":"))
+        tmp.replace(path)  # atomic publish: readers never see partials
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.mining.json"))
+
+
+def mine_day(dataset: FpDnsDataset, classifier: BinaryClassifier,
+             config: Optional[MinerConfig] = None,
+             suffix_list: Optional[SuffixList] = None) -> DailyMiningResult:
+    """Mine one fpDNS day through the columnar digest pipeline."""
+    digest = build_day_digest(dataset)
+    ranker = DisposableZoneRanker(classifier, config, suffix_list)
+    return ranker.run_digest(digest)
+
+
+@dataclass(frozen=True)
+class _MineDayTask:
+    """Everything one worker needs to mine one day (picklable)."""
+
+    dataset: FpDnsDataset
+    classifier: BinaryClassifier
+    config: MinerConfig
+    suffix_list: Optional[SuffixList]
+
+
+def _mine_day_task(task: _MineDayTask) -> DailyMiningResult:
+    """Worker entry point: top-level (picklable) by design — handed to
+    ``Pool.map``."""
+    return mine_day(task.dataset, task.classifier, task.config,
+                    task.suffix_list)
+
+
+class CalendarMiner:
+    """Mines a sequence of fpDNS days, optionally in parallel and
+    through the result cache.
+
+    The returned list is always in input (day) order and identical for
+    every ``n_workers`` value and for cache-warm replays — the digest
+    pipeline is deterministic per day, ``Pool.map`` preserves order,
+    and cached results round-trip exactly.
+    """
+
+    def __init__(self, classifier: BinaryClassifier,
+                 config: Optional[MinerConfig] = None,
+                 suffix_list: Optional[SuffixList] = None,
+                 n_workers: int = 1,
+                 cache: Optional[MinerResultCache] = None) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.classifier = classifier
+        self.config = config or MinerConfig()
+        self.suffix_list = suffix_list
+        self.n_workers = n_workers
+        self.cache = cache
+
+    def mine_calendar(self, datasets: Sequence[FpDnsDataset]
+                      ) -> List[DailyMiningResult]:
+        """Mine ``datasets``; one result per day, in input order."""
+        results: List[Optional[DailyMiningResult]] = [None] * len(datasets)
+        keys: List[Optional[str]] = [None] * len(datasets)
+        pending: List[int] = []
+        for index, dataset in enumerate(datasets):
+            if self.cache is not None:
+                key = miner_result_key(dataset, self.classifier, self.config)
+                keys[index] = key
+                cached = self.cache.load(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.append(index)
+        if pending:
+            tasks = [_MineDayTask(dataset=datasets[index],
+                                  classifier=self.classifier,
+                                  config=self.config,
+                                  suffix_list=self.suffix_list)
+                     for index in pending]
+            if self.n_workers > 1 and len(tasks) > 1:
+                context = multiprocessing.get_context()
+                n_processes = min(self.n_workers, len(tasks))
+                with context.Pool(processes=n_processes) as pool:
+                    mined = pool.map(_mine_day_task, tasks)
+            else:
+                mined = [_mine_day_task(task) for task in tasks]
+            for index, result in zip(pending, mined):
+                results[index] = result
+                key = keys[index]
+                if self.cache is not None and key is not None:
+                    self.cache.store(key, result)
+        return [result for result in results if result is not None]

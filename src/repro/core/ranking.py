@@ -16,7 +16,9 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.classifier.base import BinaryClassifier
 from repro.core.features import FeatureExtractor
 from repro.core.groups import name_matches_groups
-from repro.core.hitrate import HitRateTable, compute_hit_rates
+from repro.core.hitrate import (HitRateTable, compute_hit_rates,
+                                hit_rates_from_digest)
+from repro.core.interning import DayDigest
 from repro.core.miner import (DisposableZoneFinding, DisposableZoneMiner,
                               MinerConfig)
 from repro.core.names import label_count, parent
@@ -24,7 +26,8 @@ from repro.core.suffix import SuffixList, default_suffix_list
 from repro.core.tree import DomainNameTree
 from repro.core.records import FpDnsDataset
 
-__all__ = ["DailyMiningResult", "DisposableZoneRanker", "build_tree_for_day"]
+__all__ = ["DailyMiningResult", "DisposableZoneRanker", "build_tree_for_day",
+           "build_tree_from_digest"]
 
 
 def build_tree_for_day(dataset: FpDnsDataset) -> DomainNameTree:
@@ -32,6 +35,18 @@ def build_tree_for_day(dataset: FpDnsDataset) -> DomainNameTree:
     that carried at least one RR below the resolvers that day."""
     tree = DomainNameTree()
     for name in dataset.resolved_domains():
+        tree.add_domain(name)
+    return tree
+
+
+def build_tree_from_digest(digest: DayDigest) -> DomainNameTree:
+    """Stage 1 over a columnar digest: the same black-node set, but
+    inserted in deterministic name-id order (first-appearance order in
+    the data) rather than ``set`` iteration order — so the resulting
+    mining run is bit-identical across processes, which the parallel
+    calendar miner and its result cache rely on."""
+    tree = DomainNameTree()
+    for name in digest.resolved_names_ordered():
         tree.add_domain(name)
     return tree
 
@@ -123,5 +138,38 @@ class DisposableZoneRanker:
             day=dataset.day, findings=findings,
             queried_domains=len(queried), resolved_domains=len(resolved),
             distinct_rrs=len(rrs), disposable_queried=disposable_queried,
+            disposable_resolved=disposable_resolved,
+            disposable_rrs=disposable_rrs)
+
+    def run_digest(self, digest: DayDigest,
+                   hit_rates: Optional[HitRateTable] = None
+                   ) -> DailyMiningResult:
+        """Columnar counterpart of :meth:`run_day`.
+
+        Consumes a prebuilt :class:`~repro.core.interning.DayDigest`:
+        tree and hit-rate table come from the digest columns, and the
+        day-coverage statistics from one memoised per-name match mask
+        instead of three full ``name_matches_groups`` sweeps.  Output
+        is equivalent to :meth:`run_day` on the same day (identical
+        finding set, confidences and counts); the findings order is
+        the digest's deterministic traversal order.
+        """
+        if hit_rates is None:
+            hit_rates = hit_rates_from_digest(digest)
+        tree = build_tree_from_digest(digest)
+        extractor = FeatureExtractor(tree, hit_rates)
+        miner = DisposableZoneMiner(self.classifier, self.config,
+                                    self.suffix_list)
+        findings = miner.mine(tree, extractor,
+                              roots=digest.mining_roots(self.suffix_list))
+        groups = DisposableZoneMiner.findings_as_groups(findings)
+        disposable_queried, disposable_resolved, disposable_rrs = (
+            digest.match_counts(groups))
+        return DailyMiningResult(
+            day=digest.day, findings=findings,
+            queried_domains=int(digest.queried_name_ids().shape[0]),
+            resolved_domains=int(digest.resolved_name_ids().shape[0]),
+            distinct_rrs=digest.distinct_rr_count(),
+            disposable_queried=disposable_queried,
             disposable_resolved=disposable_resolved,
             disposable_rrs=disposable_rrs)

@@ -24,13 +24,23 @@ __all__ = ["TreeNode", "DomainNameTree"]
 
 @dataclass
 class TreeNode:
-    """One node of the domain name tree."""
+    """One node of the domain name tree.
+
+    ``subtree_black`` counts the black nodes in the subtree rooted
+    here (including this node).  :class:`DomainNameTree` maintains it
+    on every ``add_domain``/``decolor``, which makes
+    :meth:`has_black_descendant` O(1) and lets the black-node
+    traversals prune entire all-white subtrees — the walks that
+    dominated ``DisposableZoneMiner``'s recursion are now proportional
+    to their output, not to the tree size.
+    """
 
     name: str                       # full domain name ("" for the root)
     label: str                      # this node's own label
     depth: int                      # labels to the root
     black: bool = False
     children: Dict[str, "TreeNode"] = field(default_factory=dict)
+    subtree_black: int = 0          # black nodes here and below
 
     def child(self, label: str) -> Optional["TreeNode"]:
         return self.children.get(label)
@@ -43,11 +53,29 @@ class TreeNode:
             yield node
             stack.extend(node.children.values())
 
+    def iter_black_descendants(self) -> Iterator["TreeNode"]:
+        """Yield every *black* strict descendant, pruning all-white
+        subtrees via the maintained counters.
+
+        Visits nodes in the same relative order as filtering
+        :meth:`iter_descendants` on ``black`` — pruned subtrees
+        contribute nothing — so callers observe identical sequences.
+        """
+        stack = [child for child in self.children.values()
+                 if child.subtree_black]
+        while stack:
+            node = stack.pop()
+            if node.black:
+                yield node
+            stack.extend(child for child in node.children.values()
+                         if child.subtree_black)
+
     def black_descendants(self) -> List["TreeNode"]:
-        return [node for node in self.iter_descendants() if node.black]
+        return list(self.iter_black_descendants())
 
     def has_black_descendant(self) -> bool:
-        return any(node.black for node in self.iter_descendants())
+        """O(1): the maintained subtree counter, minus this node."""
+        return self.subtree_black - (1 if self.black else 0) > 0
 
 
 class DomainNameTree:
@@ -69,15 +97,20 @@ class DomainNameTree:
 
     def add_domain(self, name: str) -> TreeNode:
         """Insert ``name`` as a black node (creating white ancestors)."""
-        node = self._ensure_path(name)
+        path = self._ensure_path(name)
+        node = path[-1]
         if not node.black:
             node.black = True
             self._black_count += 1
+            for ancestor in path:
+                ancestor.subtree_black += 1
         return node
 
-    def _ensure_path(self, name: str) -> TreeNode:
+    def _ensure_path(self, name: str) -> List[TreeNode]:
+        """The node path from the root to ``name``, created as needed."""
         parts = labels(name)
         node = self._root
+        path = [node]
         # Walk from the TLD leftwards.
         for depth, index in enumerate(range(len(parts) - 1, -1, -1), start=1):
             label = parts[index]
@@ -87,17 +120,25 @@ class DomainNameTree:
                                  depth=depth)
                 node.children[label] = child
             node = child
-        return node
+            path.append(node)
+        return path
 
     def find(self, name: str) -> Optional[TreeNode]:
         """Locate the node for ``name``, or ``None`` if absent."""
+        path = self._find_path(name)
+        return path[-1] if path else None
+
+    def _find_path(self, name: str) -> Optional[List[TreeNode]]:
+        """Root-to-node path for ``name``, or ``None`` if absent."""
         parts = labels(name)
         node = self._root
+        path = [node]
         for index in range(len(parts) - 1, -1, -1):
             node = node.children.get(parts[index])
             if node is None:
                 return None
-        return node
+            path.append(node)
+        return path
 
     def is_black(self, name: str) -> bool:
         node = self.find(name)
@@ -105,11 +146,13 @@ class DomainNameTree:
 
     def decolor(self, name: str) -> bool:
         """Turn ``name``'s node white; returns True if it was black."""
-        node = self.find(name)
-        if node is None or not node.black:
+        path = self._find_path(name)
+        if path is None or not path[-1].black:
             return False
-        node.black = False
+        path[-1].black = False
         self._black_count -= 1
+        for ancestor in path:
+            ancestor.subtree_black -= 1
         return True
 
     def decolor_group(self, names: Iterable[str]) -> int:
@@ -129,9 +172,8 @@ class DomainNameTree:
         if zone_node is None:
             return {}
         groups: Dict[int, List[str]] = {}
-        for node in zone_node.iter_descendants():
-            if node.black:
-                groups.setdefault(node.depth, []).append(node.name)
+        for node in zone_node.iter_black_descendants():
+            groups.setdefault(node.depth, []).append(node.name)
         return groups
 
     def adjacent_labels(self, zone: str, group: Iterable[str]) -> List[str]:
@@ -161,6 +203,21 @@ class DomainNameTree:
             return []
         return [child.name for child in node.children.values()]
 
+    def children_with_black(self, zone: str) -> List[str]:
+        """Direct children of ``zone`` whose subtree holds ≥1 black node.
+
+        The miner's recursion (Algorithm 1 lines 15-17) visits every
+        child, but a child without black descendants contributes
+        nothing — the maintained counters let it be skipped without
+        changing any finding.  Order matches :meth:`children_of`
+        filtered.
+        """
+        node = self.find(zone)
+        if node is None:
+            return []
+        return [child.name for child in node.children.values()
+                if child.subtree_black]
+
     def effective_2lds(self, suffix_list: SuffixList) -> List[str]:
         """All effective 2LDs present in the tree — the starting zones
         for Algorithm 1.
@@ -168,17 +225,14 @@ class DomainNameTree:
         ``suffix_list`` is a :class:`repro.core.suffix.SuffixList`.
         """
         seen: Set[str] = set()
-        for node in self._root.iter_descendants():
-            if not node.black:
-                continue
+        for node in self._root.iter_black_descendants():
             two_ld = suffix_list.effective_2ld(node.name)
             if two_ld is not None:
                 seen.add(two_ld)
         return sorted(seen)
 
     def black_names(self) -> List[str]:
-        return [node.name for node in self._root.iter_descendants()
-                if node.black]
+        return [node.name for node in self._root.iter_black_descendants()]
 
     def __contains__(self, name: str) -> bool:
         return self.find(name) is not None

@@ -23,11 +23,13 @@ import numpy as np
 
 from repro.core.classifier import LadTreeClassifier
 from repro.core.features import FeatureExtractor
-from repro.core.hitrate import HitRateTable, compute_hit_rates
+from repro.core.hitrate import HitRateTable, hit_rates_from_digest
+from repro.core.interning import DayDigest, build_day_digest
 from repro.core.labeling import TrainingSet, build_training_set
 from repro.core.miner import MinerConfig
+from repro.core.mining_pipeline import CalendarMiner, MinerResultCache
 from repro.core.ranking import (DailyMiningResult, DisposableZoneRanker,
-                                build_tree_for_day)
+                                build_tree_from_digest)
 from repro.pdns.records import FpDnsDataset
 from repro.traffic.artifacts import FpDnsArtifactCache, artifact_key
 from repro.traffic.parallel import ShardedTraceSimulator
@@ -100,12 +102,17 @@ class ExperimentContext:
     """
 
     def __init__(self, profile: ScaleProfile, n_workers: int = 1,
-                 artifact_cache: Optional[FpDnsArtifactCache] = None) -> None:
+                 artifact_cache: Optional[FpDnsArtifactCache] = None,
+                 miner_workers: int = 1,
+                 miner_cache: Optional[MinerResultCache] = None) -> None:
         self.profile = profile
         self.n_workers = n_workers
         self.artifacts = artifact_cache
+        self.miner_workers = miner_workers
+        self.miner_cache = miner_cache
         self.simulator = TraceSimulator(profile.simulator_config())
         self._datasets: Dict[str, FpDnsDataset] = {}
+        self._digests: Dict[str, DayDigest] = {}
         self._hit_rates: Dict[str, HitRateTable] = {}
         self._mining: Dict[str, DailyMiningResult] = {}
         self._training_set: Optional[TrainingSet] = None
@@ -203,19 +210,26 @@ class ExperimentContext:
     def rpdns_window(self) -> List[FpDnsDataset]:
         return self.datasets(RPDNS_WINDOW_DATES)
 
+    def digest(self, date: MeasurementDate) -> DayDigest:
+        """Columnar digest of the day — the single pass every
+        downstream consumer (hit rates, tree, mining, analyses) shares."""
+        if date.label not in self._digests:
+            self._digests[date.label] = build_day_digest(self.dataset(date))
+        return self._digests[date.label]
+
     def hit_rates(self, date: MeasurementDate) -> HitRateTable:
         if date.label not in self._hit_rates:
-            self._hit_rates[date.label] = compute_hit_rates(self.dataset(date))
+            self._hit_rates[date.label] = hit_rates_from_digest(
+                self.digest(date))
         return self._hit_rates[date.label]
 
     # -- training / classification -------------------------------------------
 
     def training_set(self) -> TrainingSet:
         if self._training_set is None:
-            dataset = self.dataset(TRAINING_DATE)
-            hit_rates = self.hit_rates(TRAINING_DATE)
-            tree = build_tree_for_day(dataset)
-            extractor = FeatureExtractor(tree, hit_rates)
+            digest = self.digest(TRAINING_DATE)
+            tree = build_tree_from_digest(digest)
+            extractor = FeatureExtractor(tree, self.hit_rates(TRAINING_DATE))
             self._training_set = build_training_set(
                 self.simulator.labeled_zones(), tree, extractor)
         return self._training_set
@@ -232,9 +246,29 @@ class ExperimentContext:
         if key not in self._mining:
             ranker = DisposableZoneRanker(
                 self.classifier(), MinerConfig(threshold=threshold))
-            self._mining[key] = ranker.run_day(self.dataset(date),
-                                               self.hit_rates(date))
+            self._mining[key] = ranker.run_digest(self.digest(date),
+                                                  self.hit_rates(date))
         return self._mining[key]
+
+    def mine_calendar(self, dates: Optional[Sequence[MeasurementDate]] = None,
+                      threshold: float = 0.9) -> List[DailyMiningResult]:
+        """Mine a window of days through the parallel calendar miner.
+
+        Honours the context's ``miner_workers`` / ``miner_cache``
+        settings; results land in the per-day memo so later
+        :meth:`mining_result` calls are free.
+        """
+        if dates is None:
+            dates = PAPER_DATES
+        datasets = self.datasets(list(dates))
+        miner = CalendarMiner(self.classifier(),
+                              MinerConfig(threshold=threshold),
+                              n_workers=self.miner_workers,
+                              cache=self.miner_cache)
+        results = miner.mine_calendar(datasets)
+        for date, result in zip(dates, results):
+            self._mining[f"{date.label}@{threshold}"] = result
+        return results
 
     def mined_groups(self, date: MeasurementDate,
                      threshold: float = 0.9) -> Set[Tuple[str, int]]:
@@ -249,30 +283,41 @@ class ExperimentContext:
 _CONTEXTS: Dict[str, ExperimentContext] = {}
 
 
-def _options_from_env() -> Tuple[int, Optional[FpDnsArtifactCache]]:
+def _options_from_env() -> Tuple[int, Optional[FpDnsArtifactCache],
+                                 int, Optional[MinerResultCache]]:
     """Opt-in acceleration knobs for shared contexts.
 
     ``REPRO_SIM_WORKERS`` shards the calendar simulation across that
     many processes; ``REPRO_ARTIFACT_CACHE`` names a directory to
-    persist/load fpDNS days.  Both leave every produced byte identical
-    to the serial, cache-less run — they only change wall-clock time —
-    so reading them here does not violate the determinism contract.
+    persist/load fpDNS days.  ``REPRO_MINER_WORKERS`` mines calendar
+    days in that many processes; ``REPRO_MINER_CACHE`` names a
+    directory to persist/replay per-day mining results.  All four
+    leave every produced byte identical to the serial, cache-less run —
+    they only change wall-clock time — so reading them here does not
+    violate the determinism contract.
     """
     n_workers = int(os.environ.get("REPRO_SIM_WORKERS", "1"))
     cache_dir = os.environ.get("REPRO_ARTIFACT_CACHE")
     cache = FpDnsArtifactCache(cache_dir) if cache_dir else None
-    return n_workers, cache
+    miner_workers = int(os.environ.get("REPRO_MINER_WORKERS", "1"))
+    miner_cache_dir = os.environ.get("REPRO_MINER_CACHE")
+    miner_cache = (MinerResultCache(miner_cache_dir)
+                   if miner_cache_dir else None)
+    return n_workers, cache, miner_workers, miner_cache
 
 
 def get_context(profile: ScaleProfile = MEDIUM) -> ExperimentContext:
     """Shared per-profile context (benchmarks reuse one simulation).
 
-    Honours the ``REPRO_SIM_WORKERS`` / ``REPRO_ARTIFACT_CACHE``
-    environment knobs (see :func:`_options_from_env`) when the context
-    is first created; later calls return the existing instance.
+    Honours the ``REPRO_SIM_WORKERS`` / ``REPRO_ARTIFACT_CACHE`` /
+    ``REPRO_MINER_WORKERS`` / ``REPRO_MINER_CACHE`` environment knobs
+    (see :func:`_options_from_env`) when the context is first created;
+    later calls return the existing instance.
     """
     if profile.name not in _CONTEXTS:
-        n_workers, artifact_cache = _options_from_env()
+        n_workers, artifact_cache, miner_workers, miner_cache = (
+            _options_from_env())
         _CONTEXTS[profile.name] = ExperimentContext(
-            profile, n_workers=n_workers, artifact_cache=artifact_cache)
+            profile, n_workers=n_workers, artifact_cache=artifact_cache,
+            miner_workers=miner_workers, miner_cache=miner_cache)
     return _CONTEXTS[profile.name]

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.names import label_count, parent
+from repro.core.interning import DayDigest
+from repro.core.names import label_count, labels, parent
 from repro.dns.message import RRType
 from repro.pdns.records import FpDnsDataset, RpDnsEntry, RRKey
 
@@ -57,6 +58,12 @@ class PassiveDnsDatabase:
         self._first_seen: Dict[RRKey, str] = {}
         self._new_per_day: Dict[str, int] = {}
         self._ingest_order: List[str] = []
+        # Forensic query indexes (name -> records, RDATA -> records,
+        # zone -> descendant names), maintained incrementally as new
+        # records arrive so lookups never re-scan the full table.
+        self._entries_by_name: Dict[str, List[RpDnsEntry]] = {}
+        self._entries_by_rdata: Dict[str, List[RpDnsEntry]] = {}
+        self._names_by_zone: Dict[str, Set[str]] = {}
 
     # -- ingestion -----------------------------------------------------
 
@@ -64,6 +71,11 @@ class PassiveDnsDatabase:
         """Ingest one fpDNS day; duplicates (already-known RRs) are
         counted but not stored again."""
         return self.ingest_rrs(dataset.day, dataset.distinct_rrs())
+
+    def ingest_digest(self, digest: DayDigest) -> IngestReport:
+        """Ingest a columnar day digest (same record set as
+        :meth:`ingest_day`, in deterministic RR-id order)."""
+        return self.ingest_rrs(digest.day, digest.distinct_rr_keys_ordered())
 
     def ingest_rrs(self, day: str, rr_keys: Iterable[RRKey]) -> IngestReport:
         """Ingest an arbitrary set of RR identity triples for ``day``."""
@@ -74,11 +86,20 @@ class PassiveDnsDatabase:
             if key not in self._first_seen:
                 self._first_seen[key] = day
                 new += 1
+                self._index_record(RpDnsEntry(key[0], key[1], key[2], day))
         self._new_per_day[day] = self._new_per_day.get(day, 0) + new
         if day not in self._ingest_order:
             self._ingest_order.append(day)
         return IngestReport(day=day, total_records_seen=total,
                             new_records=new, duplicate_records=total - new)
+
+    def _index_record(self, entry: RpDnsEntry) -> None:
+        self._entries_by_name.setdefault(entry.qname, []).append(entry)
+        self._entries_by_rdata.setdefault(entry.rdata, []).append(entry)
+        parts = labels(entry.qname)
+        for i in range(1, len(parts)):
+            zone = ".".join(parts[i:])
+            self._names_by_zone.setdefault(zone, set()).add(entry.qname)
 
     # -- queries -------------------------------------------------------
 
@@ -98,6 +119,25 @@ class PassiveDnsDatabase:
 
     def rr_keys(self) -> List[RRKey]:
         return list(self._first_seen)
+
+    # -- incremental query indexes --------------------------------------
+
+    def entries_for_name(self, name: str) -> List[RpDnsEntry]:
+        """Stored records owned by ``name`` (ingest order)."""
+        return list(self._entries_by_name.get(name, ()))
+
+    def entries_for_rdata(self, rdata: str) -> List[RpDnsEntry]:
+        """Stored records carrying ``rdata`` (ingest order)."""
+        return list(self._entries_by_rdata.get(rdata, ()))
+
+    def names_under_zone(self, zone: str) -> Set[str]:
+        """Distinct stored names strictly below ``zone``."""
+        return set(self._names_by_zone.get(zone, ()))
+
+    def index_stats(self) -> Tuple[int, int, int, int]:
+        """(records, distinct names, distinct RDATA, distinct zones)."""
+        return (len(self._first_seen), len(self._entries_by_name),
+                len(self._entries_by_rdata), len(self._names_by_zone))
 
     def new_records_per_day(self) -> Dict[str, int]:
         """Day -> number of never-before-seen RRs (Figure 5 series)."""

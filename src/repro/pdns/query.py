@@ -13,10 +13,8 @@ disposable churn makes those indexes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
-from repro.core.names import labels
-from repro.dns.message import RRType
 from repro.pdns.database import PassiveDnsDatabase
 from repro.pdns.records import RpDnsEntry
 
@@ -34,40 +32,34 @@ class IndexStats:
 
 
 class PdnsQueryIndex:
-    """Inverted indexes over a :class:`PassiveDnsDatabase` snapshot.
+    """Query interface over a :class:`PassiveDnsDatabase`.
 
-    The index is built once from the database's current contents;
-    rebuild after further ingestion.
+    The database maintains the inverted indexes (name → records,
+    RDATA → records, zone → names) incrementally as records are
+    ingested, so this view never re-scans the full table: it stays
+    current after further ingestion with no rebuild.
     """
 
     def __init__(self, database: PassiveDnsDatabase) -> None:
-        self._by_name: Dict[str, List[RpDnsEntry]] = {}
-        self._by_rdata: Dict[str, List[RpDnsEntry]] = {}
-        self._names_by_zone: Dict[str, Set[str]] = {}
-        for entry in database.entries():
-            self._by_name.setdefault(entry.qname, []).append(entry)
-            self._by_rdata.setdefault(entry.rdata, []).append(entry)
-            parts = labels(entry.qname)
-            for i in range(1, len(parts)):
-                zone = ".".join(parts[i:])
-                self._names_by_zone.setdefault(zone, set()).add(entry.qname)
+        self._database = database
 
     # -- lookups ------------------------------------------------------------
 
     def history_for_name(self, name: str) -> List[RpDnsEntry]:
         """All records ever observed for ``name``, oldest first."""
-        records = self._by_name.get(name.lower().rstrip("."), [])
+        records = self._database.entries_for_name(name.lower().rstrip("."))
         return sorted(records, key=lambda e: (e.first_seen, e.rdata))
 
     def names_for_rdata(self, rdata: str) -> List[str]:
         """Every name that ever resolved to ``rdata`` — the classic
         pivot when an analyst holds a malicious IP."""
-        return sorted({entry.qname for entry in self._by_rdata.get(rdata, [])})
+        return sorted({entry.qname
+                       for entry in self._database.entries_for_rdata(rdata)})
 
     def names_under_zone(self, zone: str) -> List[str]:
         """Every stored name below ``zone`` (strict descendants)."""
-        return sorted(self._names_by_zone.get(zone.lower().rstrip("."),
-                                              set()))
+        return sorted(
+            self._database.names_under_zone(zone.lower().rstrip(".")))
 
     def first_seen(self, name: str) -> Optional[str]:
         """Earliest first-seen day across the name's records."""
@@ -86,8 +78,6 @@ class PdnsQueryIndex:
     # -- accounting ----------------------------------------------------------
 
     def stats(self) -> IndexStats:
-        return IndexStats(
-            records=sum(len(v) for v in self._by_name.values()),
-            distinct_names=len(self._by_name),
-            distinct_rdata=len(self._by_rdata),
-            distinct_zones=len(self._names_by_zone))
+        records, names, rdata, zones = self._database.index_stats()
+        return IndexStats(records=records, distinct_names=names,
+                          distinct_rdata=rdata, distinct_zones=zones)

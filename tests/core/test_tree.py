@@ -150,3 +150,67 @@ class TestZoneQueries:
 
     def test_black_names(self, fig8_tree):
         assert sorted(fig8_tree.black_names()) == sorted(FIG8_NAMES)
+
+
+class TestSubtreeCounters:
+    """The maintained ``subtree_black`` counters behind the O(1)
+    ``has_black_descendant`` and the pruned traversals."""
+
+    def _counter_invariant(self, node):
+        expected = (1 if node.black else 0) + sum(
+            self._counter_invariant(child)
+            for child in node.children.values())
+        assert node.subtree_black == expected
+        return expected
+
+    def test_counters_after_construction(self, fig8_tree):
+        assert self._counter_invariant(fig8_tree.root) == len(FIG8_NAMES)
+
+    def test_counters_after_decolor(self, fig8_tree):
+        fig8_tree.decolor("2.a.example.com")
+        fig8_tree.decolor("c.example.com")
+        self._counter_invariant(fig8_tree.root)
+        assert fig8_tree.root.subtree_black == len(FIG8_NAMES) - 2
+
+    def test_duplicate_insert_does_not_inflate(self, fig8_tree):
+        before = fig8_tree.root.subtree_black
+        fig8_tree.add_domain("a.example.com")
+        assert fig8_tree.root.subtree_black == before
+
+    def test_decolor_white_does_not_deflate(self, fig8_tree):
+        before = fig8_tree.root.subtree_black
+        fig8_tree.decolor("b.example.com")  # white intermediate node
+        assert fig8_tree.root.subtree_black == before
+
+    def test_has_black_descendant(self, fig8_tree):
+        assert fig8_tree.find("a.example.com").has_black_descendant()
+        # Leaf: black itself but nothing below.
+        assert not fig8_tree.find("c.example.com").has_black_descendant()
+        # White node over black descendants.
+        assert fig8_tree.find("b.example.com").has_black_descendant()
+
+    def test_has_black_descendant_tracks_decolor(self, fig8_tree):
+        node = fig8_tree.find("b.example.com")
+        assert node.has_black_descendant()
+        fig8_tree.decolor("4.b.example.com")
+        assert not node.has_black_descendant()
+
+    def test_children_with_black_filters(self, fig8_tree):
+        fig8_tree.decolor("4.b.example.com")
+        children = fig8_tree.children_with_black("example.com")
+        # b.example.com's subtree went all-white: pruned.
+        assert set(children) == {"a.example.com", "c.example.com"}
+        assert set(children) <= set(fig8_tree.children_of("example.com"))
+
+    def test_iter_black_descendants_matches_filtered_walk(self, fig8_tree):
+        fig8_tree.decolor("3.a.example.com")
+        node = fig8_tree.find("a.example.com")
+        pruned = [n.name for n in node.iter_black_descendants()]
+        unpruned = [n.name for n in node.iter_descendants() if n.black]
+        assert pruned == unpruned
+
+    def test_depth_groups_after_full_decolor(self, fig8_tree):
+        for name in FIG8_NAMES:
+            fig8_tree.decolor(name)
+        assert fig8_tree.depth_groups("example.com") == {}
+        assert fig8_tree.children_with_black("example.com") == []

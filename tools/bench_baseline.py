@@ -93,6 +93,11 @@ def bench(profile: ScaleProfile, n_days: int,
     results["sharded_s"] = sharded_timings
     results["speedup_at_4_workers"] = round(
         serial_s / sharded_timings["4"], 2)
+    if (os.cpu_count() or 1) == 1:
+        # Multi-worker numbers on a single core measure process
+        # overhead, not parallel speedup — flag them so readers (and
+        # tooling) do not compare them against multi-core baselines.
+        results["constrained"] = True
 
     with tempfile.TemporaryDirectory() as tmp:
         cache = FpDnsArtifactCache(tmp)
