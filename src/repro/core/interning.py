@@ -46,12 +46,18 @@ from repro.core.names import label_count, normalize
 from repro.core.records import FpDnsDataset, RRKey
 from repro.core.suffix import SuffixList
 
-__all__ = ["NameTable", "StreamColumns", "DayDigest", "build_day_digest"]
+__all__ = ["NameTable", "StreamColumns", "DayDigest", "build_day_digest",
+           "digest_of", "encode_string_pool", "decode_string_pool",
+           "RRTYPE_CODES", "RRTYPE_BY_CODE", "STREAM_FIELDS"]
 
-#: Fixed encoding of RR types into small ints for the qtype column.
-_RRTYPE_CODES: Dict[RRType, int] = {member: index
-                                    for index, member in enumerate(RRType)}
-_RRTYPE_BY_CODE: Tuple[RRType, ...] = tuple(RRType)
+#: Fixed encoding of RR types into small ints for the qtype column —
+#: also the on-disk encoding of :mod:`repro.pdns.columnar`, so the
+#: enum order is part of the fpDNS-v2 format contract.
+RRTYPE_CODES: Dict[RRType, int] = {member: index
+                                   for index, member in enumerate(RRType)}
+RRTYPE_BY_CODE: Tuple[RRType, ...] = tuple(RRType)
+_RRTYPE_CODES = RRTYPE_CODES
+_RRTYPE_BY_CODE = RRTYPE_BY_CODE
 
 _NOERROR = RCode.NOERROR
 _NXDOMAIN_VALUE = RCode.NXDOMAIN.value
@@ -69,7 +75,12 @@ class NameTable:
     """
 
     def __init__(self) -> None:
-        self._ids: Dict[str, int] = {}
+        # ``None`` means "not built yet": tables reconstructed from
+        # stored columns defer the name->id dict until something
+        # actually interns or looks up a name, so a warm columnar load
+        # pays zero re-interning cost (the downstream consumers only
+        # iterate ``_names``).
+        self._ids: Optional[Dict[str, int]] = {}
         self._names: List[str] = []
         self._label_counts: Optional[np.ndarray] = None
         # effective-2LD lookup, memoised for the last suffix list used
@@ -80,19 +91,35 @@ class NameTable:
         self._subdomain_masks: Dict[Tuple[str, ...], np.ndarray] = {}
         self._match_masks: Dict[FrozenSet[Tuple[str, int]], np.ndarray] = {}
 
+    @classmethod
+    def from_names(cls, names: Sequence[str]) -> "NameTable":
+        """Rebuild a table from an id-ordered name list (e.g. decoded
+        from an fpDNS-v2 string pool) without re-interning: the
+        name->id dict is only built if a lookup ever needs it."""
+        table = cls()
+        table._names = list(names)
+        table._ids = None
+        return table
+
     # -- interning -----------------------------------------------------
+
+    def _id_map(self) -> Dict[str, int]:
+        if self._ids is None:
+            self._ids = {name: nid for nid, name in enumerate(self._names)}
+        return self._ids
 
     def intern(self, name: str) -> int:
         """Id for ``name``, assigning the next dense id on first sight."""
-        nid = self._ids.get(name)
+        ids = self._id_map()
+        nid = ids.get(name)
         if nid is None:
             nid = len(self._names)
-            self._ids[name] = nid
+            ids[name] = nid
             self._names.append(name)
         return nid
 
     def id_of(self, name: str) -> Optional[int]:
-        return self._ids.get(name)
+        return self._id_map().get(name)
 
     def name(self, nid: int) -> str:
         return self._names[nid]
@@ -106,7 +133,7 @@ class NameTable:
         return len(self._names)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._ids
+        return name in self._id_map()
 
     # -- memoised per-name lookups -------------------------------------
 
@@ -177,6 +204,39 @@ class NameTable:
                 dtype=bool, count=len(self._names))
             self._match_masks[key] = mask
         return mask
+
+
+#: Field order of one serialised stream — part of the fpDNS-v2 format
+#: contract (:mod:`repro.pdns.columnar` stores one array per field).
+STREAM_FIELDS: Tuple[str, ...] = ("timestamps", "name_ids", "rr_ids",
+                                  "client_ids", "rcodes", "qtypes", "ttls")
+
+
+def encode_string_pool(strings: Sequence[str]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack ``strings`` into ``(blob, offsets)`` arrays.
+
+    ``blob`` is the concatenated UTF-8 bytes (uint8), ``offsets`` the
+    ``len(strings) + 1`` byte boundaries (int64) — the standard
+    columnar string-pool layout (Arrow/Dremel), safe for any string
+    content because boundaries are explicit byte offsets.
+    """
+    encoded = [string.encode("utf-8") for string in strings]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    if encoded:
+        np.cumsum([len(item) for item in encoded], out=offsets[1:])
+        blob = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    else:
+        blob = np.zeros(0, dtype=np.uint8)
+    return blob, offsets
+
+
+def decode_string_pool(blob: np.ndarray, offsets: np.ndarray) -> List[str]:
+    """Inverse of :func:`encode_string_pool` (exact round-trip)."""
+    raw = blob.tobytes()
+    bounds = offsets.tolist()
+    return [raw[bounds[index]:bounds[index + 1]].decode("utf-8")
+            for index in range(len(bounds) - 1)]
 
 
 @dataclass
@@ -381,6 +441,84 @@ class DayDigest:
         return sorted(zones[int(zid)] for zid in np.unique(root_ids)
                       if zid >= 0)
 
+    # -- columnar (de)serialisation ------------------------------------
+
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """The digest as a flat dict of numpy arrays — everything a
+        warm session needs, with every string behind a pool.
+
+        Layout (the fpDNS-v2 payload of :mod:`repro.pdns.columnar`):
+        the interned name pool (``names_blob``/``names_offsets``), the
+        RR identity table as parallel columns over a deduplicated
+        rdata pool, and one array per :data:`STREAM_FIELDS` field per
+        stream.  :meth:`from_columns` is the exact inverse.
+        """
+        names_blob, names_offsets = encode_string_pool(self.names.names)
+        rdata_ids: List[int] = []
+        rdata_pool: Dict[str, int] = {}
+        rdata_strings: List[str] = []
+        for _, _, rdata in self.rr_keys:
+            rid = rdata_pool.get(rdata)
+            if rid is None:
+                rid = len(rdata_strings)
+                rdata_pool[rdata] = rid
+                rdata_strings.append(rdata)
+            rdata_ids.append(rid)
+        rdata_blob, rdata_offsets = encode_string_pool(rdata_strings)
+        columns: Dict[str, np.ndarray] = {
+            "names_blob": names_blob,
+            "names_offsets": names_offsets,
+            "rr_name_ids": self.rr_name_ids,
+            "rr_qtypes": np.array(
+                [RRTYPE_CODES[qtype] for _, qtype, _ in self.rr_keys],
+                dtype=np.int16),
+            "rr_rdata_ids": np.array(rdata_ids, dtype=np.int32),
+            "rdata_blob": rdata_blob,
+            "rdata_offsets": rdata_offsets,
+        }
+        for prefix, stream in (("below", self.below), ("above", self.above)):
+            for field_name in STREAM_FIELDS:
+                columns[f"{prefix}_{field_name}"] = getattr(stream,
+                                                            field_name)
+        return columns
+
+    @classmethod
+    def from_columns(cls, day: str,
+                     columns: Dict[str, np.ndarray]) -> "DayDigest":
+        """Rebuild a digest from :meth:`to_columns` output.
+
+        This is the warm path: disk -> numpy -> digest.  No
+        :class:`~repro.core.records.FpDnsEntry` is materialised and no
+        name is re-interned — the name table is reconstructed with a
+        deferred id map, and the only per-item Python work is the RR
+        key list (distinct RRs, orders of magnitude fewer than
+        entries).
+        """
+        names = NameTable.from_names(decode_string_pool(
+            columns["names_blob"], columns["names_offsets"]))
+        rdata_strings = decode_string_pool(columns["rdata_blob"],
+                                           columns["rdata_offsets"])
+        name_list = names._names
+        rr_keys: List[RRKey] = [
+            (name_list[nid], RRTYPE_BY_CODE[code], rdata_strings[rid])
+            for nid, code, rid in zip(columns["rr_name_ids"].tolist(),
+                                      columns["rr_qtypes"].tolist(),
+                                      columns["rr_rdata_ids"].tolist())]
+        streams: List[StreamColumns] = []
+        for prefix in ("below", "above"):
+            streams.append(StreamColumns(
+                timestamps=columns[f"{prefix}_timestamps"],
+                name_ids=columns[f"{prefix}_name_ids"],
+                rr_ids=columns[f"{prefix}_rr_ids"],
+                client_ids=columns[f"{prefix}_client_ids"],
+                rcodes=columns[f"{prefix}_rcodes"],
+                qtypes=columns[f"{prefix}_qtypes"],
+                ttls=columns[f"{prefix}_ttls"]))
+        return cls(day=day, names=names, rr_keys=rr_keys,
+                   rr_name_ids=np.asarray(columns["rr_name_ids"],
+                                          dtype=np.int64),
+                   below=streams[0], above=streams[1])
+
     # -- miner-group matching ------------------------------------------
 
     def match_counts(self, groups: Set[Tuple[str, int]]
@@ -455,3 +593,21 @@ def build_day_digest(dataset: FpDnsDataset) -> DayDigest:
     return DayDigest(day=dataset.day, names=names, rr_keys=rr_keys,
                      rr_name_ids=np.array(rr_name_ids, dtype=np.int64),
                      below=streams[0], above=streams[1])
+
+
+def digest_of(dataset: FpDnsDataset) -> DayDigest:
+    """The day's columnar digest, without rebuilding one the dataset
+    already carries.
+
+    Columnar artifact loads (:mod:`repro.pdns.columnar`) attach the
+    deserialised digest behind a ``day_digest()`` method; plain
+    datasets fall back to :func:`build_day_digest`.  Every consumer
+    that needs "the digest of this day" should call this, so warm
+    sessions never pay the entry-materialisation tax.
+    """
+    supplier = getattr(dataset, "day_digest", None)
+    if supplier is not None:
+        digest = supplier()
+        if isinstance(digest, DayDigest):
+            return digest
+    return build_day_digest(dataset)

@@ -23,7 +23,7 @@ from typing import Any, Mapping
 
 from repro.core.records import FpDnsDataset, FpDnsEntry
 
-__all__ = ["canonical_json_key", "dataset_content_key",
+__all__ = ["canonical_json_key", "versioned_key", "dataset_content_key",
            "object_fingerprint"]
 
 
@@ -35,6 +35,19 @@ def canonical_json_key(payload: Mapping[str, Any]) -> str:
     """
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def versioned_key(format_tag: str, payload: Mapping[str, Any]) -> str:
+    """The shared cache-key scheme: canonical JSON of ``payload`` with
+    a ``format`` version field folded in.
+
+    Every on-disk cache (fpDNS artifacts, miner results) derives its
+    keys through this, so bumping a format tag invalidates exactly that
+    cache's old entries and nothing else.
+    """
+    if "format" in payload:
+        raise ValueError("payload must not carry its own 'format' field")
+    return canonical_json_key({"format": format_tag, **payload})
 
 
 def _entry_bytes(entry: FpDnsEntry) -> bytes:
@@ -56,6 +69,12 @@ def dataset_content_key(dataset: FpDnsDataset) -> str:
     hand.  This is the key material for the miner result cache: a
     warm session with unchanged data can skip mining entirely.
     """
+    precomputed = getattr(dataset, "content_key", None)
+    if isinstance(precomputed, str):
+        # Columnar artifact loads carry the key computed (from the real
+        # entries) at store time, so keying a warm day costs nothing
+        # and — crucially — never materialises the lazy entry views.
+        return precomputed
     digest = hashlib.sha256()
     digest.update(dataset.day.encode("utf-8"))
     for stream_tag, entries in ((b"<", dataset.below), (b">", dataset.above)):

@@ -30,17 +30,18 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.core.artifact_store import ArtifactStore
 from repro.core.classifier.base import BinaryClassifier
-from repro.core.interning import build_day_digest
-from repro.core.keys import (canonical_json_key, dataset_content_key,
-                             object_fingerprint)
+from repro.core.interning import digest_of
+from repro.core.keys import (dataset_content_key, object_fingerprint,
+                             versioned_key)
 from repro.core.miner import DisposableZoneFinding, MinerConfig
 from repro.core.ranking import DailyMiningResult, DisposableZoneRanker
 from repro.core.records import FpDnsDataset
 from repro.core.suffix import SuffixList
 
-__all__ = ["MINER_CACHE_FORMAT", "miner_result_key", "MinerResultCache",
-           "CalendarMiner", "mine_day"]
+__all__ = ["MINER_CACHE_FORMAT", "MINING_SUFFIX", "miner_result_key",
+           "MinerResultCache", "CalendarMiner", "mine_day"]
 
 #: Version tag baked into every cache key; bump on any change to the
 #: result payload layout or to mining semantics that would make old
@@ -57,13 +58,11 @@ def miner_result_key(dataset: FpDnsDataset, classifier: BinaryClassifier,
     Any change to the day's data, the trained classifier, or the miner
     tunables yields a different key and therefore a cache miss.
     """
-    payload = {
-        "format": MINER_CACHE_FORMAT,
+    return versioned_key(MINER_CACHE_FORMAT, {
         "data": dataset_content_key(dataset),
         "classifier": object_fingerprint(classifier),
         "config": asdict(config),
-    }
-    return canonical_json_key(payload)
+    })
 
 
 def _result_to_payload(result: DailyMiningResult) -> Dict[str, Any]:
@@ -102,55 +101,69 @@ def _result_from_payload(payload: Dict[str, Any]) -> DailyMiningResult:
         disposable_rrs=payload["disposable_rrs"])
 
 
-class MinerResultCache:
-    """Directory of cached mining results, one JSON file per key.
+#: File suffix of stored mining results (shared with the ``repro
+#: cache`` CLI's per-suffix accounting).
+MINING_SUFFIX = ".mining.json"
 
-    Counts ``hits`` and ``misses`` so callers (and the cache tests) can
-    verify that a warm replay skipped the miner.
+
+def _decode_result(data: bytes) -> DailyMiningResult:
+    return _result_from_payload(json.loads(data.decode("utf-8")))
+
+
+class MinerResultCache:
+    """Directory of cached mining results, one JSON blob per key.
+
+    Backed by the shared :class:`~repro.core.artifact_store
+    .ArtifactStore` — atomic per-process temp-file publish (workers
+    sharing a cache directory never clobber each other mid-write),
+    corrupt-blob-is-a-miss loads, hit/miss counters.
     """
 
     def __init__(self, root: PathLike) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
+        self.store_backend = ArtifactStore(root, MINING_SUFFIX)
+
+    @property
+    def root(self) -> Path:
+        return self.store_backend.root
+
+    @property
+    def hits(self) -> int:
+        return self.store_backend.hits
+
+    @property
+    def misses(self) -> int:
+        return self.store_backend.misses
 
     def path_for(self, key: str) -> Path:
-        return self.root / f"{key}.mining.json"
+        return self.store_backend.path_for(key)
 
     def load(self, key: str) -> Optional[DailyMiningResult]:
         """Cached result for ``key``, or ``None`` (counted as a miss)."""
-        path = self.path_for(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            result = _result_from_payload(payload)
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, truncated or corrupt entry: re-mine.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result
+        return self.store_backend.load(
+            key, _decode_result,
+            miss_on=(ValueError, KeyError, TypeError))
 
     def store(self, key: str, result: DailyMiningResult) -> Path:
         """Persist ``result`` under ``key``; returns the file path."""
-        path = self.path_for(key)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(_result_to_payload(result), handle,
-                      separators=(",", ":"))
-        tmp.replace(path)  # atomic publish: readers never see partials
-        return path
+        data = json.dumps(_result_to_payload(result),
+                          separators=(",", ":")).encode("utf-8")
+        return self.store_backend.store_bytes(key, data)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.mining.json"))
+        return len(self.store_backend)
 
 
 def mine_day(dataset: FpDnsDataset, classifier: BinaryClassifier,
              config: Optional[MinerConfig] = None,
              suffix_list: Optional[SuffixList] = None) -> DailyMiningResult:
-    """Mine one fpDNS day through the columnar digest pipeline."""
-    digest = build_day_digest(dataset)
+    """Mine one fpDNS day through the columnar digest pipeline.
+
+    :func:`~repro.core.interning.digest_of` reuses a digest the
+    dataset already carries (columnar artifact loads), so a warm
+    session mines straight from the deserialised columns without ever
+    materialising entries.
+    """
+    digest = digest_of(dataset)
     ranker = DisposableZoneRanker(classifier, config, suffix_list)
     return ranker.run_digest(digest)
 

@@ -4,18 +4,28 @@ Usage::
 
     python -m repro <experiment> [--profile small|medium]
     python -m repro list
+    python -m repro cache stats [--dir DIR]
+    python -m repro cache prune --max-bytes N [--dir DIR]
 
 where ``<experiment>`` is one of the ids below (e.g. ``fig13``,
 ``table1``, ``sec6b``, ``all``).  Output is the same text rendering
 the benchmarks print.
+
+``cache`` inspects or LRU-prunes the on-disk artifact caches
+(simulated fpDNS days and mining results; see docs/PERFORMANCE.md §5).
+Without ``--dir`` it operates on the directories named by the
+``REPRO_ARTIFACT_CACHE`` and ``REPRO_MINER_CACHE`` environment knobs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.artifact_store import directory_stats, prune_directory
 from repro.experiments.ablations import (run_classifier_comparison,
                                          run_feature_ablation,
                                          run_threshold_sweep)
@@ -61,17 +71,69 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
 
 _PROFILES: Dict[str, ScaleProfile] = {"small": SMALL, "medium": MEDIUM}
 
+_CACHE_ENV_KNOBS = ("REPRO_ARTIFACT_CACHE", "REPRO_MINER_CACHE")
+
+
+def _cache_directories(explicit: Optional[Sequence[str]]) -> List[Path]:
+    """Directories the ``cache`` subcommand operates on: ``--dir``
+    arguments if given, else the env-configured cache directories."""
+    if explicit:
+        return [Path(value) for value in explicit]
+    directories: List[Path] = []
+    for knob in _CACHE_ENV_KNOBS:
+        value = os.environ.get(knob)
+        if value and Path(value) not in directories:
+            directories.append(Path(value))
+    return directories
+
+
+def _run_cache(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    action = args.action or "stats"
+    if action not in ("stats", "prune"):
+        parser.error(f"unknown cache action {action!r}; "
+                     "expected 'stats' or 'prune'")
+    directories = _cache_directories(args.cache_dirs)
+    if not directories:
+        parser.error("no cache directories: pass --dir or set "
+                     + "/".join(_CACHE_ENV_KNOBS))
+    if action == "prune":
+        if args.max_bytes is None:
+            parser.error("cache prune requires --max-bytes")
+        for directory in directories:
+            removed = prune_directory(directory, args.max_bytes)
+            print(f"{directory}: pruned {len(removed)} artifacts")
+        return 0
+    for directory in directories:
+        print(directory_stats(directory).render())
+    return 0
+
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        help="experiment id (see 'list'), 'calibrate', or 'all'/'list'")
+                        help="experiment id (see 'list'), 'calibrate', "
+                             "'cache', or 'all'/'list'")
+    parser.add_argument("action", nargs="?", default=None,
+                        help="cache action: 'stats' (default) or 'prune'")
     parser.add_argument("--profile", choices=sorted(_PROFILES),
                         default="small",
                         help="simulation scale (default: small)")
+    parser.add_argument("--dir", dest="cache_dirs", action="append",
+                        metavar="DIR",
+                        help="cache directory for 'cache' (repeatable; "
+                             "default: the REPRO_*_CACHE env knobs)")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        help="byte budget for 'cache prune'")
     args = parser.parse_args(argv)
+
+    if args.experiment == "cache":
+        return _run_cache(args, parser)
+    if args.action is not None:
+        parser.error(f"unexpected argument {args.action!r} "
+                     f"for {args.experiment!r}")
 
     if args.experiment == "calibrate":
         from repro.experiments.validation import validate_calibration
@@ -90,6 +152,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  calibrate   (validation scorecard; exit 1 on failure)")
+        print("  cache       (artifact-cache stats/prune; "
+              "--dir / --max-bytes)")
         return 0
 
     if args.experiment == "all":

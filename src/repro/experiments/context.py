@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.classifier import LadTreeClassifier
 from repro.core.features import FeatureExtractor
 from repro.core.hitrate import HitRateTable, hit_rates_from_digest
-from repro.core.interning import DayDigest, build_day_digest
+from repro.core.interning import DayDigest, build_day_digest, digest_of
 from repro.core.labeling import TrainingSet, build_training_set
 from repro.core.miner import MinerConfig
 from repro.core.mining_pipeline import CalendarMiner, MinerResultCache
@@ -142,8 +142,17 @@ class ExperimentContext:
         self._datasets[date.label] = dataset
         self._last_day_index = date.day_index
         if store and self.artifacts is not None:
+            digest = None
+            if self.artifacts.format == "columnar":
+                # Encoding needs the day's digest anyway; build it once
+                # and memoise so the first analysis pass gets it free.
+                digest = self._digests.get(date.label)
+                if digest is None:
+                    digest = build_day_digest(dataset)
+                    self._digests[date.label] = digest
             self.artifacts.store(
-                artifact_key(self.simulator.config, self._history), dataset)
+                artifact_key(self.simulator.config, self._history), dataset,
+                digest=digest)
 
     def _simulate_batch(self, dates: List[MeasurementDate]) -> None:
         """Produce ``dates`` (chronological), cheapest source first:
@@ -212,9 +221,15 @@ class ExperimentContext:
 
     def digest(self, date: MeasurementDate) -> DayDigest:
         """Columnar digest of the day — the single pass every
-        downstream consumer (hit rates, tree, mining, analyses) shares."""
+        downstream consumer (hit rates, tree, mining, analyses) shares.
+
+        A cache-warm session whose days were loaded from columnar
+        artifacts gets the deserialised digest directly
+        (:func:`~repro.core.interning.digest_of`): disk -> numpy ->
+        digest, no entry materialisation.
+        """
         if date.label not in self._digests:
-            self._digests[date.label] = build_day_digest(self.dataset(date))
+            self._digests[date.label] = digest_of(self.dataset(date))
         return self._digests[date.label]
 
     def hit_rates(self, date: MeasurementDate) -> HitRateTable:
@@ -294,7 +309,10 @@ def _options_from_env() -> Tuple[int, Optional[FpDnsArtifactCache],
     directory to persist/replay per-day mining results.  All four
     leave every produced byte identical to the serial, cache-less run —
     they only change wall-clock time — so reading them here does not
-    violate the determinism contract.
+    violate the determinism contract.  (The artifact cache additionally
+    honours ``REPRO_ARTIFACT_FORMAT`` — ``columnar`` default or ``tsv``
+    — which changes bytes on disk only, never a loaded day's content;
+    see :mod:`repro.traffic.artifacts`.)
     """
     n_workers = int(os.environ.get("REPRO_SIM_WORKERS", "1"))
     cache_dir = os.environ.get("REPRO_ARTIFACT_CACHE")

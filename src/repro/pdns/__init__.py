@@ -2,6 +2,8 @@
 and the deduplicating passive-DNS database."""
 
 from repro.pdns.collector import PassiveDnsCollector
+from repro.pdns.columnar import (ColumnarFpDnsDataset, load_fpdns2,
+                                 save_fpdns2)
 from repro.pdns.database import IngestReport, PassiveDnsDatabase, wildcard_name
 from repro.pdns.io import (FormatError, iter_fpdns_entries, load_database,
                            load_fpdns, save_database, save_fpdns)
@@ -16,6 +18,7 @@ __all__ = [
     "FpDnsDataset", "FpDnsEntry", "RpDnsEntry", "RRKey",
     "FormatError", "iter_fpdns_entries", "load_database", "load_fpdns",
     "save_database", "save_fpdns",
+    "ColumnarFpDnsDataset", "load_fpdns2", "save_fpdns2",
     "IndexStats", "PdnsQueryIndex",
     "DatasetSizeReport", "entry_storage_bytes", "estimate_dataset_size",
 ]

@@ -1,0 +1,302 @@
+"""fpDNS-v2: binary columnar persistence for fpDNS days.
+
+The authors processed 60-145 GB/day of *compressed text* records
+offline (PAPER Section IV); our gzip-TSV format (:mod:`repro.pdns.io`)
+mirrors that, and it is exactly why warm sessions were slow: loading a
+cached day re-parsed every line, re-built millions of
+:class:`~repro.core.records.FpDnsEntry` tuples and re-interned every
+qname — only for :func:`~repro.core.interning.build_day_digest` to
+tear them straight back down into the numpy columns the mining
+pipeline actually consumes.  Following the columnar-storage lesson of
+the Dremel/Hail-style analytics systems in PAPERS.md, fpDNS-v2 stores
+the **columns themselves**: a warm load is disk -> numpy -> digest,
+with zero entry materialisation and no re-interning.
+
+On-disk layout
+--------------
+::
+
+    #repro-fpdns2\\n                       magic line
+    {"version":1,"day":...,               one-line JSON header:
+     "content_key":...,                    format version, day label,
+     "payload_sha256":...,                 dataset content key, payload
+     "payload_bytes":N}\\n                 checksum and exact length
+    <npz payload>                         numpy ``savez`` archive
+
+The payload holds the :meth:`~repro.core.interning.DayDigest.to_columns`
+arrays — the interned name pool (``names_blob``/``names_offsets``),
+the RR identity table over a deduplicated rdata pool, and one array
+per stream field — plus the *extra-rdata* columns
+(``below_xrdata_ids``/``above_xrdata_ids`` over ``xrdata_blob``):
+rdata strings carried by non-answer rows, which the digest proper
+drops but exact entry round-trip requires.  The header's
+``payload_bytes``/``payload_sha256`` make truncation and corruption
+detectable before numpy ever parses a byte; any mismatch raises
+:class:`~repro.pdns.io.FormatError`, which the artifact cache treats
+as a miss.
+
+``content_key`` is :func:`repro.core.keys.dataset_content_key`
+computed from the real entries at store time, so keying a warm day
+(e.g. for the miner result cache) costs nothing.
+
+Compatibility
+-------------
+:class:`ColumnarFpDnsDataset` is a drop-in
+:class:`~repro.core.records.FpDnsDataset`: ``below``/``above`` are
+lazy views that materialise the legacy entry lists on first access, so
+every per-entry consumer keeps working; digest-native consumers call
+:func:`repro.core.interning.digest_of` and never trigger it.  Absent
+``client_id``/``ttl`` are encoded as ``-1`` (the digest convention),
+so datasets carrying *negative* client ids or TTLs — which neither the
+simulator nor the TSV loader produce — are not representable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.dnstypes import RCode
+from repro.core.interning import (RRTYPE_BY_CODE, DayDigest,
+                                  build_day_digest, decode_string_pool,
+                                  encode_string_pool)
+from repro.core.keys import dataset_content_key
+from repro.core.records import FpDnsDataset, FpDnsEntry
+from repro.pdns.io import FormatError
+
+__all__ = ["FPDNS2_MAGIC", "FPDNS2_VERSION", "ColumnarFpDnsDataset",
+           "dumps_fpdns2", "loads_fpdns2", "save_fpdns2", "load_fpdns2"]
+
+FPDNS2_MAGIC = b"#repro-fpdns2\n"
+FPDNS2_VERSION = 1
+
+PathLike = Union[str, Path]
+
+_RCODE_BY_VALUE: Dict[int, RCode] = {member.value: member
+                                     for member in RCode}
+
+#: ``(below_xrdata_ids, above_xrdata_ids, xrdata_strings)`` — rdata of
+#: non-answer rows, pooled; ids are ``-1`` where the row has none.
+_XRdata = Tuple[np.ndarray, np.ndarray, List[str]]
+
+
+class ColumnarFpDnsDataset(FpDnsDataset):
+    """An fpDNS day backed by columns instead of entry lists.
+
+    Carries the deserialised :class:`~repro.core.interning.DayDigest`
+    (via :meth:`day_digest`) and the precomputed ``content_key``;
+    ``below``/``above`` materialise the legacy
+    :class:`~repro.core.records.FpDnsEntry` lists only when a
+    per-entry consumer actually reads them.
+    """
+
+    def __init__(self, day: str, digest: DayDigest, xrdata: _XRdata,
+                 content_key: str) -> None:
+        # Deliberately not calling the dataclass __init__: ``below`` /
+        # ``above`` are lazy properties here, not list fields.
+        self.day = day
+        self._digest = digest
+        self._xrdata = xrdata
+        self.content_key = content_key
+        self._below_entries: Optional[List[FpDnsEntry]] = None
+        self._above_entries: Optional[List[FpDnsEntry]] = None
+
+    def day_digest(self) -> DayDigest:
+        """The columnar digest — free, already deserialised."""
+        return self._digest
+
+    @property
+    def below(self) -> List[FpDnsEntry]:  # type: ignore[override]
+        if self._below_entries is None:
+            self._below_entries = _materialize_stream(
+                self._digest, "below", self._xrdata[0], self._xrdata[2])
+        return self._below_entries
+
+    @property
+    def above(self) -> List[FpDnsEntry]:  # type: ignore[override]
+        if self._above_entries is None:
+            self._above_entries = _materialize_stream(
+                self._digest, "above", self._xrdata[1], self._xrdata[2])
+        return self._above_entries
+
+    def __eq__(self, other: object) -> bool:
+        # The dataclass __eq__ requires identical classes; a columnar
+        # day must also compare equal to its plain twin (the equality
+        # tests' oracle), so compare by content against any dataset.
+        if isinstance(other, FpDnsDataset):
+            return (self.day == other.day and self.below == other.below
+                    and self.above == other.above)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        # Keep repr lazy too: volumes come from the digest columns.
+        return (f"ColumnarFpDnsDataset(day={self.day!r}, "
+                f"below={self._digest.below_volume()}, "
+                f"above={self._digest.above_volume()})")
+
+
+def _materialize_stream(digest: DayDigest, which: str,
+                        xrdata_ids: np.ndarray,
+                        xrdata_strings: List[str]) -> List[FpDnsEntry]:
+    """Rebuild one stream's entry list from the columns (exact)."""
+    stream = digest.below if which == "below" else digest.above
+    names = digest.names.names
+    rr_keys = digest.rr_keys
+    rrtype_by_code = RRTYPE_BY_CODE
+    rcode_by_value = _RCODE_BY_VALUE
+    entries: List[FpDnsEntry] = []
+    append = entries.append
+    for ts, nid, rid, cid, rc, qt, ttl, xid in zip(
+            stream.timestamps.tolist(), stream.name_ids.tolist(),
+            stream.rr_ids.tolist(), stream.client_ids.tolist(),
+            stream.rcodes.tolist(), stream.qtypes.tolist(),
+            stream.ttls.tolist(), xrdata_ids.tolist()):
+        if rid >= 0:
+            rdata = rr_keys[rid][2]
+        elif xid >= 0:
+            rdata = xrdata_strings[xid]
+        else:
+            rdata = None
+        append(FpDnsEntry(
+            timestamp=ts,
+            client_id=None if cid < 0 else cid,
+            qname=names[nid],
+            qtype=rrtype_by_code[qt],
+            rcode=rcode_by_value[rc],
+            ttl=None if ttl < 0 else ttl,
+            rdata=rdata))
+    return entries
+
+
+def _extract_xrdata(dataset: FpDnsDataset, digest: DayDigest) -> _XRdata:
+    """Pool the rdata of non-answer rows (rare; usually empty).
+
+    Only rows whose RR id is ``-1`` can carry rdata the digest lost,
+    so only those entries are touched.
+    """
+    strings: List[str] = []
+    pool: Dict[str, int] = {}
+    columns: List[np.ndarray] = []
+    for entries, stream in ((dataset.below, digest.below),
+                            (dataset.above, digest.above)):
+        ids = np.full(len(stream), -1, dtype=np.int32)
+        for row in np.nonzero(stream.rr_ids < 0)[0].tolist():
+            rdata = entries[row].rdata
+            if rdata is None:
+                continue
+            xid = pool.get(rdata)
+            if xid is None:
+                xid = len(strings)
+                pool[rdata] = xid
+                strings.append(rdata)
+            ids[row] = xid
+        columns.append(ids)
+    return columns[0], columns[1], strings
+
+
+def dumps_fpdns2(dataset: FpDnsDataset,
+                 digest: Optional[DayDigest] = None) -> bytes:
+    """Serialise one fpDNS day to the fpDNS-v2 binary columnar format.
+
+    ``digest`` may be supplied when the caller already built the day's
+    digest (the experiment context does); otherwise one is built here.
+    Re-encoding a :class:`ColumnarFpDnsDataset` reuses its columns
+    without materialising entries.
+    """
+    if isinstance(dataset, ColumnarFpDnsDataset):
+        digest = dataset.day_digest()
+        xrdata = dataset._xrdata
+        content_key = dataset.content_key
+    else:
+        if digest is None:
+            digest = build_day_digest(dataset)
+        xrdata = _extract_xrdata(dataset, digest)
+        content_key = dataset_content_key(dataset)
+    columns = digest.to_columns()
+    columns["below_xrdata_ids"] = xrdata[0]
+    columns["above_xrdata_ids"] = xrdata[1]
+    xrdata_blob, xrdata_offsets = encode_string_pool(xrdata[2])
+    columns["xrdata_blob"] = xrdata_blob
+    columns["xrdata_offsets"] = xrdata_offsets
+    buffer = io.BytesIO()
+    np.savez(buffer, **columns)
+    payload = buffer.getvalue()
+    header = {
+        "version": FPDNS2_VERSION,
+        "day": digest.day,
+        "content_key": content_key,
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+    }
+    header_line = json.dumps(header, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+    return FPDNS2_MAGIC + header_line + b"\n" + payload
+
+
+def loads_fpdns2(data: bytes,
+                 source: str = "<bytes>") -> ColumnarFpDnsDataset:
+    """Deserialise :func:`dumps_fpdns2` output (the warm path).
+
+    Raises :class:`~repro.pdns.io.FormatError` — naming ``source`` —
+    on bad magic, unsupported version, truncation or checksum
+    mismatch; the artifact cache maps all of those to a miss.
+    """
+    if not data.startswith(FPDNS2_MAGIC):
+        raise FormatError(f"{source}: not an fpDNS-v2 artifact "
+                          "(bad magic)")
+    header_end = data.find(b"\n", len(FPDNS2_MAGIC))
+    if header_end < 0:
+        raise FormatError(f"{source}: truncated fpDNS-v2 header")
+    try:
+        header = json.loads(data[len(FPDNS2_MAGIC):header_end]
+                            .decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FormatError(f"{source}: bad fpDNS-v2 header: {exc}") from exc
+    version = header.get("version")
+    if version != FPDNS2_VERSION:
+        raise FormatError(f"{source}: unsupported fpDNS-v2 version "
+                          f"{version!r} (expected {FPDNS2_VERSION})")
+    payload = data[header_end + 1:]
+    expected_bytes = header.get("payload_bytes")
+    if len(payload) != expected_bytes:
+        raise FormatError(f"{source}: truncated fpDNS-v2 payload "
+                          f"({len(payload)} of {expected_bytes} bytes)")
+    checksum = hashlib.sha256(payload).hexdigest()
+    if checksum != header.get("payload_sha256"):
+        raise FormatError(f"{source}: fpDNS-v2 payload checksum mismatch")
+    day = header.get("day")
+    content_key = header.get("content_key")
+    if not isinstance(day, str) or not isinstance(content_key, str):
+        raise FormatError(f"{source}: fpDNS-v2 header missing "
+                          "day/content_key")
+    try:
+        with np.load(io.BytesIO(payload)) as archive:
+            columns = {name: archive[name] for name in archive.files}
+        digest = DayDigest.from_columns(day, columns)
+        xrdata = (columns["below_xrdata_ids"], columns["above_xrdata_ids"],
+                  decode_string_pool(columns["xrdata_blob"],
+                                     columns["xrdata_offsets"]))
+    except (KeyError, ValueError, OSError) as exc:
+        raise FormatError(f"{source}: bad fpDNS-v2 payload: {exc}") from exc
+    return ColumnarFpDnsDataset(day=day, digest=digest, xrdata=xrdata,
+                                content_key=content_key)
+
+
+def save_fpdns2(dataset: FpDnsDataset, path: PathLike,
+                digest: Optional[DayDigest] = None) -> int:
+    """Write one fpDNS-v2 day to ``path``; returns the byte count."""
+    data = dumps_fpdns2(dataset, digest)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_fpdns2(path: PathLike) -> ColumnarFpDnsDataset:
+    """Load an fpDNS-v2 day written by :func:`save_fpdns2`."""
+    return loads_fpdns2(Path(path).read_bytes(), source=str(path))

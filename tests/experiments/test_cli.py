@@ -48,3 +48,60 @@ class TestCli:
     def test_list_mentions_calibrate(self, capsys):
         cli.main(["list"])
         assert "calibrate" in capsys.readouterr().out
+
+    def test_extra_positional_rejected_for_experiments(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig12", "stats"])
+
+
+class TestCacheCommand:
+    def _populate(self, root):
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "a.fpdns2").write_bytes(b"x" * 10)
+        (root / "b.mining.json").write_bytes(b"y" * 4)
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cli.main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifacts" in out and "14 bytes" in out
+        assert ".fpdns2" in out and ".mining.json" in out
+
+    def test_stats_is_default_action(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cli.main(["cache", "--dir", str(tmp_path)]) == 0
+        assert "2 artifacts" in capsys.readouterr().out
+
+    def test_prune(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cli.main(["cache", "prune", "--dir", str(tmp_path),
+                         "--max-bytes", "4"]) == 0
+        assert "pruned 1 artifacts" in capsys.readouterr().out
+        remaining = sorted(p.name for p in tmp_path.iterdir())
+        assert len(remaining) == 1
+
+    def test_prune_requires_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["cache", "prune", "--dir", str(tmp_path)])
+
+    def test_env_knobs_supply_directories(self, tmp_path, capsys,
+                                          monkeypatch):
+        self._populate(tmp_path)
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE", str(tmp_path))
+        monkeypatch.delenv("REPRO_MINER_CACHE", raising=False)
+        assert cli.main(["cache", "stats"]) == 0
+        assert "2 artifacts" in capsys.readouterr().out
+
+    def test_no_directories_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_MINER_CACHE", raising=False)
+        with pytest.raises(SystemExit):
+            cli.main(["cache", "stats"])
+
+    def test_unknown_action_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["cache", "wipe", "--dir", str(tmp_path)])
+
+    def test_list_mentions_cache(self, capsys):
+        cli.main(["list"])
+        assert "cache" in capsys.readouterr().out

@@ -97,6 +97,70 @@ class TestAcceleratedContext:
         assert warm_day.below == cold_day.below
         assert warm_day.above == cold_day.above
 
+    def test_warm_session_is_digest_native(self, tmp_path):
+        """A cache-warm columnar session feeds deserialised digests
+        straight into mining: no entry lists are ever materialised."""
+        from repro.pdns.columnar import ColumnarFpDnsDataset
+
+        cache = FpDnsArtifactCache(tmp_path, artifact_format="columnar")
+        ExperimentContext(TINY, artifact_cache=cache).dataset(PAPER_DATES[0])
+
+        warm = ExperimentContext(
+            TINY, artifact_cache=FpDnsArtifactCache(
+                tmp_path, artifact_format="columnar"))
+        day = warm.dataset(PAPER_DATES[0])
+        assert isinstance(day, ColumnarFpDnsDataset)
+        digest = warm.digest(PAPER_DATES[0])
+        assert digest is day.day_digest()       # no rebuild
+        assert day._below_entries is None       # no materialisation
+        assert day._above_entries is None
+
+    @pytest.mark.parametrize("artifact_format", ["columnar", "tsv"])
+    def test_mining_identical_across_formats_and_workers(self, tmp_path,
+                                                         artifact_format):
+        """The paper's outputs are invariant under the storage backend
+        and worker count — both are wall-clock knobs only."""
+        baseline = ExperimentContext(TINY)
+        expected = baseline.mining_result(PAPER_DATES[0])
+
+        root = tmp_path / artifact_format
+        cache = FpDnsArtifactCache(root, artifact_format=artifact_format)
+        ExperimentContext(TINY, artifact_cache=cache).dataset(PAPER_DATES[0])
+        warm = ExperimentContext(
+            TINY, miner_workers=2,
+            artifact_cache=FpDnsArtifactCache(
+                root, artifact_format=artifact_format))
+        assert warm.mining_result(PAPER_DATES[0]) == expected
+
+    def test_digest_equal_across_formats(self, tmp_path):
+        """Digest columns from a columnar load equal those built from a
+        TSV load of the same day."""
+        import numpy as np
+
+        from repro.core.interning import STREAM_FIELDS
+
+        day = PAPER_DATES[0]
+        for artifact_format in ("columnar", "tsv"):
+            cache = FpDnsArtifactCache(tmp_path / artifact_format,
+                                       artifact_format=artifact_format)
+            ExperimentContext(TINY, artifact_cache=cache).dataset(day)
+
+        contexts = {
+            artifact_format: ExperimentContext(
+                TINY, artifact_cache=FpDnsArtifactCache(
+                    tmp_path / artifact_format,
+                    artifact_format=artifact_format))
+            for artifact_format in ("columnar", "tsv")}
+        d_col = contexts["columnar"].digest(day)
+        d_tsv = contexts["tsv"].digest(day)
+        assert list(d_col.names.names) == list(d_tsv.names.names)
+        assert d_col.rr_keys == d_tsv.rr_keys
+        for which in ("below", "above"):
+            for field in STREAM_FIELDS:
+                assert np.array_equal(
+                    getattr(getattr(d_col, which), field),
+                    getattr(getattr(d_tsv, which), field)), (which, field)
+
     def test_adhoc_date_after_warm_hits_replays(self, tmp_path):
         cache = FpDnsArtifactCache(tmp_path)
         ExperimentContext(TINY, artifact_cache=cache).dataset(PAPER_DATES[0])

@@ -6,8 +6,9 @@ import pytest
 
 from repro.dns.message import RCode, RRType
 from repro.pdns.database import PassiveDnsDatabase
-from repro.pdns.io import (FormatError, iter_fpdns_entries, load_database,
-                           load_fpdns, save_database, save_fpdns)
+from repro.pdns.io import (FormatError, dumps_fpdns, iter_fpdns_entries,
+                           load_database, load_fpdns, loads_fpdns,
+                           save_database, save_fpdns)
 from repro.pdns.records import FpDnsDataset, FpDnsEntry
 
 
@@ -76,6 +77,88 @@ class TestFpDnsRoundTrip:
             handle.write("X\t1.0\t1\ta.com\tA\tNOERROR\t60\t1.1.1.1\n")
         with pytest.raises(FormatError):
             load_fpdns(path)
+
+    def test_bytes_roundtrip(self, dataset):
+        loaded = loads_fpdns(dumps_fpdns(dataset))
+        assert loaded.below == dataset.below
+        assert loaded.above == dataset.above
+
+
+_ENTRY_LINE = "B\t1.0\t1\ta.com\tA\tNOERROR\t60\t1.1.1.1\n"
+
+
+class TestBlankLines:
+    def _write(self, path, *lines):
+        with gzip.open(path, "wt") as handle:
+            handle.write("#repro-fpdns-v1\tx\n")
+            for line in lines:
+                handle.write(line)
+
+    def test_blank_line_between_records_is_an_error(self, tmp_path):
+        """A blank followed by a record means the file was truncated
+        and appended to — silently skipping it would mask that."""
+        path = tmp_path / "gap.gz"
+        self._write(path, _ENTRY_LINE, "\n", _ENTRY_LINE)
+        with pytest.raises(FormatError, match="blank line between records"):
+            load_fpdns(path)
+
+    def test_blank_line_error_names_line_number(self, tmp_path):
+        path = tmp_path / "gap.gz"
+        self._write(path, _ENTRY_LINE, "\n", _ENTRY_LINE)
+        with pytest.raises(FormatError, match="line 3"):
+            load_fpdns(path)
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "trailing.gz"
+        self._write(path, _ENTRY_LINE, "\n", "\n")
+        loaded = load_fpdns(path)
+        assert len(loaded.below) == 1
+
+    def test_streaming_iteration_also_rejects_gaps(self, tmp_path):
+        path = tmp_path / "gap.gz"
+        self._write(path, _ENTRY_LINE, "\n", _ENTRY_LINE)
+        with pytest.raises(FormatError, match="blank line"):
+            list(iter_fpdns_entries(path))
+
+
+class TestErrorsNameSource:
+    """Every FormatError message carries the offending file path (or
+    '<bytes>' for in-memory payloads)."""
+
+    def test_bad_header_names_path(self, tmp_path):
+        path = tmp_path / "bad-header.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("not-a-header\n")
+        with pytest.raises(FormatError, match="bad-header.gz"):
+            load_fpdns(path)
+
+    def test_malformed_line_names_path(self, tmp_path):
+        path = tmp_path / "bad-line.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("#repro-fpdns-v1\tx\n")
+            handle.write("B\tonly\tthree\n")
+        with pytest.raises(FormatError, match="bad-line.gz"):
+            load_fpdns(path)
+
+    def test_blank_line_names_path(self, tmp_path):
+        path = tmp_path / "gap.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("#repro-fpdns-v1\tx\n")
+            handle.write(_ENTRY_LINE + "\n" + _ENTRY_LINE)
+        with pytest.raises(FormatError, match="gap.gz"):
+            load_fpdns(path)
+
+    def test_in_memory_payload_named_bytes(self):
+        with pytest.raises(FormatError, match="<bytes>"):
+            loads_fpdns(gzip.compress(b"not-a-header\n"))
+
+    def test_database_errors_name_path(self, tmp_path):
+        path = tmp_path / "bad-db.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("#repro-rpdns-v1\n")
+            handle.write("a.com\tA\n")
+        with pytest.raises(FormatError, match="bad-db.gz"):
+            load_database(path)
 
 
 class TestDatabaseRoundTrip:

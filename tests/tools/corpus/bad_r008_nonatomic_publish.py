@@ -1,0 +1,30 @@
+# reprolint: module=repro.traffic.fixture_bad_publish
+"""Corpus fixture: cache classes writing the final path (R008 x4)."""
+
+import gzip
+import json
+
+__all__ = ["ResultCache", "BlobStore"]
+
+
+class ResultCache:
+    def __init__(self, root):
+        self.root = root
+
+    def store(self, key, payload):
+        path = self.root / f"{key}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+
+class BlobStore:
+    def __init__(self, root):
+        self.root = root
+
+    def put(self, key, data):
+        path = self.root / f"{key}.gz"
+        with gzip.open(path, "wb") as handle:
+            handle.write(data)
+        (self.root / f"{key}.meta").write_text("ok")
+        return path

@@ -29,6 +29,7 @@ CORPUS_EXPECTATIONS = {
     "R005": ("bad_r005_exports.py", 1),
     "R006": ("bad_r006_float_eq.py", 3),
     "R007": ("bad_r007_unpicklable_workers.py", 3),
+    "R008": ("bad_r008_nonatomic_publish.py", 4),
 }
 
 

@@ -5,9 +5,12 @@ import gzip
 import pytest
 
 from repro.dns.message import RCode, RRType
+from repro.pdns.columnar import ColumnarFpDnsDataset
 from repro.pdns.records import FpDnsDataset, FpDnsEntry
-from repro.traffic.artifacts import (ARTIFACT_FORMAT, FpDnsArtifactCache,
-                                     artifact_key)
+from repro.traffic.artifacts import (ARTIFACT_FORMAT, ARTIFACT_FORMATS,
+                                     COLUMNAR_SUFFIX, TSV_SUFFIX,
+                                     FpDnsArtifactCache,
+                                     artifact_format_from_env, artifact_key)
 from repro.traffic.population import PopulationConfig
 from repro.traffic.simulate import PAPER_DATES, SimulatorConfig
 from repro.traffic.workload import WorkloadConfig
@@ -130,3 +133,110 @@ class TestCacheStore:
         root = tmp_path / "nested" / "cache"
         FpDnsArtifactCache(root)
         assert root.is_dir()
+
+
+class TestFormatSelection:
+    def test_default_is_columnar(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_FORMAT", raising=False)
+        assert artifact_format_from_env() == "columnar"
+        assert FpDnsArtifactCache(tmp_path).format == "columnar"
+
+    def test_env_selects_tsv(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_FORMAT", "tsv")
+        assert artifact_format_from_env() == "tsv"
+        cache = FpDnsArtifactCache(tmp_path)
+        assert cache.format == "tsv"
+        cache.store("k", make_dataset())
+        assert cache.path_for("k").suffix == ".gz"
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_FORMAT", "parquet")
+        with pytest.raises(ValueError):
+            artifact_format_from_env()
+
+    def test_explicit_format_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_FORMAT", "tsv")
+        assert FpDnsArtifactCache(
+            tmp_path, artifact_format="columnar").format == "columnar"
+
+    def test_suffixes_differ(self, tmp_path):
+        columnar = FpDnsArtifactCache(tmp_path, artifact_format="columnar")
+        tsv = FpDnsArtifactCache(tmp_path, artifact_format="tsv")
+        assert columnar.path_for("k").name == f"k{COLUMNAR_SUFFIX}"
+        assert tsv.path_for("k").name == f"k{TSV_SUFFIX}"
+
+
+@pytest.mark.parametrize("artifact_format", ARTIFACT_FORMATS)
+class TestBothBackends:
+    """The store/load contract holds identically for both backends."""
+
+    def test_roundtrip(self, tmp_path, artifact_format):
+        cache = FpDnsArtifactCache(tmp_path, artifact_format=artifact_format)
+        dataset = make_dataset()
+        cache.store("k", dataset)
+        loaded = cache.load("k")
+        assert loaded.day == dataset.day
+        assert loaded.below == dataset.below
+        assert loaded.above == dataset.above
+        assert loaded == dataset
+
+    def test_corruption_matrix_every_mode_is_a_miss(self, tmp_path,
+                                                    artifact_format):
+        """Truncation, bitflip, wrong version/format, zero-length:
+        always a miss, never an exception."""
+        cache = FpDnsArtifactCache(tmp_path, artifact_format=artifact_format)
+        cache.store("k", make_dataset())
+        pristine = cache.path_for("k").read_bytes()
+
+        def corrupt(data):
+            cache.path_for("k").write_bytes(data)
+            assert cache.load("k") is None
+
+        corrupt(pristine[:len(pristine) // 2])        # truncated
+        flipped = bytearray(pristine)
+        flipped[-1] ^= 0xFF
+        corrupt(bytes(flipped))                       # payload bitflip
+        corrupt(b"#some-other-format\ngarbage")       # wrong format tag
+        corrupt(b"")                                  # zero-length
+        assert cache.misses == 4
+        # The pristine bytes still load fine afterwards.
+        cache.path_for("k").write_bytes(pristine)
+        assert cache.load("k") == make_dataset()
+
+    def test_atomic_publish_leaves_no_temps(self, tmp_path,
+                                            artifact_format):
+        cache = FpDnsArtifactCache(tmp_path, artifact_format=artifact_format)
+        cache.store("k", make_dataset())
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCrossFormatEquality:
+    def test_loaded_days_identical_across_backends(self, tmp_path):
+        dataset = make_dataset()
+        columnar = FpDnsArtifactCache(tmp_path / "c",
+                                      artifact_format="columnar")
+        tsv = FpDnsArtifactCache(tmp_path / "t", artifact_format="tsv")
+        columnar.store("k", dataset)
+        tsv.store("k", dataset)
+        from_columnar = columnar.load("k")
+        from_tsv = tsv.load("k")
+        assert isinstance(from_columnar, ColumnarFpDnsDataset)
+        assert from_columnar == from_tsv
+        assert from_tsv.below == from_columnar.below
+        assert from_tsv.above == from_columnar.above
+
+    def test_columnar_roundtrips_a_tsv_loaded_day(self, tmp_path):
+        """tsv -> load -> columnar store -> load is still the same day."""
+        dataset = make_dataset()
+        tsv = FpDnsArtifactCache(tmp_path, artifact_format="tsv")
+        tsv.store("k", dataset)
+        relay = FpDnsArtifactCache(tmp_path, artifact_format="columnar")
+        relay.store("k", tsv.load("k"))
+        assert relay.load("k") == dataset
+
+    def test_backends_share_key_material(self):
+        """Keys are format-independent: a day simulated once can be
+        stored under both suffixes with the same key."""
+        key = artifact_key(SimulatorConfig(), PAPER_DATES[:1])
+        assert ARTIFACT_FORMAT in ("repro-fpdns-cache-v1",)
+        assert key == artifact_key(SimulatorConfig(), PAPER_DATES[:1])

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from tools.reprolint.engine import Rule
+from tools.reprolint.rules.atomicity import AtomicCachePublishRule
 from tools.reprolint.rules.config import FrozenConfigRule
 from tools.reprolint.rules.determinism import NoWallClockRule, SeededRngOnlyRule
 from tools.reprolint.rules.exports import AllExportsExistRule
@@ -22,6 +23,7 @@ ALL_RULES: List[Rule] = [
     AllExportsExistRule(),
     NoFloatEqRule(),
     PicklableWorkersRule(),
+    AtomicCachePublishRule(),
 ]
 
 _BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
