@@ -1,0 +1,13 @@
+"""Repo-root shim so ``python -m reprolint src tools`` works anywhere
+the repository root is on ``sys.path`` (including a plain checkout).
+
+The real implementation lives in :mod:`tools.reprolint`; this module
+only forwards to its CLI.
+"""
+
+import sys
+
+from tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

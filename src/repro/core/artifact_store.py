@@ -160,7 +160,7 @@ class ArtifactStore:
 
     def total_bytes(self) -> int:
         total = 0
-        for path in self.root.glob(f"*{self.suffix}"):
+        for path in sorted(self.root.glob(f"*{self.suffix}")):
             try:
                 total += path.stat().st_size
             except OSError:  # pragma: no cover - raced with a delete
@@ -172,7 +172,7 @@ class ArtifactStore:
         ``max_bytes``; returns the removed keys."""
         removed = [path.name[:-len(self.suffix)]
                    for path in _prune_paths(
-                       list(self.root.glob(f"*{self.suffix}")), max_bytes)]
+                       sorted(self.root.glob(f"*{self.suffix}")), max_bytes)]
         return removed
 
 
@@ -198,8 +198,8 @@ class DirectoryStats:
 
 def _artifact_paths(root: Path) -> List[Path]:
     """Every published artifact in ``root`` (in-flight temps excluded)."""
-    return [path for path in root.iterdir()
-            if path.is_file() and not path.name.endswith(TMP_SUFFIX)]
+    return sorted(path for path in root.iterdir()
+                  if path.is_file() and not path.name.endswith(TMP_SUFFIX))
 
 
 def _suffix_of(path: Path) -> str:

@@ -26,7 +26,7 @@ from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping,
 
 import numpy as np
 
-from repro.core.records import FpDnsDataset, RRKey
+from repro.core.records import FpDnsDataset, RRKey, rr_sort_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.interning import DayDigest
@@ -101,7 +101,7 @@ class HitRateTable:
             self._name_positions = index
             self._indexed_records = ordered
         positions: List[int] = []
-        for name in set(names):
+        for name in sorted(set(names)):
             positions.extend(self._name_positions.get(name, ()))
         positions.sort()
         return [self._indexed_records[position] for position in positions]
@@ -161,7 +161,7 @@ def compute_hit_rates(dataset: FpDnsDataset) -> HitRateTable:
     below = dataset.below_counts_by_rr()
     above = dataset.above_counts_by_rr()
     rates: Dict[RRKey, RRHitRate] = {}
-    for key in set(below) | set(above):
+    for key in sorted(set(below) | set(above), key=rr_sort_key):
         rates[key] = RRHitRate(key=key,
                                queries_below=below.get(key, 0),
                                misses_above=above.get(key, 0))

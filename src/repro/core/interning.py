@@ -184,7 +184,7 @@ class NameTable:
         mask = self._subdomain_masks.get(key)
         if mask is None:
             zone_set = frozenset(normalize(zone) for zone in key)
-            suffixes = tuple("." + zone for zone in zone_set)
+            suffixes = tuple("." + zone for zone in sorted(zone_set))
             mask = np.fromiter(
                 ((normalize(name) in zone_set
                   or normalize(name).endswith(suffixes))

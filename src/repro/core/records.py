@@ -25,9 +25,21 @@ from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
 from repro.core.dnstypes import RCode, RRType
 
-__all__ = ["FpDnsEntry", "FpDnsDataset", "RpDnsEntry", "RRKey"]
+__all__ = ["FpDnsEntry", "FpDnsDataset", "RpDnsEntry", "RRKey",
+           "rr_sort_key"]
 
 RRKey = Tuple[str, RRType, str]
+
+
+def rr_sort_key(key: RRKey) -> Tuple[str, str, str]:
+    """Total order for RR identity triples.
+
+    ``RRType`` is a plain :class:`enum.Enum` (members do not compare),
+    so any code that needs a deterministic iteration order over RR keys
+    must sort through this projection rather than ``sorted()`` on the
+    raw tuples.
+    """
+    return (key[0], key[1].value, key[2])
 
 
 class FpDnsEntry(NamedTuple):

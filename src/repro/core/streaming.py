@@ -29,7 +29,7 @@ from repro.core.miner import (DisposableZoneFinding, DisposableZoneMiner,
                               MinerConfig)
 from repro.core.tree import DomainNameTree
 from repro.core.dnstypes import RCode
-from repro.core.records import FpDnsEntry, RRKey
+from repro.core.records import FpDnsEntry, RRKey, rr_sort_key
 
 __all__ = ["StreamStats", "StreamingDayBuilder", "mine_stream"]
 
@@ -95,7 +95,8 @@ class StreamingDayBuilder:
         """Seal the day and return (tree, hit-rate table)."""
         self._finished = True
         rates: Dict[RRKey, RRHitRate] = {}
-        for key in set(self._below) | set(self._above):
+        for key in sorted(set(self._below) | set(self._above),
+                          key=rr_sort_key):
             rates[key] = RRHitRate(key=key,
                                    queries_below=self._below.get(key, 0),
                                    misses_above=self._above.get(key, 0))

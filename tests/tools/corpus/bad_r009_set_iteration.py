@@ -1,0 +1,25 @@
+# reprolint: module=repro.traffic.fixture_bad_set_iter
+"""Corpus fixture: set iteration feeding ordered output (R009 x4)."""
+
+__all__ = ["collect", "render", "first_two", "emit"]
+
+
+def collect(names):
+    seen = {name.lower() for name in names}
+    ordered = []
+    for name in seen:
+        ordered.append(name)
+    return ordered
+
+
+def render(zones):
+    zone_set = set(zones)
+    return ",".join(zone_set)
+
+
+def first_two(keys):
+    return list({key for key in keys})[:2]
+
+
+def emit(flags):
+    return [flag.upper() for flag in frozenset(flags)]

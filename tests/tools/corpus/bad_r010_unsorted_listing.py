@@ -1,0 +1,24 @@
+# reprolint: module=repro.traffic.fixture_bad_listing
+"""Corpus fixture: filesystem-ordered listings escaping (R010 x4)."""
+
+import glob
+import os
+
+__all__ = ["shard_names", "day_files", "walk_tree", "artifacts"]
+
+
+def shard_names(root):
+    return [name for name in os.listdir(root)]
+
+
+def day_files(root):
+    return glob.glob(str(root / "*.json"))
+
+
+def walk_tree(root):
+    for base, _dirs, _files in os.walk(root):
+        yield base
+
+
+def artifacts(root):
+    return list(root.iterdir())

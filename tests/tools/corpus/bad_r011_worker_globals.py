@@ -1,0 +1,30 @@
+# reprolint: module=repro.traffic.fixture_bad_worker
+"""Corpus fixture: worker-reachable code mutating module state (R011 x2).
+
+``_bump`` never touches multiprocessing itself — it is two call-graph
+hops from the ``pool.map`` dispatch — which is exactly why this needs
+the whole-program pass rather than a per-file rule.
+"""
+
+from multiprocessing import Pool
+
+__all__ = ["count_labels"]
+
+_COUNTS = {}
+_TOTAL = 0
+
+
+def _bump(label):
+    _COUNTS.update({label: True})
+
+
+def _worker(label):
+    global _TOTAL
+    _TOTAL = _TOTAL + 1
+    _bump(label)
+    return label
+
+
+def count_labels(labels):
+    with Pool(2) as pool:
+        return pool.map(_worker, labels)

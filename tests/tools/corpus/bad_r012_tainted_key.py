@@ -1,0 +1,25 @@
+# reprolint: module=repro.traffic.fixture_bad_key
+"""Corpus fixture: nondeterminism reaching cache keys (R012 x2).
+
+``fresh_key`` feeds a source call straight into the sink;
+``stamped_key`` launders it through a helper, which only the
+call-graph taint pass can see.
+"""
+
+import uuid
+
+from repro.core.keys import versioned_key
+
+__all__ = ["fresh_key", "stamped_key"]
+
+
+def _session_token():
+    return uuid.uuid4().hex
+
+
+def fresh_key(payload):
+    return versioned_key("day", uuid.uuid4().hex, payload)
+
+
+def stamped_key(payload):
+    return versioned_key("day", _session_token(), payload)

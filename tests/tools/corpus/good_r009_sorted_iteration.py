@@ -1,0 +1,29 @@
+# reprolint: module=repro.traffic.fixture_good_set_iter
+"""Corpus fixture: set consumption that must NOT fire R009.
+
+Sorted materialisation and order-insensitive reducers (sum, len,
+membership) are the sanctioned ways to consume a set.
+"""
+
+__all__ = ["collect", "render", "total", "contains"]
+
+
+def collect(names):
+    seen = {name.lower() for name in names}
+    ordered = []
+    for name in sorted(seen):
+        ordered.append(name)
+    return ordered
+
+
+def render(zones):
+    zone_set = set(zones)
+    return ",".join(sorted(zone_set))
+
+
+def total(weights):
+    return sum(weight for weight in set(weights))
+
+
+def contains(names, name):
+    return name in {entry.lower() for entry in names}

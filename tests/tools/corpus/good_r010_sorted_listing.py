@@ -1,0 +1,24 @@
+# reprolint: module=repro.traffic.fixture_good_listing
+"""Corpus fixture: sorted/reduced listings that must NOT fire R010."""
+
+import glob
+import os
+
+__all__ = ["shard_names", "day_files", "artifact_count", "largest"]
+
+
+def shard_names(root):
+    return sorted(os.listdir(root))
+
+
+def day_files(root):
+    return sorted(glob.glob(str(root / "*.json")))
+
+
+def artifact_count(root):
+    return sum(1 for _ in root.iterdir())
+
+
+def largest(root):
+    return max((path.stat().st_size for path in sorted(root.rglob("*"))),
+               default=0)

@@ -1,0 +1,18 @@
+# reprolint: module=repro.traffic.fixture_good_worker
+"""Corpus fixture: workers returning results, parent merges — no R011."""
+
+from multiprocessing import Pool
+
+__all__ = ["count_labels"]
+
+
+def _worker(label):
+    return (label, 1)
+
+
+def count_labels(labels):
+    counts = {}
+    with Pool(2) as pool:
+        for label, n in pool.map(_worker, labels):
+            counts[label] = counts.get(label, 0) + n
+    return counts

@@ -1,0 +1,20 @@
+# reprolint: module=repro.traffic.fixture_good_key
+"""Corpus fixture: pure content-derived cache keys — no R012.
+
+``_digest`` is a call in the sink argument, so it exercises the
+taint lookup's negative path: untainted helper calls must not flag.
+"""
+
+import hashlib
+
+from repro.core.keys import versioned_key
+
+__all__ = ["content_key"]
+
+
+def _digest(payload):
+    return hashlib.sha256(payload).hexdigest()
+
+
+def content_key(payload):
+    return versioned_key("day", _digest(payload), payload)

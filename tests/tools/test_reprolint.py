@@ -2,19 +2,28 @@
 
 The known-bad corpus lives in ``tests/tools/corpus/``; each file fakes
 its module identity with a ``# reprolint: module=...`` directive so
-rules scoped to ``repro.*`` apply. Default CLI discovery skips
+rules scoped to ``repro.*`` apply.  Default CLI discovery skips
 directories named ``corpus`` (so linting ``tests`` stays clean), but
 passing the directory explicitly lints it — that asymmetry is what the
 exit-code tests exercise.
+
+R001–R010 are per-file rules and also fire through :func:`lint_source`;
+R011/R012 need the whole-program pass, so every corpus expectation is
+checked through one shared :func:`analyze_project` session over the
+corpus directory.  Engine-level incremental/cache behaviour lives in
+``test_reprolint_engine.py``; SARIF output in ``test_reprolint_sarif.py``.
 """
 
+import functools
 import subprocess
 import sys
+from collections import Counter
 from pathlib import Path
 
 import pytest
 
-from tools.reprolint import ALL_RULES, lint_source
+from tools.reprolint import (ALL_PROGRAM_RULES, ALL_RULES, analyze_project,
+                             lint_source)
 from tools.reprolint.cli import main
 from tools.reprolint.engine import LintEngine, discover_files, module_name_for
 
@@ -30,11 +39,29 @@ CORPUS_EXPECTATIONS = {
     "R006": ("bad_r006_float_eq.py", 3),
     "R007": ("bad_r007_unpicklable_workers.py", 3),
     "R008": ("bad_r008_nonatomic_publish.py", 4),
+    "R009": ("bad_r009_set_iteration.py", 4),
+    "R010": ("bad_r010_unsorted_listing.py", 4),
+    "R011": ("bad_r011_worker_globals.py", 2),
+    "R012": ("bad_r012_tainted_key.py", 2),
 }
+
+#: Known-good twins: the same patterns, written the sanctioned way.
+GOOD_FIXTURES = (
+    "good_r009_sorted_iteration.py",
+    "good_r010_sorted_listing.py",
+    "good_r011_worker_pure.py",
+    "good_r012_content_key.py",
+)
 
 
 def lint_file(path, **kwargs):
     return lint_source(path.read_text(), str(path), ALL_RULES, **kwargs)
+
+
+@functools.lru_cache(maxsize=1)
+def corpus_result():
+    """One uncached whole-program analysis of the corpus directory."""
+    return analyze_project([str(CORPUS)], cache_dir=None)
 
 
 # --------------------------------------------------------- corpus rules
@@ -44,15 +71,35 @@ def lint_file(path, **kwargs):
                          [(rule, name, count) for rule, (name, count)
                           in sorted(CORPUS_EXPECTATIONS.items())])
 def test_corpus_file_fires_rule(rule_id, filename, expected):
-    violations = lint_file(CORPUS / filename)
+    violations = [v for v in corpus_result().violations
+                  if Path(v.path).name == filename]
     fired = [v for v in violations if v.rule_id == rule_id]
     assert len(fired) == expected, (
         f"{filename} should trigger {rule_id} x{expected}, got "
         f"{[v.render() for v in violations]}")
+    assert all(v.rule_id == rule_id for v in violations), (
+        f"{filename} should only trigger {rule_id}, got "
+        f"{[v.render() for v in violations]}")
+
+
+def test_good_fixtures_are_clean():
+    by_file = Counter(Path(v.path).name for v in corpus_result().violations)
+    for filename in GOOD_FIXTURES:
+        in_file = [v.render() for v in corpus_result().violations
+                   if Path(v.path).name == filename]
+        assert by_file[filename] == 0, (
+            f"{filename} should be violation-free, got {in_file}")
 
 
 def test_corpus_files_cover_every_rule():
-    assert set(CORPUS_EXPECTATIONS) == {rule.rule_id for rule in ALL_RULES}
+    every_rule = ({rule.rule_id for rule in ALL_RULES}
+                  | {rule.rule_id for rule in ALL_PROGRAM_RULES})
+    assert set(CORPUS_EXPECTATIONS) == every_rule
+
+
+def test_per_file_rules_also_fire_through_lint_source():
+    violations = lint_file(CORPUS / "bad_r009_set_iteration.py")
+    assert [v.rule_id for v in violations] == ["R009"] * 4
 
 
 def test_violations_carry_position_and_message():
@@ -117,6 +164,53 @@ def test_no_suppressions_flag_reports_anyway():
     assert [v.rule_id for v in violations] == ["R001"]
 
 
+# -------------------------------------------------- suppression audit
+
+
+def _write_module(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
+def test_stale_suppression_is_reported(tmp_path):
+    _write_module(tmp_path, "clean.py", (
+        "# reprolint: module=repro.traffic.tmp_clean\n"
+        "__all__ = [\"now\"]\n\n\n"
+        "def now(event):\n"
+        "    return event.timestamp  # reprolint: disable=R001\n"))
+    result = analyze_project([str(tmp_path)], cache_dir=None)
+    assert result.violations == []
+    assert [v.rule_id for v in result.stale_suppressions] == ["S001"]
+    stale = result.stale_suppressions[0]
+    assert stale.line == 6
+    assert "R001" in stale.message
+    assert result.reported(audit_suppressions=True) == [stale]
+    assert result.reported(audit_suppressions=False) == []
+
+
+def test_useful_suppression_is_not_stale(tmp_path):
+    _write_module(tmp_path, "dirty.py", (
+        "# reprolint: module=repro.traffic.tmp_dirty\n"
+        "__all__ = []\n"
+        "import time\n"
+        "NOW = time.time()  # reprolint: disable=R001\n"))
+    result = analyze_project([str(tmp_path)], cache_dir=None)
+    assert result.violations == []
+    assert result.stale_suppressions == []
+
+
+def test_cli_audit_suppressions_flag(tmp_path, capsys):
+    _write_module(tmp_path, "clean.py", (
+        "# reprolint: module=repro.traffic.tmp_clean\n"
+        "__all__ = []\n"
+        "VALUE = 1  # reprolint: disable=R002\n"))
+    assert main([str(tmp_path), "--no-cache"]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path), "--no-cache", "--audit-suppressions"]) == 1
+    assert "S001" in capsys.readouterr().out
+
+
 # ------------------------------------------------------------ discovery
 
 
@@ -127,7 +221,7 @@ def test_discovery_skips_corpus_by_default():
 
 def test_explicit_corpus_path_is_linted():
     found = discover_files([str(CORPUS)])
-    assert len(found) == len(CORPUS_EXPECTATIONS)
+    assert len(found) == len(CORPUS_EXPECTATIONS) + len(GOOD_FIXTURES)
 
 
 def test_module_name_resolution():
@@ -141,42 +235,71 @@ def test_module_name_resolution():
 # ------------------------------------------------------- self-check CLI
 
 
-def test_src_tests_examples_are_violation_free():
+def test_whole_repo_is_violation_free_and_audit_clean():
+    """The self-check: src, tests, examples AND the linter's own code
+    (tools/) are clean under every rule, with no stale suppressions."""
+    result = analyze_project([str(REPO_ROOT / "src"),
+                              str(REPO_ROOT / "tools"),
+                              str(REPO_ROOT / "tests"),
+                              str(REPO_ROOT / "examples")],
+                             cache_dir=None)
+    reported = result.reported(audit_suppressions=True)
+    assert reported == [], "\n".join(v.render() for v in reported)
+
+
+def test_v1_engine_path_still_works():
     engine = LintEngine(ALL_RULES)
-    violations = engine.run([str(REPO_ROOT / "src"),
-                             str(REPO_ROOT / "tests"),
-                             str(REPO_ROOT / "examples")])
+    violations = engine.run([str(REPO_ROOT / "src")])
     assert violations == [], "\n".join(v.render() for v in violations)
 
 
 def test_cli_exit_zero_on_clean_tree(capsys):
-    assert main([str(REPO_ROOT / "src")]) == 0
+    assert main([str(REPO_ROOT / "src"), "--no-cache"]) == 0
     assert "0 violations" in capsys.readouterr().out
 
 
 def test_cli_exit_nonzero_on_corpus(capsys):
-    assert main([str(CORPUS)]) == 1
+    assert main([str(CORPUS), "--no-cache"]) == 1
     out = capsys.readouterr().out
     for rule_id in CORPUS_EXPECTATIONS:
         assert rule_id in out
 
 
 def test_cli_select_limits_rules(capsys):
-    assert main([str(CORPUS), "--select", "R004"]) == 1
+    assert main([str(CORPUS), "--no-cache", "--select", "R004"]) == 1
     out = capsys.readouterr().out
     assert "R004" in out
     assert "R001" not in out
 
 
+def test_cli_select_program_rule(capsys):
+    assert main([str(CORPUS), "--no-cache", "--select", "R011"]) == 1
+    out = capsys.readouterr().out
+    assert "R011" in out
+    assert "R009" not in out
+
+
+def test_cli_unknown_rule_id_errors():
+    with pytest.raises(SystemExit, match="R999"):
+        main([str(CORPUS), "--no-cache", "--select", "R999"])
+
+
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ALL_RULES:
+    for rule in list(ALL_RULES) + list(ALL_PROGRAM_RULES):
         assert rule.rule_id in out
 
 
 def test_cli_module_invocation_from_repo_root():
     proc = subprocess.run(
-        [sys.executable, "-m", "tools.reprolint", "src"],
+        [sys.executable, "-m", "tools.reprolint", "src", "--no-cache"],
+        cwd=str(REPO_ROOT), capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repo_root_shim_invocation():
+    proc = subprocess.run(
+        [sys.executable, "-m", "reprolint", "src", "--no-cache"],
         cwd=str(REPO_ROOT), capture_output=True, text=True)
     assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,148 @@
+"""v2 engine behaviour: incremental cache, dirty tracking, parallel parity.
+
+These tests drive :func:`tools.reprolint.analyze_project` against a
+tiny synthetic project in ``tmp_path`` (modules ``alpha`` ← ``beta``,
+plus an independent ``gamma``) so cache hits, program-pass reruns, and
+import-graph blast radii can be asserted exactly, without depending on
+the real tree's size.
+"""
+
+from pathlib import Path
+
+from tools.reprolint import analyze_project
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = REPO_ROOT / "tests" / "tools" / "corpus"
+
+ALPHA = (
+    "__all__ = [\"base\"]\n\n\n"
+    "def base(value):\n"
+    "    return value + 1\n")
+BETA = (
+    "import alpha\n\n"
+    "__all__ = [\"derived\"]\n\n\n"
+    "def derived(value):\n"
+    "    return alpha.base(value) * 2\n")
+GAMMA = (
+    "__all__ = [\"standalone\"]\n\n\n"
+    "def standalone(value):\n"
+    "    return value - 1\n")
+
+
+def _make_project(root):
+    (root / "alpha.py").write_text(ALPHA)
+    (root / "beta.py").write_text(BETA)
+    (root / "gamma.py").write_text(GAMMA)
+
+
+def test_cold_run_analyzes_everything(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    _make_project(project)
+    result = analyze_project([str(project)],
+                             cache_dir=tmp_path / "cache")
+    assert result.stats.files_total == 3
+    assert result.stats.files_analyzed == 3
+    assert result.stats.files_cached == 0
+    assert result.stats.program_rerun is True
+    assert result.stats.dirty_modules == ["alpha", "beta", "gamma"]
+    assert result.violations == []
+
+
+def test_warm_run_is_fully_cached(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    _make_project(project)
+    cache = tmp_path / "cache"
+    analyze_project([str(project)], cache_dir=cache)
+    warm = analyze_project([str(project)], cache_dir=cache)
+    assert warm.stats.files_analyzed == 0
+    assert warm.stats.files_cached == 3
+    assert warm.stats.program_rerun is False
+    assert warm.stats.dirty_modules == []
+
+
+def test_editing_leaf_reanalyzes_only_that_file(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    _make_project(project)
+    cache = tmp_path / "cache"
+    analyze_project([str(project)], cache_dir=cache)
+    (project / "gamma.py").write_text(
+        GAMMA.replace("value - 1", "abs(value) - 1"))
+    result = analyze_project([str(project)], cache_dir=cache)
+    assert result.stats.files_analyzed == 1
+    assert result.stats.files_cached == 2
+    # gamma has no dependents: the blast radius is gamma alone.
+    assert result.stats.program_rerun is True
+    assert result.stats.dirty_modules == ["gamma"]
+
+
+def test_editing_imported_module_dirties_dependents(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    _make_project(project)
+    cache = tmp_path / "cache"
+    analyze_project([str(project)], cache_dir=cache)
+    (project / "alpha.py").write_text(
+        ALPHA.replace("value + 1", "abs(value) + 1"))
+    result = analyze_project([str(project)], cache_dir=cache)
+    assert result.stats.files_analyzed == 1  # only alpha re-parses...
+    assert result.stats.files_cached == 2
+    # ...but beta imports alpha, so the whole-program blast radius is both.
+    assert result.stats.dirty_modules == ["alpha", "beta"]
+
+
+def test_comment_only_edit_skips_program_pass(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    _make_project(project)
+    cache = tmp_path / "cache"
+    analyze_project([str(project)], cache_dir=cache)
+    (project / "alpha.py").write_text(ALPHA + "\n# a trailing comment\n")
+    result = analyze_project([str(project)], cache_dir=cache)
+    # The content hash changed, so the file itself re-analyzes...
+    assert result.stats.files_analyzed == 1
+    # ...but its facts fingerprint did not (a trailing comment shifts
+    # no AST line), so the program pass replays from cache.
+    assert result.stats.program_rerun is False
+
+
+def test_program_violations_replay_from_cache(tmp_path):
+    cache = tmp_path / "cache"
+    cold = analyze_project([str(CORPUS)], cache_dir=cache)
+    warm = analyze_project([str(CORPUS)], cache_dir=cache)
+    assert warm.stats.files_analyzed == 0
+    assert warm.stats.program_rerun is False
+    assert ([v.render() for v in warm.reported(audit_suppressions=True)]
+            == [v.render() for v in cold.reported(audit_suppressions=True)])
+    # The replayed report still carries the whole-program rules.
+    assert any(v.rule_id == "R011" for v in warm.violations)
+    assert any(v.rule_id == "R012" for v in warm.violations)
+
+
+def test_parallel_jobs_match_serial_output(tmp_path):
+    serial = analyze_project([str(CORPUS)], cache_dir=None, jobs=1)
+    parallel = analyze_project([str(CORPUS)], cache_dir=None, jobs=2)
+    assert parallel.stats.files_analyzed == serial.stats.files_analyzed
+    assert ([v.render() for v in parallel.reported(audit_suppressions=True)]
+            == [v.render() for v in serial.reported(audit_suppressions=True)])
+
+
+def test_no_cache_always_reanalyzes(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    _make_project(project)
+    for _ in range(2):
+        result = analyze_project([str(project)], cache_dir=None)
+        assert result.stats.files_analyzed == 3
+        assert result.stats.program_rerun is True
+
+
+def test_syntax_error_reports_parse_error(tmp_path):
+    project = tmp_path / "proj"
+    project.mkdir()
+    (project / "broken.py").write_text("def half(:\n")
+    result = analyze_project([str(project)], cache_dir=tmp_path / "cache")
+    assert [v.rule_id for v in result.violations] == ["E999"]
+    assert "syntax error" in result.violations[0].message

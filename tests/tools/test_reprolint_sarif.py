@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output shape: rule catalogue, results, CLI round-trip."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import ALL_PROGRAM_RULES, ALL_RULES, analyze_project
+from tools.reprolint.sarif import (SARIF_SCHEMA_URI, SARIF_VERSION,
+                                   render_sarif, sarif_document)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = REPO_ROOT / "tests" / "tools" / "corpus"
+
+
+@pytest.fixture(scope="module")
+def corpus_violations():
+    return analyze_project([str(CORPUS)], cache_dir=None).violations
+
+
+def test_document_envelope(corpus_violations):
+    doc = sarif_document(corpus_violations)
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert len(doc["runs"]) == 1
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    assert run["columnKind"] == "unicodeCodePoints"
+
+
+def test_rule_catalogue_covers_every_rule(corpus_violations):
+    doc = sarif_document(corpus_violations)
+    catalogue = doc["runs"][0]["tool"]["driver"]["rules"]
+    ids = [rule["id"] for rule in catalogue]
+    assert len(ids) == len(set(ids))
+    expected = ({rule.rule_id for rule in ALL_RULES}
+                | {rule.rule_id for rule in ALL_PROGRAM_RULES}
+                | {"E999", "S001"})
+    assert set(ids) == expected
+    for rule in catalogue:
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] == "error"
+
+
+def test_results_reference_catalogue_and_locations(corpus_violations):
+    assert corpus_violations, "corpus should produce violations"
+    doc = sarif_document(corpus_violations)
+    run = doc["runs"][0]
+    catalogue = run["tool"]["driver"]["rules"]
+    assert len(run["results"]) == len(corpus_violations)
+    for entry in run["results"]:
+        assert catalogue[entry["ruleIndex"]]["id"] == entry["ruleId"]
+        assert entry["level"] == "error"
+        assert entry["message"]["text"]
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(".py")
+        region = location["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+
+def test_render_is_stable_json(corpus_violations):
+    text = render_sarif(corpus_violations)
+    assert json.loads(text)["version"] == "2.1.0"
+    assert render_sarif(corpus_violations) == text
+
+
+def test_cli_writes_sarif_file(tmp_path):
+    out = tmp_path / "lint.sarif"
+    proc = subprocess.run(
+        [sys.executable, "-m", "reprolint", str(CORPUS), "--no-cache",
+         "--sarif", str(out)],
+        cwd=str(REPO_ROOT), capture_output=True, text=True)
+    assert proc.returncode == 1
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    rule_ids = {entry["ruleId"] for entry in doc["runs"][0]["results"]}
+    assert {"R009", "R010", "R011", "R012"} <= rule_ids
+
+
+def test_cli_format_sarif_to_stdout(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "reprolint", str(CORPUS), "--no-cache",
+         "--format", "sarif"],
+        cwd=str(REPO_ROOT), capture_output=True, text=True)
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"

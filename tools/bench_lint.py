@@ -1,0 +1,130 @@
+"""Record the reprolint v2 engine baseline.
+
+Times one full lint of the repo (``src tools tests examples``) through
+:func:`tools.reprolint.analyze_project` and writes the numbers to
+``BENCH_lint.json`` at the repo root:
+
+* **cold** — empty cache, every file parsed and analyzed, whole-program
+  pass built from scratch;
+* **warm** — same cache, nothing changed: every per-file result loads
+  by content hash and the program pass replays (the incremental
+  promise: ``files_analyzed == 0``);
+* **parallel** — cold again at 2 and 4 worker processes.
+
+Every variant is asserted byte-identical to the cold serial report
+before its timing is recorded, so the numbers can never drift apart
+from correctness.  Timing lives here in ``tools/`` because
+``src/repro`` is wall-clock-free by the determinism contract
+(reprolint R001).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_lint.py            # records JSON
+    PYTHONPATH=src python tools/bench_lint.py --quick    # CI smoke
+
+The ``--quick`` mode runs the identical measurement but only prints
+it; ``BENCH_lint.json`` is refreshed deliberately, without ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from tools.reprolint import ProjectResult, analyze_project  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_lint.json"
+TARGETS = ("src", "tools", "tests", "examples")
+
+
+def _report(result: ProjectResult) -> List[str]:
+    return [violation.render()
+            for violation in result.reported(audit_suppressions=True)]
+
+
+def bench() -> Dict[str, object]:
+    roots = [str(REPO_ROOT / target) for target in TARGETS]
+    results: Dict[str, object] = {
+        "targets": list(TARGETS),
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "cache"
+        start = time.perf_counter()
+        cold = analyze_project(roots, cache_dir=cache)
+        cold_s = time.perf_counter() - start
+        reference = _report(cold)
+        results["files_total"] = cold.stats.files_total
+        results["violations"] = len(reference)
+        results["cold_s"] = round(cold_s, 3)
+        print(f"cold: {cold_s:.2f}s ({cold.stats.files_total} files, "
+              f"{len(reference)} findings)")
+
+        start = time.perf_counter()
+        warm = analyze_project(roots, cache_dir=cache)
+        warm_s = time.perf_counter() - start
+        if warm.stats.files_analyzed != 0:
+            raise AssertionError(
+                f"warm run re-analyzed {warm.stats.files_analyzed} files")
+        if warm.stats.program_rerun:
+            raise AssertionError("warm run re-ran the program pass")
+        if _report(warm) != reference:
+            raise AssertionError("warm report differs from cold")
+        results["warm_s"] = round(warm_s, 3)
+        results["warm_speedup"] = round(cold_s / warm_s, 2)
+        print(f"warm: {warm_s:.2f}s (speedup {cold_s / warm_s:.2f}x, "
+              f"{warm.stats.files_cached} cached, output identical)")
+
+    parallel_timings: Dict[str, float] = {}
+    for jobs in (2, 4):
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter()
+            parallel = analyze_project(roots, cache_dir=Path(tmp) / "cache",
+                                       jobs=jobs)
+            elapsed = time.perf_counter() - start
+        if _report(parallel) != reference:
+            raise AssertionError(f"jobs={jobs} report differs from serial")
+        parallel_timings[str(jobs)] = round(elapsed, 3)
+        print(f"parallel jobs={jobs}: {elapsed:.2f}s "
+              f"(speedup {cold_s / elapsed:.2f}x, output identical)")
+    results["parallel_cold_s"] = parallel_timings
+    if (os.cpu_count() or 1) == 1:
+        # Multi-worker numbers on a single core measure pool overhead,
+        # not parallel speedup — flag them so tooling does not compare
+        # them against multi-core baselines.
+        results["constrained"] = True
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the reprolint incremental engine.")
+    parser.add_argument("--quick", action="store_true",
+                        help="run the measurement but do not write "
+                             "BENCH_lint.json (CI smoke mode)")
+    args = parser.parse_args(argv)
+
+    results = bench()
+    rendered = json.dumps(results, indent=2, sort_keys=True)
+    if args.quick:
+        print(rendered)
+    else:
+        OUTPUT.write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,31 +1,48 @@
 """reprolint — repo-specific static analysis for the DNS Noise reproduction.
 
-An AST-based rule engine (stdlib only) that machine-checks the invariants
-this reproduction depends on: simulated-time-only determinism, seeded-RNG
-discipline, package layering, frozen/validated configs, honest ``__all__``
-exports, and tolerance-based float comparisons.
+An AST-based whole-program analyzer (stdlib + the repo's own artifact
+store) that machine-checks the invariants this reproduction depends
+on: simulated-time-only determinism, seeded-RNG discipline, package
+layering, frozen/validated configs, honest ``__all__`` exports,
+tolerance-based float comparisons, picklable worker entry points,
+atomic cache publication, deterministic iteration/listing orders, and
+— via a project-wide import graph, call graph, and determinism-taint
+pass — worker-state isolation and pure content-hash cache keys.
 
 Run it as::
 
-    python -m tools.reprolint src tests examples
+    python -m reprolint src tools          # repo-root shim
+    python -m tools.reprolint src tools    # equivalent
 
-See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the layering
-DAG, and ``tests/tools/test_reprolint.py`` for the known-bad corpus.
+Per-file results are cached by content hash (``.reprolint-cache/``),
+analysis fans out over ``--jobs`` processes, and SARIF 2.1.0 output
+(``--sarif``) feeds CI annotation.  See ``docs/STATIC_ANALYSIS.md``
+for the rule catalogue and architecture, and
+``tests/tools/test_reprolint.py`` for the known-bad corpus.
 """
 
 from tools.reprolint.engine import (LintEngine, ModuleContext, Rule,
                                     Violation, lint_source)
-from tools.reprolint.rules import ALL_RULES, rule_by_id
+from tools.reprolint.incremental import (ProjectResult, SessionStats,
+                                         analyze_project, analyze_source)
+from tools.reprolint.rules import (ALL_PROGRAM_RULES, ALL_RULES,
+                                   ProgramRule, rule_by_id)
 
 __all__ = [
+    "ALL_PROGRAM_RULES",
     "ALL_RULES",
     "LintEngine",
     "ModuleContext",
+    "ProgramRule",
+    "ProjectResult",
     "Rule",
+    "SessionStats",
     "Violation",
     "__version__",
+    "analyze_project",
+    "analyze_source",
     "lint_source",
     "rule_by_id",
 ]
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"

@@ -1,0 +1,175 @@
+"""Shared AST helpers for rules and the whole-program facts collector.
+
+Everything here is purely syntactic: no imports are executed, no types
+are inferred beyond what literal syntax and local assignments prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+__all__ = [
+    "ORDER_INSENSITIVE_REDUCERS",
+    "call_name",
+    "is_set_typed",
+    "iter_scopes",
+    "parent_map",
+    "sanitizing_ancestor",
+    "set_typed_names",
+]
+
+#: Builtins/callables whose result does not depend on the iteration
+#: order of their iterable argument, so feeding them an unordered
+#: collection is deterministic.
+ORDER_INSENSITIVE_REDUCERS = frozenset({
+    "sorted", "sum", "len", "min", "max", "set", "frozenset", "any", "all",
+    "Counter", "collections.Counter",
+})
+
+#: Set operators that preserve set-ness.
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child → parent for every node in ``tree``."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def call_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolved dotted name of a call's callee, or ``None``."""
+    if not isinstance(node, ast.Call):
+        return None
+    from tools.reprolint.qualnames import qualified_name
+    return qualified_name(node.func, aliases)
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, ast.AST]]:
+    """Yield ``(scope_node, scope_body_owner)`` for the module and every
+    function, so rules can reason about one lexical scope at a time."""
+    yield tree, tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    """``Set[...]``/``FrozenSet[...]``/``set[...]``/``typing.Set`` etc."""
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target.attr in ("Set", "FrozenSet", "AbstractSet",
+                               "MutableSet")
+    if isinstance(target, ast.Name):
+        return target.id in ("set", "frozenset", "Set", "FrozenSet",
+                             "AbstractSet", "MutableSet")
+    return False
+
+
+def is_set_typed(node: ast.expr, set_names: Set[str]) -> bool:
+    """True when ``node`` is *syntactically* a set: a set literal or
+    comprehension, a ``set()``/``frozenset()`` call, a set-operator
+    combination of set-typed operands, or a name proven set-typed by
+    every assignment in its scope (``set_names``)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return (is_set_typed(node.left, set_names)
+                or is_set_typed(node.right, set_names))
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def set_typed_names(scope: ast.AST) -> Set[str]:
+    """Names that every direct assignment in ``scope`` proves set-typed.
+
+    Only assignments belonging to this scope are considered (nested
+    function bodies are their own scopes); a name also bound by a
+    ``for`` target, ``with`` alias, or function argument is dropped —
+    its type is unknowable syntactically.
+    """
+    candidates: Set[str] = set()
+    disproven: Set[str] = set()
+
+    def local_nodes(root: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(root):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)) and child is not root:
+                continue
+            yield child
+            yield from local_nodes(child)
+
+    known: Set[str] = set()
+    for node in local_nodes(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    known.add(target.id)
+                    if is_set_typed(node.value, candidates):
+                        candidates.add(target.id)
+                    else:
+                        disproven.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                known.add(node.target.id)
+                if _is_set_annotation(node.annotation):
+                    candidates.add(node.target.id)
+                elif node.value is not None and is_set_typed(
+                        node.value, candidates):
+                    candidates.add(node.target.id)
+                else:
+                    disproven.add(node.target.id)
+        elif isinstance(node, ast.AugAssign):
+            # x |= other keeps set-ness; any other augmented op on a
+            # candidate leaves it as-is (sets support -=, &=, ^= too).
+            continue
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    disproven.add(name_node.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for name_node in ast.walk(item.optional_vars):
+                        if isinstance(name_node, ast.Name):
+                            disproven.add(name_node.id)
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            disproven.add(arg.arg)
+    return candidates - disproven
+
+
+def sanitizing_ancestor(node: ast.AST, parents: Dict[ast.AST, ast.AST],
+                        aliases: Dict[str, str]) -> Optional[str]:
+    """Name of an enclosing order-insensitive reducer call, or ``None``.
+
+    Walks up the expression tree (stopping at the enclosing statement)
+    looking for ``sorted(...)``/``sum(...)``/... wrapped around
+    ``node`` — including through generator expressions, so
+    ``sorted(x.name for x in some_set)`` counts as sanitized.
+    """
+    current = node
+    while True:
+        parent = parents.get(current)
+        if parent is None or isinstance(parent, ast.stmt):
+            return None
+        if isinstance(parent, ast.Call) and current is not parent.func:
+            name = call_name(parent, aliases)
+            if name is not None:
+                terminal = name.rsplit(".", 1)[-1]
+                if (name in ORDER_INSENSITIVE_REDUCERS
+                        or terminal in ORDER_INSENSITIVE_REDUCERS):
+                    return terminal
+        current = parent

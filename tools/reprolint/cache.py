@@ -1,0 +1,137 @@
+"""Incremental result cache, backed by the repo's own ArtifactStore.
+
+Per-file analysis results (violations + whole-program facts +
+suppression directives) are content-addressed: the key hashes the
+file's path, module identity, source bytes, and the *engine
+fingerprint* — a hash of every ``tools/reprolint`` source file — so
+editing either a target file or the linter itself invalidates exactly
+the right entries.  Blobs are stored through
+:class:`repro.core.artifact_store.ArtifactStore` (dogfooding the same
+atomic-publish / corrupt-blob-is-a-miss semantics the simulation
+caches rely on, rule R008's reference implementation).
+
+Whole-program passes are cached the same way under a key derived from
+every analyzed file's facts fingerprint: rerunning over an unchanged
+tree skips graph construction and the taint fixpoint entirely, and
+one well-known mutable blob (:data:`PROGRAM_STATE_KEY`) remembers the
+previous run's per-module fingerprints + import edges so the engine
+can report *which* dependents a change dirtied.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "LintResultCache",
+    "default_cache_dir",
+    "engine_fingerprint",
+]
+
+_REPROLINT_DIR = Path(__file__).resolve().parent
+_REPO_ROOT = _REPROLINT_DIR.parents[1]
+
+
+def _import_artifact_store() -> Any:
+    """Import :class:`ArtifactStore`, adding ``src/`` to ``sys.path``
+    when the package is not installed (plain checkout)."""
+    try:
+        from repro.core.artifact_store import ArtifactStore
+    except ImportError:
+        src = _REPO_ROOT / "src"
+        if str(src) not in sys.path and (src / "repro").is_dir():
+            sys.path.insert(0, str(src))
+        from repro.core.artifact_store import ArtifactStore
+    return ArtifactStore
+
+
+#: Suffix of cached per-file and program-pass results.
+RESULT_SUFFIX = ".lint.json"
+
+#: Well-known key of the previous-run program state blob.
+PROGRAM_STATE_KEY = "program-state"
+
+_FINGERPRINT: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """Hash of every reprolint source file (cached per process).
+
+    Any change to the engine, a rule, or this module rotates the
+    fingerprint and with it every cache key — stale results from an
+    older linter can never be replayed.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        digest = hashlib.sha256()
+        for path in sorted(_REPROLINT_DIR.rglob("*.py")):
+            digest.update(str(path.relative_to(_REPROLINT_DIR)).encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def default_cache_dir() -> Path:
+    return _REPO_ROOT / ".reprolint-cache"
+
+
+def file_key(path: str, module: Optional[str], source: bytes) -> str:
+    """Content-hash cache key for one file's analysis result."""
+    digest = hashlib.sha256()
+    digest.update(engine_fingerprint().encode())
+    digest.update(b"\x00")
+    digest.update(path.encode())
+    digest.update(b"\x00")
+    digest.update((module or "").encode())
+    digest.update(b"\x00")
+    digest.update(source)
+    return digest.hexdigest()
+
+
+class LintResultCache:
+    """JSON blobs in an :class:`ArtifactStore`, keyed by content hash."""
+
+    def __init__(self, root: Path) -> None:
+        store_cls = _import_artifact_store()
+        self._store = store_cls(root, suffix=RESULT_SUFFIX)
+
+    @property
+    def hits(self) -> int:
+        return self._store.hits
+
+    @property
+    def misses(self) -> int:
+        return self._store.misses
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._store.load(
+            key, _decode_json,
+            miss_on=(ValueError, KeyError, TypeError))
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        self._store.store_bytes(key, blob)
+
+    # -- previous-run program state (mutable, not content-addressed) --
+
+    def load_program_state(self) -> Optional[Dict[str, Any]]:
+        return self._store.load(
+            PROGRAM_STATE_KEY, _decode_json,
+            miss_on=(ValueError, KeyError, TypeError))
+
+    def store_program_state(self, payload: Dict[str, Any]) -> None:
+        self.store(PROGRAM_STATE_KEY, payload)
+
+
+def _decode_json(data: bytes) -> Dict[str, Any]:
+    value = json.loads(data.decode("utf-8"))
+    if not isinstance(value, dict):
+        raise ValueError("cached lint result must be a JSON object")
+    return value

@@ -1,0 +1,132 @@
+"""Conservative intra-project call graph + determinism-taint pass.
+
+Nodes are the qualified names of every function the facts collector
+saw (``repro.core.keys.versioned_key``,
+``repro.pdns.database.PdnsDatabase.ingest``, and one pseudo-node per
+module for its top-level code).  An edge ``f → g`` exists when ``f``'s
+body contains a call that *resolves* to ``g``: through an import
+alias, a local module-level name, or a ``self.``/``cls.`` method of
+the same class.  Unresolvable calls (arbitrary attribute chains,
+higher-order values) produce no edge — the graph under-approximates
+reachability but never invents it, which keeps the downstream rules'
+false-positive rate near zero at the cost of missing exotic flows.
+
+Two fixpoints are computed on top:
+
+* **worker reachability** — everything transitively callable from a
+  function that is dispatched into a worker process
+  (``pool.map(fn, ...)``, ``Process(target=fn)``); rule R011 flags
+  module-state writes inside that set.
+* **taint** — a function is *tainted* when its body invokes a
+  nondeterminism source (wall clock, global-state RNG, unsorted
+  directory listing, ``hash()``) or when it calls a tainted project
+  function; rule R012 flags tainted values flowing into cache-key /
+  artifact / parallel-dispatch sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from tools.reprolint.facts import DefFacts, FileFacts
+from tools.reprolint.graph import ModuleGraph, build_module_graph
+
+__all__ = ["CallGraph", "ProgramFacts", "build_program_facts"]
+
+
+class CallGraph:
+    """Resolved call edges over every def in the analyzed file set."""
+
+    def __init__(self, files: Iterable[FileFacts]) -> None:
+        self.defs: Dict[str, DefFacts] = {}
+        self.def_paths: Dict[str, str] = {}
+        for file_facts in files:
+            for def_facts in file_facts.defs:
+                self.defs[def_facts.qualname] = def_facts
+                self.def_paths[def_facts.qualname] = file_facts.path
+        self._edges: Dict[str, FrozenSet[str]] = {
+            qualname: frozenset(target for target in def_facts.calls
+                                if target in self.defs
+                                and target != qualname)
+            for qualname, def_facts in self.defs.items()}
+
+    def callees_of(self, qualname: str) -> FrozenSet[str]:
+        return self._edges.get(qualname, frozenset())
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        return sorted((source, target)
+                      for source, targets in self._edges.items()
+                      for target in targets)
+
+    def reachable_from(self, roots: Iterable[str]) -> FrozenSet[str]:
+        """``roots`` plus every def transitively callable from them."""
+        frontier = [root for root in roots if root in self.defs]
+        seen: Set[str] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for callee in self._edges.get(current, frozenset()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return frozenset(seen)
+
+    # -- taint ---------------------------------------------------------
+
+    def taint_map(self) -> Dict[str, str]:
+        """Tainted def → human-readable root cause.
+
+        A def is seeded tainted by a direct nondeterminism source in
+        its body; taint then propagates caller-ward until fixpoint
+        (``f`` calling tainted ``g`` makes ``f`` tainted).  The value
+        explains the chain: ``"time.time"`` for a seed,
+        ``"repro.x.helper (via time.time)"`` one hop up.
+        """
+        tainted: Dict[str, str] = {}
+        for qualname, def_facts in self.defs.items():
+            if def_facts.source_calls:
+                tainted[qualname] = def_facts.source_calls[0][1]
+        callers: Dict[str, Set[str]] = {}
+        for source, targets in self._edges.items():
+            for target in targets:
+                callers.setdefault(target, set()).add(source)
+        frontier = sorted(tainted)
+        while frontier:
+            current = frontier.pop()
+            reason = tainted[current]
+            root = reason.split(" (via ", 1)[0] if " (via " in reason \
+                else reason
+            for caller in sorted(callers.get(current, set())):
+                if caller not in tainted:
+                    tainted[caller] = f"{current} (via {root})"
+                    frontier.append(caller)
+        return tainted
+
+
+class ProgramFacts:
+    """Everything the whole-program rules consume, in one place."""
+
+    def __init__(self, files: Mapping[str, FileFacts]) -> None:
+        self.files: Dict[str, FileFacts] = dict(files)
+        ordered = [self.files[path] for path in sorted(self.files)]
+        self.module_graph: ModuleGraph = build_module_graph(ordered)
+        self.call_graph: CallGraph = CallGraph(ordered)
+
+    def module_of_def(self, qualname: str) -> Optional[str]:
+        path = self.call_graph.def_paths.get(qualname)
+        if path is None:
+            return None
+        facts = self.files.get(path)
+        return facts.module if facts is not None else None
+
+    def worker_entry_points(self) -> List[str]:
+        """Resolved callables dispatched into worker processes."""
+        entries: Set[str] = set()
+        for path in sorted(self.files):
+            for _, target in self.files[path].worker_targets:
+                if target in self.call_graph.defs:
+                    entries.add(target)
+        return sorted(entries)
+
+
+def build_program_facts(files: Iterable[FileFacts]) -> ProgramFacts:
+    return ProgramFacts({facts.path: facts for facts in files})

@@ -1,24 +1,41 @@
-"""Command-line front end: ``python -m tools.reprolint src tests examples``."""
+"""Command-line front end: ``python -m reprolint src tools``.
+
+(``python -m tools.reprolint`` works identically; the repo-root
+``reprolint.py`` shim only re-exports this entry point.)
+
+The CLI drives the incremental engine
+(:func:`tools.reprolint.incremental.analyze_project`): per-file
+results are cached by content hash under ``--cache-dir`` (default
+``.reprolint-cache/``, disable with ``--no-cache``), files are
+analyzed in ``--jobs`` worker processes, and the whole-program passes
+re-run only when some file's facts changed.  Output formats: human
+text (default), ``json``, and SARIF 2.1.0 (``--format sarif`` to
+stdout, or ``--sarif FILE`` alongside the text report for CI upload).
+"""
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
 
-from tools.reprolint.engine import LintEngine, Rule, Violation
-from tools.reprolint.rules import ALL_RULES
+from tools.reprolint.cache import default_cache_dir
+from tools.reprolint.engine import Violation
+from tools.reprolint.incremental import analyze_project
+from tools.reprolint.rules import ALL_PROGRAM_RULES, ALL_RULES
 
-__all__ = ["build_parser", "main", "select_rules"]
+__all__ = ["build_parser", "main", "selected_rule_ids"]
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m tools.reprolint",
+        prog="python -m reprolint",
         description="Repo-specific static analysis for the DNS Noise "
-                    "reproduction (determinism, layering, typing "
-                    "invariants).")
+                    "reproduction (determinism, layering, typing, "
+                    "concurrency invariants).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--select", metavar="RULES",
@@ -31,24 +48,61 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-suppressions", action="store_true",
                         help="report violations even where '# reprolint: "
                              "disable' comments would silence them")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--audit-suppressions", action="store_true",
+                        help="also fail on 'disable' comments that no "
+                             "longer suppress anything (S001)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="output format (default: text)")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="additionally write a SARIF 2.1.0 log to FILE")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for per-file analysis "
+                             "(0 = one per CPU; default: 1)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=os.environ.get("REPROLINT_CACHE"),
+                        help="incremental result cache directory "
+                             "(default: $REPROLINT_CACHE or "
+                             ".reprolint-cache/ at the repo root)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="analyze every file fresh, read and write "
+                             "no cache")
+    parser.add_argument("--stats", action="store_true",
+                        help="print engine statistics (cache hits, "
+                             "program-pass reruns) to stderr")
     return parser
 
 
-def select_rules(select: Optional[str],
-                 ignore: Optional[str]) -> List[Rule]:
-    chosen = list(ALL_RULES)
+def selected_rule_ids(select: Optional[str],
+                      ignore: Optional[str]) -> Optional[Set[str]]:
+    """The rule-id filter, or ``None`` for "everything".
+
+    Selection happens at *report* time: the engine always runs every
+    rule so cached results stay valid whatever the filter is.
+    """
+    known = ({rule.rule_id for rule in ALL_RULES}
+             | {rule.rule_id for rule in ALL_PROGRAM_RULES})
+    chosen = set(known)
     if select:
         wanted = {part.strip() for part in select.split(",") if part.strip()}
-        unknown = wanted - {rule.rule_id for rule in chosen}
+        unknown = wanted - known
         if unknown:
             raise SystemExit(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-        chosen = [rule for rule in chosen if rule.rule_id in wanted]
+        chosen = wanted
     if ignore:
-        dropped = {part.strip() for part in ignore.split(",") if part.strip()}
-        chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+        chosen -= {part.strip() for part in ignore.split(",") if part.strip()}
+    if chosen == known:
+        return None
     return chosen
+
+
+def _filter(violations: Sequence[Violation],
+            chosen: Optional[Set[str]]) -> List[Violation]:
+    if chosen is None:
+        return list(violations)
+    # Parse errors and stale suppressions always surface.
+    return [v for v in violations
+            if v.rule_id in chosen or not v.rule_id.startswith("R")]
 
 
 def _render_text(violations: Sequence[Violation]) -> str:
@@ -70,21 +124,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in list(ALL_RULES) + list(ALL_PROGRAM_RULES):
             print(f"{rule.rule_id}  {rule.name}")
             print(f"      {rule.description}")
         return 0
 
-    rules = select_rules(args.select, args.ignore)
-    engine = LintEngine(rules,
-                        respect_suppressions=not args.no_suppressions)
+    chosen = selected_rule_ids(args.select, args.ignore)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache_dir: Optional[Path]
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir:
+        cache_dir = Path(args.cache_dir)
+    else:
+        cache_dir = default_cache_dir()
+
     try:
-        violations = engine.run(args.paths)
+        result = analyze_project(
+            args.paths, jobs=jobs, cache_dir=cache_dir,
+            respect_suppressions=not args.no_suppressions)
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
+    violations = _filter(
+        result.reported(audit_suppressions=args.audit_suppressions), chosen)
+
+    if args.stats:
+        stats = result.stats
+        dirty = ", ".join(stats.dirty_modules[:8])
+        if len(stats.dirty_modules) > 8:
+            dirty += f", ... ({len(stats.dirty_modules)} total)"
+        print(f"reprolint: {stats.files_total} files "
+              f"({stats.files_analyzed} analyzed, "
+              f"{stats.files_cached} cached), program pass "
+              f"{'re-ran' if stats.program_rerun else 'cached'}"
+              + (f"; dirty: {dirty}" if dirty else ""),
+              file=sys.stderr)
+
+    if args.sarif:
+        from tools.reprolint.sarif import render_sarif
+        Path(args.sarif).write_text(render_sarif(violations) + "\n",
+                                    encoding="utf-8")
+
+    if args.format == "sarif":
+        from tools.reprolint.sarif import render_sarif
+        print(render_sarif(violations))
+    elif args.format == "json":
         print(_render_json(violations))
     else:
         print(_render_text(violations))

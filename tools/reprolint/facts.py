@@ -1,0 +1,538 @@
+"""Per-file facts for the whole-program passes.
+
+One :class:`FileFacts` summarises everything the cross-file analyses
+need to know about a module: which project modules it imports, which
+functions it defines, which calls each function makes (resolved
+through import aliases), where nondeterminism *sources* are invoked,
+where cache-key / artifact / parallel-boundary *sinks* are invoked and
+what flows into them, which callables are dispatched into worker
+processes, and which module-level names each function writes.
+
+Facts are pure data (tuples of primitives) so they serialise to JSON
+for the incremental cache and hash canonically for the program-pass
+cache key.  Extraction is purely syntactic — nothing is imported or
+executed.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.reprolint.astutil import parent_map, sanitizing_ancestor
+from tools.reprolint.nondet import BANNED_CLOCKS, NUMPY_RANDOM_OK
+from tools.reprolint.qualnames import build_alias_table, qualified_name
+
+__all__ = [
+    "DefFacts",
+    "FileFacts",
+    "SinkCall",
+    "collect_facts",
+    "facts_fingerprint",
+]
+
+#: Pool / executor methods whose callable argument runs in a worker.
+POOL_DISPATCH = frozenset({
+    "map", "map_async", "imap", "imap_unordered",
+    "apply", "apply_async", "starmap", "starmap_async", "submit",
+})
+
+#: Constructors whose ``target=`` runs in a worker.
+PROCESS_TYPES = frozenset({"Process"})
+
+#: Call names whose *result* is nondeterministic (taint sources), in
+#: addition to the R001 wall clocks.
+EXTRA_SOURCES = frozenset({
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.choice",
+})
+
+#: Seeded RNG constructors are deterministic; everything else under
+#: ``random.`` draws from hidden global state.
+_SEEDED_RNG = frozenset({"random.Random"})
+
+#: Filesystem listing calls (unsorted listings are taint sources too).
+_LISTING_FUNCTIONS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob", "os.walk",
+})
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Terminal callee names treated as cache-key / artifact sinks.
+SINK_TERMINALS = frozenset({
+    "store_bytes", "versioned_key", "canonical_json_key",
+    "dataset_content_key", "object_fingerprint", "cache_key", "key_for",
+    "make_key",
+})
+SINK_SUFFIXES = ("_cache_key",)
+
+#: Mutating method names on collections (used for global-state writes).
+_MUTATORS = frozenset({
+    "add", "append", "appendleft", "extend", "insert", "update",
+    "setdefault", "pop", "popleft", "popitem", "remove", "discard",
+    "clear", "sort", "reverse",
+})
+
+
+@dataclass(frozen=True)
+class SinkCall:
+    """One call into a cache-key/artifact/parallel sink."""
+
+    line: int
+    col: int
+    sink: str                        # display name of the sink callee
+    direct_sources: Tuple[str, ...]  # nondet source calls inside the args
+    arg_calls: Tuple[str, ...]       # resolved call targets inside the args
+
+
+@dataclass(frozen=True)
+class DefFacts:
+    """One function (or the module body, under the module's own name)."""
+
+    qualname: str
+    line: int
+    calls: Tuple[str, ...]
+    source_calls: Tuple[Tuple[int, str], ...]       # (line, source name)
+    global_writes: Tuple[Tuple[int, int, str, str], ...]  # (line, col, name, how)
+    sink_calls: Tuple[SinkCall, ...]
+
+
+@dataclass(frozen=True)
+class FileFacts:
+    """Whole-program-relevant summary of one source file."""
+
+    path: str
+    module: Optional[str]
+    imports: Tuple[str, ...]
+    defs: Tuple[DefFacts, ...]
+    worker_targets: Tuple[Tuple[int, str], ...]     # (line, resolved name)
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "FileFacts":
+        defs = tuple(
+            DefFacts(qualname=d["qualname"], line=d["line"],
+                     calls=tuple(d["calls"]),
+                     source_calls=tuple((line, name)
+                                        for line, name in d["source_calls"]),
+                     global_writes=tuple(
+                         (line, col, name, how)
+                         for line, col, name, how in d["global_writes"]),
+                     sink_calls=tuple(
+                         SinkCall(line=s["line"], col=s["col"],
+                                  sink=s["sink"],
+                                  direct_sources=tuple(s["direct_sources"]),
+                                  arg_calls=tuple(s["arg_calls"]))
+                         for s in d["sink_calls"]))
+            for d in payload["defs"])
+        return cls(path=payload["path"], module=payload["module"],
+                   imports=tuple(payload["imports"]), defs=defs,
+                   worker_targets=tuple((line, name) for line, name
+                                        in payload["worker_targets"]))
+
+
+def facts_fingerprint(facts: FileFacts) -> str:
+    """Stable content hash of the graph-relevant facts (path excluded,
+    so moving a tree does not invalidate the program pass)."""
+    import hashlib
+    payload = facts.to_json()
+    payload.pop("path", None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def is_sink_name(name: str) -> bool:
+    terminal = name.rsplit(".", 1)[-1]
+    return (terminal in SINK_TERMINALS
+            or any(terminal.endswith(suffix) for suffix in SINK_SUFFIXES))
+
+
+def _source_reason(call: ast.Call, resolved: Optional[str],
+                   parents: Dict[ast.AST, ast.AST],
+                   aliases: Dict[str, str]) -> Optional[str]:
+    """Why this call's result is nondeterministic, or ``None``."""
+    if resolved is not None:
+        if resolved in BANNED_CLOCKS or resolved in EXTRA_SOURCES:
+            return resolved
+        if resolved == "random.SystemRandom":
+            return resolved
+        if (resolved.startswith("random.")
+                and resolved not in _SEEDED_RNG):
+            return resolved
+        if (resolved.startswith("numpy.random.")
+                and resolved not in NUMPY_RANDOM_OK):
+            return resolved
+        if resolved in _LISTING_FUNCTIONS:
+            if sanitizing_ancestor(call, parents, aliases) is None:
+                return resolved
+            return None
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "hash" and call.args:
+        return "hash"
+    if (isinstance(func, ast.Attribute) and func.attr in _LISTING_METHODS
+            and resolved not in _LISTING_FUNCTIONS):
+        if sanitizing_ancestor(call, parents, aliases) is None:
+            return f".{func.attr}"
+    return None
+
+
+class _Scope:
+    """Mutable accumulator for one def (or the module body)."""
+
+    def __init__(self, qualname: str, line: int) -> None:
+        self.qualname = qualname
+        self.line = line
+        self.calls: List[str] = []
+        self.source_calls: List[Tuple[int, str]] = []
+        self.global_writes: List[Tuple[int, int, str, str]] = []
+        self.sink_calls: List[SinkCall] = []
+
+    def freeze(self) -> DefFacts:
+        return DefFacts(
+            qualname=self.qualname, line=self.line,
+            calls=tuple(sorted(set(self.calls))),
+            source_calls=tuple(self.source_calls),
+            global_writes=tuple(self.global_writes),
+            sink_calls=tuple(self.sink_calls))
+
+
+class _FactsCollector(ast.NodeVisitor):
+    """Single pass over one module, maintaining the lexical def stack."""
+
+    def __init__(self, path: str, module: Optional[str],
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.module = module or "<unknown>"
+        self.aliases = build_alias_table(tree)
+        self.parents = parent_map(tree)
+        self.imports: List[str] = []
+        self.defs: List[DefFacts] = []
+        self.worker_targets: List[Tuple[int, str]] = []
+        self.module_level_names = _module_level_names(tree)
+        self.local_defs = _local_def_index(tree, self.module)
+        self._scope_stack: List[_Scope] = [_Scope(self.module, 1)]
+        self._class_stack: List[str] = []
+        self._local_names_stack: List[set] = [set()]
+
+    # -- scope bookkeeping --------------------------------------------
+
+    @property
+    def scope(self) -> _Scope:
+        return self._scope_stack[-1]
+
+    def _qualname_for(self, name: str) -> str:
+        parts = [self.module] + self._class_stack + [name]
+        return ".".join(parts)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_def(self, node: ast.AST) -> None:
+        scope = _Scope(self._qualname_for(node.name), node.lineno)
+        self._scope_stack.append(scope)
+        self._local_names_stack.append(_assigned_names(node))
+        self.generic_visit(node)
+        self._local_names_stack.pop()
+        self._scope_stack.pop()
+        self.defs.append(scope.freeze())
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    # -- imports -------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.imports.append(alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = self._absolute_base(node)
+        if base is not None:
+            self.imports.append(base)
+            for alias in node.names:
+                if alias.name != "*":
+                    # The imported name may itself be a module.
+                    self.imports.append(f"{base}.{alias.name}")
+        self.generic_visit(node)
+
+    def _absolute_base(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Resolve a relative import against this module's package.
+        parts = self.module.split(".")
+        if len(parts) < node.level:
+            return None
+        head = parts[:len(parts) - node.level]
+        if node.module:
+            head.append(node.module)
+        return ".".join(head) if head else None
+
+    # -- calls ---------------------------------------------------------
+
+    def _resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Dotted target: alias-resolved, or local def/method name."""
+        resolved = qualified_name(call.func, self.aliases)
+        if resolved is not None:
+            head = resolved.split(".", 1)[0]
+            if head in ("self", "cls") and self._class_stack:
+                method = resolved.rsplit(".", 1)[-1]
+                own = ".".join([self.module] + self._class_stack + [method])
+                if own in self.local_defs:
+                    return own
+                return None
+            local = f"{self.module}.{resolved}"
+            if local in self.local_defs:
+                return local
+            return resolved
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve_call(node)
+        if resolved is not None:
+            self.scope.calls.append(resolved)
+        reason = _source_reason(node, resolved, self.parents, self.aliases)
+        if reason is not None:
+            self.scope.source_calls.append((node.lineno, reason))
+        self._check_worker_dispatch(node)
+        self._check_sink(node, resolved)
+        self._check_mutation(node)
+        self.generic_visit(node)
+
+    # -- worker dispatch ----------------------------------------------
+
+    def _check_worker_dispatch(self, node: ast.Call) -> None:
+        func = node.func
+        candidate: Optional[ast.expr] = None
+        if isinstance(func, ast.Attribute) and func.attr in POOL_DISPATCH:
+            for keyword in node.keywords:
+                if keyword.arg == "func":
+                    candidate = keyword.value
+            if candidate is None and node.args:
+                candidate = node.args[0]
+        terminal = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else "")
+        if terminal in PROCESS_TYPES:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    candidate = keyword.value
+        if candidate is None:
+            return
+        resolved = qualified_name(candidate, self.aliases)
+        if resolved is None:
+            return
+        local = f"{self.module}.{resolved}"
+        if local in self.local_defs:
+            resolved = local
+        self.worker_targets.append((node.lineno, resolved))
+
+    # -- sinks ---------------------------------------------------------
+
+    def _check_sink(self, node: ast.Call, resolved: Optional[str]) -> None:
+        func = node.func
+        display: Optional[str] = None
+        if resolved is not None and is_sink_name(resolved):
+            display = resolved
+        elif isinstance(func, ast.Attribute) and is_sink_name(func.attr):
+            display = f".{func.attr}"
+        pool_boundary = (isinstance(func, ast.Attribute)
+                         and func.attr in POOL_DISPATCH)
+        if display is None and not pool_boundary:
+            return
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if pool_boundary and display is None:
+            display = f"pool.{func.attr}"
+            args = args[1:]  # the callable itself is R011's business
+        direct: List[str] = []
+        arg_calls: List[str] = []
+        for arg in args:
+            for inner in ast.walk(arg):
+                if not isinstance(inner, ast.Call):
+                    continue
+                inner_resolved = self._resolve_call(inner)
+                reason = _source_reason(inner, inner_resolved, self.parents,
+                                        self.aliases)
+                if reason is not None:
+                    direct.append(reason)
+                elif inner_resolved is not None:
+                    arg_calls.append(inner_resolved)
+        self.scope.sink_calls.append(SinkCall(
+            line=node.lineno, col=node.col_offset, sink=display,
+            direct_sources=tuple(sorted(set(direct))),
+            arg_calls=tuple(sorted(set(arg_calls)))))
+
+    # -- module-state writes ------------------------------------------
+
+    def _is_module_level_target(self, name: str) -> bool:
+        if name not in self.module_level_names:
+            return False
+        if len(self._scope_stack) == 1:
+            return False  # module body initialising its own globals
+        local_names = self._local_names_stack[-1]
+        return name not in local_names
+
+    def _check_mutation(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Name)):
+            return
+        name = func.value.id
+        if self._is_module_level_target(name):
+            self.scope.global_writes.append(
+                (node.lineno, node.col_offset, name, f".{func.attr}()"))
+
+    def visit_Global(self, node: ast.Global) -> None:
+        # Rebinding writes are collected in visit_Assign/visit_AugAssign
+        # via the declared-global set; record the declaration itself.
+        self._local_names_stack[-1].difference_update(node.names)
+        declared = getattr(self.scope, "_declared_globals", None)
+        if declared is None:
+            declared = set()
+            setattr(self.scope, "_declared_globals", declared)
+        declared.update(node.names)
+        self.generic_visit(node)
+
+    def _record_rebind(self, target: ast.expr, node: ast.stmt) -> None:
+        declared = getattr(self.scope, "_declared_globals", set())
+        if isinstance(target, ast.Name):
+            if (target.id in declared
+                    and not _is_memo_init(node, target.id, self.parents)):
+                self.scope.global_writes.append(
+                    (node.lineno, node.col_offset, target.id, "rebind"))
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if (isinstance(base, ast.Name)
+                    and self._is_module_level_target(base.id)):
+                self.scope.global_writes.append(
+                    (node.lineno, node.col_offset, base.id, "[...] ="))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(self._scope_stack) > 1:
+            for target in node.targets:
+                self._record_rebind(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if len(self._scope_stack) > 1:
+            self._record_rebind(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if len(self._scope_stack) > 1:
+            self._record_rebind(node.target, node)
+        self.generic_visit(node)
+
+    # -- result --------------------------------------------------------
+
+    def freeze(self) -> FileFacts:
+        defs = [self._scope_stack[0].freeze()] + self.defs
+        return FileFacts(
+            path=self.path,
+            module=self.module if self.module != "<unknown>" else None,
+            imports=tuple(sorted(set(self.imports))),
+            defs=tuple(sorted(defs, key=lambda d: (d.line, d.qualname))),
+            worker_targets=tuple(sorted(set(self.worker_targets))))
+
+
+def _module_level_names(tree: ast.Module) -> set:
+    names = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _local_def_index(tree: ast.Module, module: str) -> set:
+    """Qualified names of every def/method in this module."""
+    index = set()
+
+    def walk(body: Sequence[ast.stmt], prefix: List[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                index.add(".".join(prefix + [node.name]))
+                walk(node.body, prefix + [node.name])
+            elif isinstance(node, ast.ClassDef):
+                walk(node.body, prefix + [node.name])
+
+    walk(tree.body, [module])
+    return index
+
+
+def _assigned_names(func: ast.AST) -> set:
+    """Names bound inside ``func`` (params, assignments, loop targets)."""
+    names = set()
+    args = func.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])):
+        names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    names.add(name_node.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for name_node in ast.walk(item.optional_vars):
+                        if isinstance(name_node, ast.Name):
+                            names.add(name_node.id)
+    return names
+
+
+def _is_memo_init(stmt: ast.stmt, name: str,
+                  parents: Dict[ast.AST, ast.AST]) -> bool:
+    """True for the sanctioned lazy-singleton shape::
+
+        if _CACHED is None:
+            _CACHED = build()
+
+    Each worker process memoises independently and deterministically,
+    so this particular global rebind is allowed.
+    """
+    current: Optional[ast.AST] = stmt
+    while current is not None:
+        parent = parents.get(current)
+        if isinstance(parent, ast.If):
+            test = parent.test
+            if (isinstance(test, ast.Compare)
+                    and isinstance(test.left, ast.Name)
+                    and test.left.id == name
+                    and len(test.ops) == 1
+                    and isinstance(test.ops[0], ast.Is)
+                    and len(test.comparators) == 1
+                    and isinstance(test.comparators[0], ast.Constant)
+                    and test.comparators[0].value is None):
+                return True
+        current = parent
+    return False
+
+
+def collect_facts(tree: ast.Module, path: str,
+                  module: Optional[str]) -> FileFacts:
+    """Extract :class:`FileFacts` from one parsed module."""
+    collector = _FactsCollector(path, module, tree)
+    collector.visit(tree)
+    return collector.freeze()

@@ -1,0 +1,111 @@
+"""Project-wide module import graph.
+
+Built from :class:`~tools.reprolint.facts.FileFacts` import lists: the
+nodes are the modules of the analyzed files, and an edge ``A → B``
+means "module A imports module B".  Imported names that do not resolve
+to an analyzed module (stdlib, numpy, symbols re-exported from a
+package ``__init__``) are simply dropped — the graph is *project*
+structure, and over-approximating edges would only make the
+incremental dirty-set larger, never wrong.
+
+The graph serves two jobs:
+
+* **incremental invalidation** — when a module's facts change, the
+  module plus its transitive *dependents* (reverse-edge closure) are
+  the files whose whole-program conclusions may shift
+  (:meth:`ModuleGraph.dependents_closure`);
+* **program-pass caching** — :meth:`ModuleGraph.fingerprint` hashes the
+  node and edge sets, so the expensive cross-file passes re-run only
+  when the import structure (or any file's facts) actually changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+from tools.reprolint.facts import FileFacts
+
+__all__ = ["ModuleGraph", "build_module_graph"]
+
+
+class ModuleGraph:
+    """Directed import graph over the analyzed project modules."""
+
+    def __init__(self, edges: Mapping[str, FrozenSet[str]]) -> None:
+        self._edges: Dict[str, FrozenSet[str]] = dict(edges)
+        reverse: Dict[str, Set[str]] = {module: set() for module in edges}
+        for module, targets in edges.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(module)
+        self._reverse: Dict[str, FrozenSet[str]] = {
+            module: frozenset(deps) for module, deps in reverse.items()}
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def modules(self) -> List[str]:
+        return sorted(self._edges)
+
+    def imports_of(self, module: str) -> FrozenSet[str]:
+        return self._edges.get(module, frozenset())
+
+    def dependents_of(self, module: str) -> FrozenSet[str]:
+        """Modules that directly import ``module``."""
+        return self._reverse.get(module, frozenset())
+
+    def dependents_closure(self, modules: Iterable[str]) -> FrozenSet[str]:
+        """``modules`` plus everything that transitively imports them."""
+        frontier = list(modules)
+        seen: Set[str] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for dependent in self._reverse.get(current, frozenset()):
+                if dependent not in seen:
+                    seen.add(dependent)
+                    frontier.append(dependent)
+        return frozenset(seen)
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        return sorted((module, target)
+                      for module, targets in self._edges.items()
+                      for target in targets)
+
+    def fingerprint(self) -> str:
+        """Stable hash of the node and edge sets."""
+        digest = hashlib.sha256()
+        for module in self.modules:
+            digest.update(module.encode("utf-8"))
+            digest.update(b"\x00")
+        for source, target in self.edge_list():
+            digest.update(f"{source}>{target}".encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+
+def build_module_graph(facts: Iterable[FileFacts]) -> ModuleGraph:
+    """Resolve each file's imports against the analyzed module set."""
+    by_module: Dict[str, FileFacts] = {}
+    for file_facts in facts:
+        if file_facts.module is not None:
+            by_module[file_facts.module] = file_facts
+    known = set(by_module)
+    edges: Dict[str, FrozenSet[str]] = {}
+    for module, file_facts in by_module.items():
+        resolved: Set[str] = set()
+        for imported in file_facts.imports:
+            if imported in known and imported != module:
+                resolved.add(imported)
+            else:
+                # ``from repro.core import keys`` records
+                # ``repro.core.keys``; if only the package is analyzed,
+                # fall back to the longest known prefix.
+                parts = imported.split(".")
+                for cut in range(len(parts) - 1, 0, -1):
+                    prefix = ".".join(parts[:cut])
+                    if prefix in known:
+                        if prefix != module:
+                            resolved.add(prefix)
+                        break
+        edges[module] = frozenset(resolved)
+    return ModuleGraph(edges)

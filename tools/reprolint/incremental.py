@@ -1,0 +1,368 @@
+"""Incremental, parallel analysis sessions.
+
+This is the v2 engine driver.  One :func:`analyze_project` call:
+
+1. discovers files (sorted, de-duplicated — same as v1);
+2. content-hashes each file and looks its analysis up in the
+   :class:`~tools.reprolint.cache.LintResultCache`; only **misses**
+   are parsed and analyzed, optionally fanned out over a process pool
+   (``jobs``), and the fresh results are published back to the cache;
+3. rebuilds the module import graph and call graph from the per-file
+   facts and runs the whole-program rules (R011, R012) — unless the
+   program-level cache key (a hash over every file's facts
+   fingerprint) is unchanged, in which case the cached program
+   violations are replayed and the graphs are never built;
+4. applies suppression comments, runs the stale-suppression audit,
+   and returns one deterministic, sorted report.
+
+Results are byte-identical across ``jobs`` settings and across
+cold/warm runs: workers return pure data, the merge is sorted, and
+cache hits replay exactly what a fresh analysis would produce.
+"""
+
+from __future__ import annotations
+
+import ast
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from tools.reprolint.cache import LintResultCache, file_key
+from tools.reprolint.callgraph import build_program_facts
+from tools.reprolint.engine import (PARSE_ERROR_ID, Violation, discover_files,
+                                    module_name_for)
+from tools.reprolint.facts import FileFacts, collect_facts, facts_fingerprint
+from tools.reprolint.graph import build_module_graph
+from tools.reprolint.rules import ALL_PROGRAM_RULES, ALL_RULES
+from tools.reprolint.suppressions import Directive, scan_comments
+
+__all__ = [
+    "FileResult",
+    "ProjectResult",
+    "SessionStats",
+    "STALE_SUPPRESSION_ID",
+    "analyze_project",
+]
+
+#: Pseudo rule id for ``--audit-suppressions`` findings.
+STALE_SUPPRESSION_ID = "S001"
+
+#: Schema version of cached per-file results; bump to invalidate.
+_RESULT_VERSION = 1
+
+
+@dataclass
+class FileResult:
+    """Everything one file contributes: raw (pre-suppression) local
+    violations, whole-program facts, and its suppression directives."""
+
+    path: str
+    module: Optional[str]
+    violations: List[Violation]
+    facts: FileFacts
+    directives: Tuple[Directive, ...]
+    file_suppressions: Tuple[str, ...]  # rules disabled file-wide
+    line_suppressions: Dict[int, Tuple[str, ...]]
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if ("all" in self.file_suppressions
+                or rule_id in self.file_suppressions):
+            return True
+        rules = self.line_suppressions.get(line, ())
+        return "all" in rules or rule_id in rules
+
+    # -- JSON round-trip (the cache payload) --------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": _RESULT_VERSION,
+            "path": self.path,
+            "module": self.module,
+            "violations": [[v.rule_id, v.line, v.col, v.message]
+                           for v in self.violations],
+            "facts": self.facts.to_json(),
+            "directives": [[d.line, d.kind, sorted(d.rules),
+                            list(d.covered_lines)]
+                           for d in self.directives],
+            "file_suppressions": list(self.file_suppressions),
+            "line_suppressions": {str(line): list(rules) for line, rules
+                                  in self.line_suppressions.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "FileResult":
+        if payload.get("version") != _RESULT_VERSION:
+            raise ValueError("cached lint result version mismatch")
+        path = payload["path"]
+        violations = [Violation(rule_id=rule, path=path, line=line, col=col,
+                                message=message)
+                      for rule, line, col, message in payload["violations"]]
+        directives = tuple(
+            Directive(line=line, kind=kind, rules=frozenset(rules),
+                      covered_lines=tuple(covered))
+            for line, kind, rules, covered in payload["directives"])
+        return cls(
+            path=path, module=payload["module"], violations=violations,
+            facts=FileFacts.from_json(payload["facts"]),
+            directives=directives,
+            file_suppressions=tuple(payload["file_suppressions"]),
+            line_suppressions={int(line): tuple(rules) for line, rules
+                               in payload["line_suppressions"].items()})
+
+
+@dataclass
+class SessionStats:
+    """What the engine actually did — asserted by the incremental
+    tests and recorded by ``tools/bench_lint.py``."""
+
+    files_total: int = 0
+    files_analyzed: int = 0
+    files_cached: int = 0
+    program_rerun: bool = False
+    #: Modules whose facts changed since the previous run, plus their
+    #: transitive dependents in the import graph — the whole-program
+    #: blast radius of the edit.
+    dirty_modules: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ProjectResult:
+    """One session's complete, deterministic report."""
+
+    violations: List[Violation]          # post-suppression
+    raw_violations: List[Violation]      # pre-suppression (audit input)
+    stale_suppressions: List[Violation]  # S001 findings
+    stats: SessionStats
+    files: Dict[str, FileResult]
+
+    def reported(self, audit_suppressions: bool = False) -> List[Violation]:
+        found = list(self.violations)
+        if audit_suppressions:
+            found.extend(self.stale_suppressions)
+        return sorted(found, key=Violation.sort_key)
+
+
+def analyze_source(source: str, path: str,
+                   module: Optional[str]) -> FileResult:
+    """Full per-file analysis: local rules + facts + directives.
+
+    Violations come back **unsuppressed**; suppression filtering and
+    the audit happen at session level where program-rule violations
+    are also known.
+    """
+    suppressions = scan_comments(source)
+    if suppressions.module_override is not None:
+        module = suppressions.module_override
+    line_suppressions = {
+        line: tuple(sorted(rules))
+        for line, rules in getattr(suppressions, "_line_rules").items()}
+    file_suppressions = tuple(sorted(getattr(suppressions, "_file_rules")))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        violation = Violation(rule_id=PARSE_ERROR_ID, path=path,
+                              line=exc.lineno or 1, col=exc.offset or 0,
+                              message=f"syntax error: {exc.msg}")
+        empty = FileFacts(path=path, module=module, imports=(), defs=(),
+                          worker_targets=())
+        return FileResult(path=path, module=module, violations=[violation],
+                          facts=empty, directives=suppressions.directives,
+                          file_suppressions=file_suppressions,
+                          line_suppressions=line_suppressions)
+    from tools.reprolint.engine import ModuleContext
+    ctx = ModuleContext(path=path, source=source, tree=tree, module=module,
+                        suppressions=suppressions)
+    violations: List[Violation] = []
+    for rule in ALL_RULES:
+        if rule.applies_to(ctx):
+            violations.extend(rule.check(ctx))
+    violations.sort(key=Violation.sort_key)
+    facts = collect_facts(tree, path, module)
+    return FileResult(path=path, module=module, violations=violations,
+                      facts=facts, directives=suppressions.directives,
+                      file_suppressions=file_suppressions,
+                      line_suppressions=line_suppressions)
+
+
+def _analyze_for_pool(item: Tuple[str, str, Optional[str]]) -> Dict[str, Any]:
+    """Process-pool worker: analyze one file, return pure JSON data.
+
+    Top-level by necessity (R007): the callable is pickled into the
+    worker by qualified name.
+    """
+    path, source, module = item
+    return analyze_source(source, path, module).to_json()
+
+
+def _read_file(path: Path) -> Tuple[Optional[str], Optional[Violation]]:
+    try:
+        return path.read_text(encoding="utf-8"), None
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, Violation(rule_id=PARSE_ERROR_ID, path=str(path),
+                               line=1, col=0,
+                               message=f"unreadable file: {exc}")
+
+
+def _program_key(results: Sequence[FileResult]) -> str:
+    import hashlib
+    from tools.reprolint.cache import engine_fingerprint
+    digest = hashlib.sha256()
+    digest.update(engine_fingerprint().encode())
+    for result in sorted(results, key=lambda r: r.path):
+        digest.update(result.path.encode())
+        digest.update(b"\x00")
+        digest.update(facts_fingerprint(result.facts).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _run_program_rules(results: Sequence[FileResult]) -> List[Violation]:
+    program = build_program_facts([result.facts for result in results])
+    violations: List[Violation] = []
+    for rule in ALL_PROGRAM_RULES:
+        violations.extend(rule.check(program))
+    return sorted(violations, key=Violation.sort_key)
+
+
+def _dirty_modules(results: Sequence[FileResult],
+                   previous: Optional[Dict[str, Any]]) -> List[str]:
+    """Changed modules + their transitive dependents (import graph)."""
+    current: Dict[str, str] = {}
+    for result in results:
+        if result.module is not None:
+            current[result.module] = facts_fingerprint(result.facts)
+    if previous is None:
+        return sorted(current)
+    before = previous.get("fingerprints", {})
+    changed = {module for module, fingerprint in current.items()
+               if before.get(module) != fingerprint}
+    changed.update(module for module in before if module not in current)
+    if not changed:
+        return []
+    graph = build_module_graph([result.facts for result in results])
+    return sorted(graph.dependents_closure(changed & set(current))
+                  | (changed - set(current)))
+
+
+def analyze_project(roots: Sequence[str], *,
+                    jobs: int = 1,
+                    cache_dir: Optional[Path] = None,
+                    respect_suppressions: bool = True) -> ProjectResult:
+    """Analyze ``roots`` incrementally; see module docstring.
+
+    ``cache_dir=None`` disables caching entirely (every file is
+    analyzed fresh, the program pass always runs).  ``jobs`` counts
+    worker processes; ``1`` analyzes in-process.
+    """
+    stats = SessionStats()
+    cache = LintResultCache(cache_dir) if cache_dir is not None else None
+
+    paths = discover_files(roots)
+    stats.files_total = len(paths)
+
+    results: Dict[str, FileResult] = {}
+    unreadable: List[Violation] = []
+    pending: List[Tuple[str, str, Optional[str], Optional[str]]] = []
+
+    for path in paths:
+        path_str = str(path)
+        source, error = _read_file(path)
+        if source is None:
+            assert error is not None
+            unreadable.append(error)
+            continue
+        module = module_name_for(path)
+        key = None
+        if cache is not None:
+            key = file_key(path_str, module, source.encode("utf-8"))
+            payload = cache.load(key)
+            if payload is not None:
+                try:
+                    results[path_str] = FileResult.from_json(payload)
+                    stats.files_cached += 1
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    pass  # corrupt payload: treat as a miss
+        pending.append((path_str, source, module, key))
+
+    stats.files_analyzed = len(pending)
+    work = [(path_str, source, module)
+            for path_str, source, module, _ in pending]
+    if jobs > 1 and len(work) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            chunk = max(1, len(work) // (jobs * 4))
+            payloads = list(pool.map(_analyze_for_pool, work,
+                                     chunksize=chunk))
+    else:
+        payloads = [_analyze_for_pool(item) for item in work]
+    for (path_str, _, _, key), payload in zip(pending, payloads):
+        result = FileResult.from_json(payload)
+        results[path_str] = result
+        if cache is not None and key is not None:
+            cache.store(key, payload)
+
+    ordered = [results[path_str] for path_str in sorted(results)]
+
+    # -- whole-program pass (cached by facts fingerprint) --------------
+    program_key = _program_key(ordered)
+    program_violations: Optional[List[Violation]] = None
+    previous_state = cache.load_program_state() if cache is not None else None
+    if (previous_state is not None
+            and previous_state.get("program_key") == program_key):
+        program_violations = [
+            Violation(rule_id=rule, path=path, line=line, col=col,
+                      message=message)
+            for rule, path, line, col, message
+            in previous_state.get("violations", [])]
+    if program_violations is None:
+        stats.program_rerun = True
+        program_violations = _run_program_rules(ordered)
+    stats.dirty_modules = _dirty_modules(ordered, previous_state) \
+        if stats.program_rerun else []
+    if cache is not None:
+        cache.store_program_state({
+            "program_key": program_key,
+            "fingerprints": {result.module: facts_fingerprint(result.facts)
+                             for result in ordered
+                             if result.module is not None},
+            "violations": [[v.rule_id, v.path, v.line, v.col, v.message]
+                           for v in program_violations],
+        })
+
+    # -- merge, suppress, audit ---------------------------------------
+    raw: List[Violation] = list(unreadable)
+    for result in ordered:
+        raw.extend(result.violations)
+    raw.extend(program_violations)
+    raw.sort(key=Violation.sort_key)
+
+    reported: List[Violation] = []
+    for violation in raw:
+        result = results.get(violation.path)
+        if (respect_suppressions and result is not None
+                and result.is_suppressed(violation.rule_id, violation.line)):
+            continue
+        reported.append(violation)
+
+    stale: List[Violation] = []
+    raw_by_path: Dict[str, List[Violation]] = {}
+    for violation in raw:
+        raw_by_path.setdefault(violation.path, []).append(violation)
+    for result in ordered:
+        in_file = raw_by_path.get(result.path, [])
+        for directive in result.directives:
+            if any(directive.matches(v.rule_id, v.line) for v in in_file):
+                continue
+            stale.append(Violation(
+                rule_id=STALE_SUPPRESSION_ID, path=result.path,
+                line=directive.line, col=0,
+                message=(f"stale suppression `{directive.render()}` — no "
+                         f"{'/'.join(sorted(directive.rules))} violation "
+                         f"is suppressed by this comment any more; "
+                         f"delete it")))
+    stale.sort(key=Violation.sort_key)
+
+    return ProjectResult(violations=reported, raw_violations=raw,
+                         stale_suppressions=stale, stats=stats,
+                         files=results)

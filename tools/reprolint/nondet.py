@@ -1,0 +1,35 @@
+"""Shared vocabulary of nondeterminism sources.
+
+Leaf module (imports nothing from reprolint) so both the per-file
+rules (R001/R002) and the whole-program facts collector / taint pass
+can use the same lists without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BANNED_CLOCKS", "NUMPY_RANDOM_OK", "SEEDED_CONSTRUCTORS"]
+
+#: Clock reads that leak host wall-time into simulated results.
+BANNED_CLOCKS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: The only sanctioned RNG entry points; both require an explicit seed.
+SEEDED_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "random.SystemRandom",  # flagged separately: never reproducible
+    "numpy.random.default_rng",
+})
+
+#: ``numpy.random`` names that are types/infrastructure, not implicit
+#: global-state draws.
+NUMPY_RANDOM_OK = frozenset({
+    "numpy.random.default_rng", "numpy.random.Generator",
+    "numpy.random.SeedSequence", "numpy.random.BitGenerator",
+    "numpy.random.PCG64", "numpy.random.Philox",
+})

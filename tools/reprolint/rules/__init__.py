@@ -10,10 +10,14 @@ from tools.reprolint.rules.config import FrozenConfigRule
 from tools.reprolint.rules.determinism import NoWallClockRule, SeededRngOnlyRule
 from tools.reprolint.rules.exports import AllExportsExistRule
 from tools.reprolint.rules.floats import NoFloatEqRule
+from tools.reprolint.rules.fslisting import UnsortedFsListingRule
 from tools.reprolint.rules.imports import ImportLayeringRule
+from tools.reprolint.rules.iteration import NondetIterationOrderRule
 from tools.reprolint.rules.multiprocessing import PicklableWorkersRule
+from tools.reprolint.rules.whole_program import (ALL_PROGRAM_RULES,
+                                                 ProgramRule)
 
-__all__ = ["ALL_RULES", "rule_by_id"]
+__all__ = ["ALL_PROGRAM_RULES", "ALL_RULES", "ProgramRule", "rule_by_id"]
 
 ALL_RULES: List[Rule] = [
     NoWallClockRule(),
@@ -24,10 +28,13 @@ ALL_RULES: List[Rule] = [
     NoFloatEqRule(),
     PicklableWorkersRule(),
     AtomicCachePublishRule(),
+    NondetIterationOrderRule(),
+    UnsortedFsListingRule(),
 ]
 
-_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+_BY_ID: Dict[str, object] = {rule.rule_id: rule for rule in ALL_RULES}
+_BY_ID.update({rule.rule_id: rule for rule in ALL_PROGRAM_RULES})
 
 
-def rule_by_id(rule_id: str) -> Optional[Rule]:
+def rule_by_id(rule_id: str) -> Optional[object]:
     return _BY_ID.get(rule_id)

@@ -14,34 +14,12 @@ import ast
 from typing import Iterator
 
 from tools.reprolint.engine import ModuleContext, Rule, Violation
+from tools.reprolint.nondet import (BANNED_CLOCKS, NUMPY_RANDOM_OK,
+                                    SEEDED_CONSTRUCTORS)
 from tools.reprolint.qualnames import build_alias_table, qualified_name
 
-__all__ = ["NoWallClockRule", "SeededRngOnlyRule"]
-
-#: Clock reads that leak host wall-time into simulated results.
-BANNED_CLOCKS = frozenset({
-    "time.time", "time.time_ns",
-    "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns",
-    "time.clock_gettime", "time.clock_gettime_ns",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-})
-
-#: The only sanctioned RNG entry points; both require an explicit seed.
-SEEDED_CONSTRUCTORS = frozenset({
-    "random.Random",
-    "random.SystemRandom",  # flagged separately below: never reproducible
-    "numpy.random.default_rng",
-})
-
-#: ``numpy.random`` names that are types/infrastructure, not implicit
-#: global-state draws.
-NUMPY_RANDOM_OK = frozenset({
-    "numpy.random.default_rng", "numpy.random.Generator",
-    "numpy.random.SeedSequence", "numpy.random.BitGenerator",
-    "numpy.random.PCG64", "numpy.random.Philox",
-})
+__all__ = ["BANNED_CLOCKS", "NUMPY_RANDOM_OK", "NoWallClockRule",
+           "SEEDED_CONSTRUCTORS", "SeededRngOnlyRule"]
 
 
 class NoWallClockRule(Rule):

@@ -1,0 +1,83 @@
+"""R010 unsorted-fs-listing: directory listings must be sorted.
+
+``os.listdir``, ``os.scandir``, ``glob.glob`` and ``Path.iterdir`` /
+``Path.glob`` return entries in *filesystem* order — an artifact of
+inode allocation that differs between machines, filesystems, and even
+runs.  Any listing that feeds computation (cache pruning, artifact
+discovery, corpus loading) therefore injects host state into the
+result unless the listing is sorted first.
+
+Flagged: a listing call whose value escapes without an enclosing
+``sorted(...)`` (or another order-insensitive reducer such as ``sum``
+/ ``len`` / ``max`` / ``set``).  ``os.walk`` is always flagged — even
+``sorted(os.walk(...))`` only sorts the top level; walk manually over
+sorted listings instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.astutil import parent_map, sanitizing_ancestor
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+from tools.reprolint.qualnames import build_alias_table, qualified_name
+
+__all__ = ["UnsortedFsListingRule"]
+
+#: Fully-qualified listing functions (resolved through import aliases).
+_LISTING_FUNCTIONS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+
+#: Path-object listing methods, matched by attribute name on any
+#: receiver (purely syntactic; ``glob.glob`` resolves above first).
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Never acceptable unsorted; sorted() on the outside is not enough.
+_WALK_FUNCTIONS = frozenset({"os.walk", "os.fwalk"})
+
+
+class UnsortedFsListingRule(Rule):
+    rule_id = "R010"
+    name = "unsorted-fs-listing"
+    description = ("directory listings (os.listdir, glob, Path.iterdir/"
+                   "glob/rglob) come back in filesystem order; wrap them "
+                   "in sorted(...) before the order can reach any "
+                   "computation or output.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro") or ctx.in_package("tools")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        aliases = build_alias_table(ctx.tree)
+        parents = parent_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = qualified_name(node.func, aliases)
+            if resolved in _WALK_FUNCTIONS:
+                yield self.violation(
+                    ctx, node,
+                    f"`{resolved}()` yields filesystem-ordered listings "
+                    f"at every level and sorted() on the outside only "
+                    f"sorts the top — recurse over sorted(iterdir()) "
+                    f"instead")
+                continue
+            listing = None
+            if resolved in _LISTING_FUNCTIONS:
+                listing = resolved
+            elif (resolved not in _LISTING_FUNCTIONS
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr in _LISTING_METHODS):
+                listing = f".{node.func.attr}"
+            if listing is None:
+                continue
+            if sanitizing_ancestor(node, parents, aliases) is not None:
+                continue
+            yield self.violation(
+                ctx, node,
+                f"`{listing}(...)` returns entries in filesystem order, "
+                f"which varies across hosts and runs — wrap the listing "
+                f"in sorted(...) so downstream results are a function of "
+                f"the directory contents only")

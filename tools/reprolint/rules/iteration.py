@@ -1,0 +1,154 @@
+"""R009 nondet-iteration-order: set iteration must not feed ordered output.
+
+CPython randomizes ``str`` hashes per process (PYTHONHASHSEED), so the
+iteration order of a ``set`` of names differs between runs even for
+identical contents.  Anywhere that order is materialised into an
+ordered artifact — a list, a dict built key-by-key, a joined string, a
+stream of yielded values — the result is no longer a pure function of
+the input, and the byte-identical-output proofs in the bench/equality
+suites silently stop holding.
+
+Flagged, for an expression that is *syntactically* a set (literal,
+comprehension, ``set()``/``frozenset()`` call, set-operator
+combination, or a local name every assignment proves set-typed):
+
+- ``for x in <set>:`` whose loop body accumulates in order
+  (``.append``/``.extend``/``.insert``/``.write``, a subscript store,
+  or a ``yield``),
+- a list comprehension or generator expression iterating the set,
+  unless it feeds an order-insensitive reducer (``sorted``, ``sum``,
+  ``len``, ``min``, ``max``, ``set``, ``any``, ``all``, ...),
+- ``list(<set>)``, ``tuple(<set>)``, ``enumerate(<set>)`` and
+  ``sep.join(<set>)`` outside such a reducer.
+
+The fix is a one-word wrap: iterate ``sorted(the_set)`` so the
+materialised order is a function of the *contents*, not of the hash
+seed.  Set comprehensions / membership tests / ``len`` are untouched —
+unordered consumption of unordered data is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from tools.reprolint.astutil import (ORDER_INSENSITIVE_REDUCERS, is_set_typed,
+                                     iter_scopes, parent_map, set_typed_names)
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+from tools.reprolint.qualnames import build_alias_table, qualified_name
+
+__all__ = ["NondetIterationOrderRule"]
+
+#: Calls that materialise their argument's iteration order.
+_ORDERED_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: Loop-body calls that accumulate in iteration order.
+_ORDERED_ACCUMULATORS = frozenset({
+    "append", "extend", "insert", "appendleft", "write", "writelines",
+})
+
+
+def _body_accumulates_in_order(loop: ast.For) -> bool:
+    """True when the loop body materialises iteration order."""
+    for node in loop.body + loop.orelse:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call):
+                func = inner.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _ORDERED_ACCUMULATORS):
+                    return True
+            elif isinstance(inner, (ast.Yield, ast.YieldFrom)):
+                return True
+            elif isinstance(inner, (ast.Assign, ast.AugAssign)):
+                targets = (inner.targets if isinstance(inner, ast.Assign)
+                           else [inner.target])
+                if any(isinstance(t, ast.Subscript) for t in targets):
+                    return True
+    return False
+
+
+def _reducer_consumes(node: ast.AST, parents: Dict[ast.AST, ast.AST],
+                      aliases: Dict[str, str]) -> bool:
+    """True when ``node``'s immediate consumer is order-insensitive."""
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and node is not parent.func:
+        name = qualified_name(parent.func, aliases)
+        if name is not None:
+            terminal = name.rsplit(".", 1)[-1]
+            return (name in ORDER_INSENSITIVE_REDUCERS
+                    or terminal in ORDER_INSENSITIVE_REDUCERS)
+    return False
+
+
+class NondetIterationOrderRule(Rule):
+    rule_id = "R009"
+    name = "nondet-iteration-order"
+    description = ("set iteration order is randomized per process "
+                   "(PYTHONHASHSEED); iterating a set into ordered output "
+                   "(list/dict build, join, yield) breaks byte-"
+                   "reproducibility — iterate sorted(the_set) instead.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro") or ctx.in_package("tools")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        aliases = build_alias_table(ctx.tree)
+        parents = parent_map(ctx.tree)
+        flagged: Set[int] = set()
+
+        def emit(node: ast.AST, what: str) -> Iterator[Violation]:
+            key = id(node)
+            if key in flagged:
+                return
+            flagged.add(key)
+            yield self.violation(
+                ctx, node,
+                f"{what} iterates a set in hash order, which varies per "
+                f"process under PYTHONHASHSEED — wrap the set in "
+                f"sorted(...) so the output order depends only on its "
+                f"contents")
+
+        for scope, _ in iter_scopes(ctx.tree):
+            set_names = set_typed_names(scope)
+            for node in self._scope_walk(scope):
+                if isinstance(node, ast.For):
+                    if (is_set_typed(node.iter, set_names)
+                            and _body_accumulates_in_order(node)):
+                        yield from emit(node.iter,
+                                        "for-loop with ordered accumulation")
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    if not any(is_set_typed(gen.iter, set_names)
+                               for gen in node.generators):
+                        continue
+                    if _reducer_consumes(node, parents, aliases):
+                        continue
+                    kind = ("list comprehension"
+                            if isinstance(node, ast.ListComp)
+                            else "generator expression")
+                    yield from emit(node, kind)
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (isinstance(func, ast.Name)
+                            and func.id in _ORDERED_MATERIALIZERS
+                            and node.args
+                            and is_set_typed(node.args[0], set_names)
+                            and not _reducer_consumes(node, parents,
+                                                      aliases)):
+                        yield from emit(node, f"{func.id}(...)")
+                    elif (isinstance(func, ast.Attribute)
+                          and func.attr == "join" and node.args
+                          and is_set_typed(node.args[0], set_names)):
+                        yield from emit(node, "str.join(...)")
+
+    @staticmethod
+    def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+        """Nodes belonging to ``scope``, excluding nested function
+        bodies (they are visited as their own scopes)."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 rendering, so CI can annotate PRs with findings.
+
+Only the schema subset GitHub code scanning actually consumes is
+emitted: one run, a tool driver with the full rule catalogue
+(R001–R012 plus the audit pseudo-rule), and one result per violation
+with a physical location.  Columns are converted from the engine's
+0-based ``col`` to SARIF's 1-based ``startColumn``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from tools.reprolint.engine import PARSE_ERROR_ID, Violation
+from tools.reprolint.rules import ALL_PROGRAM_RULES, ALL_RULES
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif",
+           "sarif_document"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Rules that exist outside the two registries.
+_PSEUDO_RULES = (
+    (PARSE_ERROR_ID, "parse-error", "The file failed to parse."),
+    ("S001", "stale-suppression",
+     "A `# reprolint: disable` comment no longer suppresses anything."),
+)
+
+
+def _rule_catalogue() -> List[Dict[str, Any]]:
+    entries: List[Dict[str, Any]] = []
+    for rule in list(ALL_RULES) + list(ALL_PROGRAM_RULES):
+        entries.append({
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        })
+    for rule_id, name, description in _PSEUDO_RULES:
+        entries.append({
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": name},
+            "fullDescription": {"text": description},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return entries
+
+
+def _result(violation: Violation,
+            rule_index: Dict[str, int]) -> Dict[str, Any]:
+    uri = violation.path.replace("\\", "/")
+    entry: Dict[str, Any] = {
+        "ruleId": violation.rule_id,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": {
+                    "startLine": max(1, violation.line),
+                    "startColumn": max(1, violation.col + 1),
+                },
+            },
+        }],
+    }
+    if violation.rule_id in rule_index:
+        entry["ruleIndex"] = rule_index[violation.rule_id]
+    return entry
+
+
+def sarif_document(violations: Sequence[Violation]) -> Dict[str, Any]:
+    """The SARIF log as a plain dict (tests poke at the shape)."""
+    rules = _rule_catalogue()
+    rule_index = {rule["id"]: position
+                  for position, rule in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "docs/STATIC_ANALYSIS.md",
+                    "version": "2.0.0",
+                    "rules": rules,
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "results": [_result(violation, rule_index)
+                        for violation in violations],
+        }],
+    }
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    return json.dumps(sarif_document(violations), indent=2, sort_keys=True)

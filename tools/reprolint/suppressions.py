@@ -22,9 +22,10 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-__all__ = ["Suppressions", "scan_comments"]
+__all__ = ["Directive", "Suppressions", "scan_comments"]
 
 _DIRECTIVE = re.compile(
     r"#\s*reprolint:\s*(disable-file|disable|module)\s*=\s*([\w.,*\s-]+)")
@@ -39,15 +40,44 @@ def _parse_rule_list(raw: str) -> FrozenSet[str]:
     return frozenset(parts)
 
 
+@dataclass(frozen=True)
+class Directive:
+    """One suppression comment, as written: where it sits, what kind it
+    is, which rules it names, and which physical lines it covers.
+
+    The stale-suppression audit (``--audit-suppressions``) marks a
+    directive *stale* when no reported-or-suppressed violation matches
+    both its rule set and its covered lines.
+    """
+
+    line: int                       # line carrying the comment
+    kind: str                       # "disable" | "disable-file"
+    rules: FrozenSet[str]           # rule ids, or {"all"}
+    covered_lines: Tuple[int, ...]  # () for file-level directives
+
+    def matches(self, rule_id: str, violation_line: int) -> bool:
+        if "all" not in self.rules and rule_id not in self.rules:
+            return False
+        if self.kind == "disable-file":
+            return True
+        return violation_line in self.covered_lines
+
+    def render(self) -> str:
+        rules = ",".join(sorted(self.rules))
+        return f"# reprolint: {self.kind}={rules}"
+
+
 class Suppressions:
     """Per-file suppression state queried by the engine."""
 
     def __init__(self, line_rules: Dict[int, FrozenSet[str]],
                  file_rules: FrozenSet[str],
-                 module_override: Optional[str] = None) -> None:
+                 module_override: Optional[str] = None,
+                 directives: Tuple[Directive, ...] = ()) -> None:
         self._line_rules = line_rules
         self._file_rules = file_rules
         self.module_override = module_override
+        self.directives = directives
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         if "all" in self._file_rules or rule_id in self._file_rules:
@@ -83,6 +113,7 @@ def scan_comments(source: str) -> Suppressions:
     line_rules: Dict[int, Set[str]] = {}
     file_rules: Set[str] = set()
     module_override: Optional[str] = None
+    directives: List[Directive] = []
     for lineno, text, comment_only in comments:
         match = _DIRECTIVE.search(text)
         if match is None:
@@ -94,13 +125,21 @@ def scan_comments(source: str) -> Suppressions:
         rules = _parse_rule_list(payload)
         if kind == "disable-file":
             file_rules |= rules
+            directives.append(Directive(line=lineno, kind=kind,
+                                        rules=rules, covered_lines=()))
         else:
             target = lineno + 1 if comment_only else lineno
+            covered = [target]
             line_rules.setdefault(target, set()).update(rules)
             if comment_only:
                 # A standalone directive also covers its own line so a
                 # block of stacked directives never mis-targets.
                 line_rules.setdefault(lineno, set()).update(rules)
+                covered.append(lineno)
+            directives.append(Directive(line=lineno, kind=kind,
+                                        rules=rules,
+                                        covered_lines=tuple(sorted(set(covered)))))
 
     frozen = {line: frozenset(rules) for line, rules in line_rules.items()}
-    return Suppressions(frozen, frozenset(file_rules), module_override)
+    return Suppressions(frozen, frozenset(file_rules), module_override,
+                        tuple(directives))
