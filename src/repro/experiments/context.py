@@ -99,17 +99,26 @@ class ExperimentContext:
         Optional :class:`~repro.traffic.artifacts.FpDnsArtifactCache`.
         Each completed day is persisted there, and a later session with
         the same profile loads it instead of simulating.
+    resident_days:
+        Keep at most this many per-entry day datasets resident in
+        memory (requires ``artifact_cache``; ignored without one).
+        Older days are evicted after each newly produced day and
+        transparently reloaded from the artifact cache on the next
+        request.  ``None`` (the default) keeps every day resident.
+        :meth:`release_day` is the matching manual eviction path.
     """
 
     def __init__(self, profile: ScaleProfile, n_workers: int = 1,
                  artifact_cache: Optional[FpDnsArtifactCache] = None,
                  miner_workers: int = 1,
-                 miner_cache: Optional[MinerResultCache] = None) -> None:
+                 miner_cache: Optional[MinerResultCache] = None,
+                 resident_days: Optional[int] = None) -> None:
         self.profile = profile
         self.n_workers = n_workers
         self.artifacts = artifact_cache
         self.miner_workers = miner_workers
         self.miner_cache = miner_cache
+        self.resident_days = resident_days
         self.simulator = TraceSimulator(profile.simulator_config())
         self._datasets: Dict[str, FpDnsDataset] = {}
         self._digests: Dict[str, DayDigest] = {}
@@ -123,9 +132,15 @@ class ExperimentContext:
         # those days the *serial* simulator has actually executed.  When
         # the two diverge (cache hits, sharded runs), the serial caches
         # are cold and must be rewarmed by replay before simulating a
-        # later day.
+        # later day.  The record is append-only by construction: cache
+        # keys embed the full production history, so forgetting a day
+        # would change every later key.
         self._history: List[MeasurementDate] = []
         self._replayed = 0
+        #: Day label -> index into ``_history`` for every produced day.
+        #: Membership here (not in ``_datasets``) is the produced
+        #: marker, so resident datasets can be evicted independently.
+        self._produced: Dict[str, int] = {}
 
     def _calendar(self) -> List[MeasurementDate]:
         """Every standard date, in chronological order."""
@@ -138,7 +153,14 @@ class ExperimentContext:
 
     def _record_day(self, date: MeasurementDate, dataset: FpDnsDataset,
                     store: bool) -> None:
-        self._history.append(date)
+        # Both records are append-only by design: ``_history`` is the
+        # artifact-cache key material (forgetting a day would change
+        # every later key) and ``_produced`` is the produced marker
+        # that makes dataset eviction safe.  Both hold O(days) small
+        # values, not per-entry data.
+        self._history.append(date)  # reprolint: disable=R015
+        # reprolint: disable=R015
+        self._produced[date.label] = len(self._history) - 1
         self._datasets[date.label] = dataset
         self._last_day_index = date.day_index
         if store and self.artifacts is not None:
@@ -153,6 +175,57 @@ class ExperimentContext:
             self.artifacts.store(
                 artifact_key(self.simulator.config, self._history), dataset,
                 digest=digest)
+        self._evict_resident()
+
+    def _evict_resident(self) -> None:
+        """Bound the resident per-entry datasets (R015).
+
+        Oldest-produced days are dropped from the in-memory memo once
+        more than ``resident_days`` are resident; they stay *produced*
+        (``_produced``/``_history`` are untouched) and reload from the
+        artifact cache on the next request.  Without an artifact cache
+        eviction would make a day unrecoverable, so it is skipped.
+        """
+        if self.resident_days is None or self.artifacts is None:
+            return
+        while len(self._datasets) > max(1, self.resident_days):
+            oldest = min(self._datasets,
+                         key=lambda label: self._produced[label])
+            self._datasets.pop(oldest)
+
+    def _reload(self, date: MeasurementDate) -> FpDnsDataset:
+        """Bring an evicted (produced) day back into residency."""
+        if self.artifacts is None:
+            raise RuntimeError(
+                f"day {date.label} was released but no artifact cache is "
+                f"configured to reload it from")
+        key = artifact_key(self.simulator.config,
+                           self._history[:self._produced[date.label] + 1])
+        cached = self.artifacts.load(key)
+        if cached is None:
+            raise RuntimeError(
+                f"day {date.label} is no longer in the artifact cache; "
+                f"cannot restore the released dataset")
+        self._datasets[date.label] = cached
+        self._evict_resident()
+        return cached
+
+    def release_day(self, date: MeasurementDate) -> None:
+        """Drop the resident per-day memos for ``date``.
+
+        Frees the dataset, digest, hit-rate table, and mining results;
+        the day stays *produced*, so a later request reloads the
+        dataset from the artifact cache and recomputes the derived
+        tables.  This is the manual eviction path for long sessions
+        (the automatic one is the ``resident_days`` bound).
+        """
+        label = date.label
+        self._datasets.pop(label, None)
+        self._digests.pop(label, None)
+        self._hit_rates.pop(label, None)
+        for key in [k for k in self._mining
+                    if k.startswith(f"{label}@")]:
+            self._mining.pop(key)
 
     def _simulate_batch(self, dates: List[MeasurementDate]) -> None:
         """Produce ``dates`` (chronological), cheapest source first:
@@ -197,18 +270,27 @@ class ExperimentContext:
         """
         if date.label in self._datasets:
             return self._datasets[date.label]
+        if date.label in self._produced:
+            # Produced earlier but evicted from residency: restore it
+            # from the artifact cache rather than re-simulating.
+            return self._reload(date)
         pending = [d for d in self._calendar()
-                   if d.label not in self._datasets]
+                   if d.label not in self._produced]
         if any(d.label == date.label for d in pending):
             self._simulate_batch(pending)
-            return self._datasets[date.label]
-        if date.day_index < self._last_day_index:
-            raise ValueError(
-                f"cannot simulate {date.label} (day {date.day_index}) after "
-                f"day {self._last_day_index}: resolver caches would travel "
-                "back in time")
-        self._simulate_batch([date])
-        return self._datasets[date.label]
+        else:
+            if date.day_index < self._last_day_index:
+                raise ValueError(
+                    f"cannot simulate {date.label} (day {date.day_index}) "
+                    f"after day {self._last_day_index}: resolver caches "
+                    "would travel back in time")
+            self._simulate_batch([date])
+        resident = self._datasets.get(date.label)
+        if resident is not None:
+            return resident
+        # The residency bound may have evicted the day in the same
+        # batch that produced it; bring it straight back.
+        return self._reload(date)
 
     def datasets(self, dates: Sequence[MeasurementDate]) -> List[FpDnsDataset]:
         return [self.dataset(date) for date in dates]
@@ -299,15 +381,19 @@ _CONTEXTS: Dict[str, ExperimentContext] = {}
 
 
 def _options_from_env() -> Tuple[int, Optional[FpDnsArtifactCache],
-                                 int, Optional[MinerResultCache]]:
+                                 int, Optional[MinerResultCache],
+                                 Optional[int]]:
     """Opt-in acceleration knobs for shared contexts.
 
     ``REPRO_SIM_WORKERS`` shards the calendar simulation across that
     many processes; ``REPRO_ARTIFACT_CACHE`` names a directory to
     persist/load fpDNS days.  ``REPRO_MINER_WORKERS`` mines calendar
     days in that many processes; ``REPRO_MINER_CACHE`` names a
-    directory to persist/replay per-day mining results.  All four
-    leave every produced byte identical to the serial, cache-less run —
+    directory to persist/replay per-day mining results.
+    ``REPRO_RESIDENT_DAYS`` bounds how many per-entry day datasets stay
+    resident in memory (evicted days reload from the artifact cache).
+    All of these leave every produced byte identical to the serial,
+    cache-less run —
     they only change wall-clock time — so reading them here does not
     violate the determinism contract.  (The artifact cache additionally
     honours ``REPRO_ARTIFACT_FORMAT`` — ``columnar`` default or ``tsv``
@@ -321,21 +407,25 @@ def _options_from_env() -> Tuple[int, Optional[FpDnsArtifactCache],
     miner_cache_dir = os.environ.get("REPRO_MINER_CACHE")
     miner_cache = (MinerResultCache(miner_cache_dir)
                    if miner_cache_dir else None)
-    return n_workers, cache, miner_workers, miner_cache
+    resident_raw = os.environ.get("REPRO_RESIDENT_DAYS")
+    resident_days = int(resident_raw) if resident_raw else None
+    return n_workers, cache, miner_workers, miner_cache, resident_days
 
 
 def get_context(profile: ScaleProfile = MEDIUM) -> ExperimentContext:
     """Shared per-profile context (benchmarks reuse one simulation).
 
     Honours the ``REPRO_SIM_WORKERS`` / ``REPRO_ARTIFACT_CACHE`` /
-    ``REPRO_MINER_WORKERS`` / ``REPRO_MINER_CACHE`` environment knobs
+    ``REPRO_MINER_WORKERS`` / ``REPRO_MINER_CACHE`` /
+    ``REPRO_RESIDENT_DAYS`` environment knobs
     (see :func:`_options_from_env`) when the context is first created;
     later calls return the existing instance.
     """
     if profile.name not in _CONTEXTS:
-        n_workers, artifact_cache, miner_workers, miner_cache = (
-            _options_from_env())
+        (n_workers, artifact_cache, miner_workers, miner_cache,
+         resident_days) = _options_from_env()
         _CONTEXTS[profile.name] = ExperimentContext(
             profile, n_workers=n_workers, artifact_cache=artifact_cache,
-            miner_workers=miner_workers, miner_cache=miner_cache)
+            miner_workers=miner_workers, miner_cache=miner_cache,
+            resident_days=resident_days)
     return _CONTEXTS[profile.name]

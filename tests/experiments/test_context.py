@@ -161,6 +161,51 @@ class TestAcceleratedContext:
                     getattr(getattr(d_col, which), field),
                     getattr(getattr(d_tsv, which), field)), (which, field)
 
+    def test_resident_days_bounds_memory_and_reloads(self, tmp_path):
+        """With ``resident_days`` set, at most that many per-entry
+        datasets stay in memory; evicted days stay *produced* and
+        reload transparently from the artifact cache."""
+        cache = FpDnsArtifactCache(tmp_path)
+        bounded = ExperimentContext(TINY, artifact_cache=cache,
+                                    resident_days=2)
+        first = bounded.dataset(PAPER_DATES[0])  # runs the calendar
+        # The early day was evicted mid-calendar and reloaded on return.
+        assert first.day == PAPER_DATES[0].label
+        assert len(bounded._datasets) <= 2
+        assert len(bounded._produced) >= len(PAPER_DATES)
+
+        reference = ExperimentContext(
+            TINY, artifact_cache=FpDnsArtifactCache(tmp_path))
+        expected = reference.dataset(PAPER_DATES[0])
+        again = bounded.dataset(PAPER_DATES[0])
+        assert again.below == expected.below
+        assert again.above == expected.above
+        assert len(bounded._datasets) <= 2
+
+    def test_release_day_frees_then_reloads(self, tmp_path):
+        cache = FpDnsArtifactCache(tmp_path)
+        ctx = ExperimentContext(TINY, artifact_cache=cache)
+        day = PAPER_DATES[0]
+        before = ctx.dataset(day)
+        ctx.digest(day)
+        ctx.hit_rates(day)
+        ctx.release_day(day)
+        assert day.label not in ctx._datasets
+        assert day.label not in ctx._digests
+        assert day.label not in ctx._hit_rates
+        after = ctx.dataset(day)
+        assert after is not before
+        assert after.below == before.below
+        assert after.above == before.above
+
+    def test_release_without_artifact_cache_is_unrecoverable(self):
+        ctx = ExperimentContext(TINY)
+        day = PAPER_DATES[0]
+        ctx.dataset(day)
+        ctx.release_day(day)
+        with pytest.raises(RuntimeError):
+            ctx.dataset(day)
+
     def test_adhoc_date_after_warm_hits_replays(self, tmp_path):
         cache = FpDnsArtifactCache(tmp_path)
         ExperimentContext(TINY, artifact_cache=cache).dataset(PAPER_DATES[0])

@@ -1,0 +1,25 @@
+# reprolint: module=repro.core.fixture_bad_digest_path
+"""Corpus fixture: entry materialisation on digest-native hot paths (R013 x2).
+
+``volume_from_digest`` reaches ``_rows`` two call-graph hops down —
+which is exactly why this needs the interprocedural effect pass rather
+than a per-file rule — and ``peak_from_digest`` materialises directly.
+"""
+
+__all__ = ["peak_from_digest", "volume_from_digest"]
+
+
+def _rows(dataset):
+    return [entry for entry in dataset.iter_entries()]
+
+
+def _volume(dataset):
+    return len(_rows(dataset))
+
+
+def volume_from_digest(digest, dataset):
+    return _volume(dataset)
+
+
+def peak_from_digest(digest, dataset):
+    return max(len(entry) for entry in dataset.entries_snapshot())

@@ -1,0 +1,31 @@
+# reprolint: module=repro.traffic.fixture_bad_ipc
+"""Corpus fixture: heavy payloads pickled into worker dispatches (R014 x2).
+
+``count_parallel`` ships a heavy-named argument straight into
+``pool.map``; ``sizes_parallel`` launders a materialised entry list
+through a local first, which the one-step heavy-local propagation
+still sees.
+"""
+
+from multiprocessing import Pool
+
+__all__ = ["count_parallel", "sizes_parallel"]
+
+
+def _count(chunk):
+    return len(chunk)
+
+
+def _size(item):
+    return len(item)
+
+
+def count_parallel(datasets):
+    with Pool(2) as pool:
+        return pool.map(_count, datasets)
+
+
+def sizes_parallel(day):
+    day_entries = day.entries()
+    with Pool(2) as pool:
+        return pool.map(_size, day_entries)

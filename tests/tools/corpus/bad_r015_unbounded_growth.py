@@ -1,0 +1,24 @@
+# reprolint: module=repro.analysis.fixture_bad_growth
+"""Corpus fixture: long-lived object whose containers only grow (R015 x2).
+
+``VerdictCache`` accumulates one dict entry and one list element per
+recorded zone and never evicts, so a resident streaming/serve session
+leaks without limit.
+"""
+
+__all__ = ["VerdictCache"]
+
+
+class VerdictCache:
+    """Per-zone verdicts for a resident analysis session."""
+
+    def __init__(self):
+        self._verdicts = {}
+        self._order = []
+
+    def record(self, zone, verdict):
+        self._verdicts[zone] = verdict
+        self._order.append(zone)
+
+    def verdict(self, zone):
+        return self._verdicts.get(zone)

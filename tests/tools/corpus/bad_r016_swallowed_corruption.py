@@ -1,0 +1,36 @@
+# reprolint: module=repro.pdns.fixture_bad_swallow
+"""Corpus fixture: broad handlers swallowing corruption signals (R016 x2).
+
+``load_or_none`` catches ``Exception`` around a helper that
+(transitively) raises a ``*FormatError``; ``parse_or_empty`` bare-
+excepts around a raw decoder.  Both turn corrupt artifacts into silent
+misses.
+"""
+
+import json
+
+__all__ = ["load_or_none", "parse_or_empty"]
+
+
+class BlobFormatError(ValueError):
+    """Raised when a stored blob fails structural validation."""
+
+
+def _decode(raw):
+    if not raw:
+        raise BlobFormatError("empty blob")
+    return raw
+
+
+def load_or_none(path):
+    try:
+        return _decode(path.read_bytes())
+    except Exception:
+        return None
+
+
+def parse_or_empty(raw):
+    try:
+        return json.loads(raw)
+    except:  # noqa: E722
+        return {}

@@ -1,0 +1,15 @@
+# reprolint: module=repro.experiments.fixture_bad_embed
+"""Corpus fixture: library module importing the service/CLI surface (R017 x2).
+
+A library module that imports the CLI surface drags argument parsing
+into every embedder; the dependency must point the other way.
+"""
+
+import repro.experiments.cli as _cli
+from repro.experiments.cli import main as _cli_main
+
+__all__ = ["run"]
+
+
+def run(argv):
+    return _cli_main(list(argv))

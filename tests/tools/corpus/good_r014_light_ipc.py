@@ -1,0 +1,20 @@
+# reprolint: module=repro.traffic.fixture_good_ipc
+"""Good twin for R014: workers receive paths/labels, not payloads.
+
+The dispatch ships day labels and blob paths; each worker materialises
+its own data locally, so nothing heavy crosses the pickle boundary.
+"""
+
+from multiprocessing import Pool
+
+__all__ = ["count_parallel"]
+
+
+def _count_one(blob_path):
+    with open(blob_path, "rb") as handle:
+        return len(handle.read())
+
+
+def count_parallel(blob_paths):
+    with Pool(2) as pool:
+        return pool.map(_count_one, blob_paths)

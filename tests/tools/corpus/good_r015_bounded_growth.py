@@ -1,0 +1,29 @@
+# reprolint: module=repro.analysis.fixture_good_growth
+"""Good twin for R015: every container has a bound.
+
+``_recent`` is bounded by construction (``deque(maxlen=...)``);
+``_verdicts`` grows but the same class evicts it against a
+``len()``-checked limit.
+"""
+
+from collections import deque
+
+__all__ = ["BoundedVerdictCache"]
+
+
+class BoundedVerdictCache:
+    """Per-zone verdicts with an explicit retention bound."""
+
+    def __init__(self, limit=128):
+        self.limit = limit
+        self._verdicts = {}
+        self._recent = deque(maxlen=limit)
+
+    def record(self, zone, verdict):
+        self._verdicts[zone] = verdict
+        self._recent.append(zone)
+        while len(self._verdicts) > self.limit:
+            self._verdicts.pop(next(iter(self._verdicts)))
+
+    def verdict(self, zone):
+        return self._verdicts.get(zone)

@@ -1,0 +1,35 @@
+# reprolint: module=repro.pdns.fixture_good_swallow
+"""Good twin for R016: corruption is caught narrowly or re-raised.
+
+``load_or_none`` names the corruption exception; ``parse_strict``
+catches broadly but re-raises as the typed signal, so nothing is
+swallowed.
+"""
+
+import json
+
+__all__ = ["load_or_none", "parse_strict"]
+
+
+class BlobFormatError(ValueError):
+    """Raised when a stored blob fails structural validation."""
+
+
+def _decode(raw):
+    if not raw:
+        raise BlobFormatError("empty blob")
+    return raw
+
+
+def load_or_none(path):
+    try:
+        return _decode(path.read_bytes())
+    except BlobFormatError:
+        return None
+
+
+def parse_strict(raw):
+    try:
+        return json.loads(raw)
+    except Exception as exc:
+        raise BlobFormatError(str(exc)) from exc

@@ -1,0 +1,15 @@
+# reprolint: module=repro.experiments.cli.fixture_good_embed
+"""Good twin for R017: the surface imports the library, never vice versa.
+
+This module *is* part of the CLI surface, so importing both sibling
+surface modules and library layers is the sanctioned direction.
+"""
+
+import repro.experiments.cli as _cli
+from repro.core import miner as _miner
+
+__all__ = ["main"]
+
+
+def main(argv):
+    return 0

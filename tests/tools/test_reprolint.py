@@ -43,6 +43,11 @@ CORPUS_EXPECTATIONS = {
     "R010": ("bad_r010_unsorted_listing.py", 4),
     "R011": ("bad_r011_worker_globals.py", 2),
     "R012": ("bad_r012_tainted_key.py", 2),
+    "R013": ("bad_r013_digest_materialization.py", 2),
+    "R014": ("bad_r014_heavy_ipc.py", 2),
+    "R015": ("bad_r015_unbounded_growth.py", 2),
+    "R016": ("bad_r016_swallowed_corruption.py", 2),
+    "R017": ("bad_r017_surface_import.py", 2),
 }
 
 #: Known-good twins: the same patterns, written the sanctioned way.
@@ -51,6 +56,11 @@ GOOD_FIXTURES = (
     "good_r010_sorted_listing.py",
     "good_r011_worker_pure.py",
     "good_r012_content_key.py",
+    "good_r013_columnar_hot_path.py",
+    "good_r014_light_ipc.py",
+    "good_r015_bounded_growth.py",
+    "good_r016_narrow_corruption.py",
+    "good_r017_surface_imports_library.py",
 )
 
 
@@ -237,24 +247,45 @@ def test_module_name_resolution():
 
 def test_whole_repo_is_violation_free_and_audit_clean():
     """The self-check: src, tests, examples AND the linter's own code
-    (tools/) are clean under every rule, with no stale suppressions."""
+    (tools/) are clean under every rule modulo the checked-in baseline,
+    with no stale suppressions and no unused baseline allowance.
+
+    The unused-allowance assertion is the ratchet: paying down a
+    grandfathered violation without shrinking
+    ``reprolint-baseline.json`` fails here, so the baseline can only
+    ever go down.
+    """
+    from tools.reprolint.baseline import Baseline
     result = analyze_project([str(REPO_ROOT / "src"),
                               str(REPO_ROOT / "tools"),
                               str(REPO_ROOT / "tests"),
                               str(REPO_ROOT / "examples")],
                              cache_dir=None)
     reported = result.reported(audit_suppressions=True)
-    assert reported == [], "\n".join(v.render() for v in reported)
+    baseline = Baseline.load(REPO_ROOT / "reprolint-baseline.json")
+    kept, suppressed, unused = baseline.apply(reported, REPO_ROOT)
+    assert kept == [], "\n".join(v.render() for v in kept)
+    assert unused == {}, (
+        f"baseline allowances unused — debt was paid down, shrink "
+        f"reprolint-baseline.json: {unused}")
+    assert suppressed == baseline.total()
 
 
 def test_v1_engine_path_still_works():
+    from tools.reprolint.baseline import Baseline
     engine = LintEngine(ALL_RULES)
     violations = engine.run([str(REPO_ROOT / "src")])
-    assert violations == [], "\n".join(v.render() for v in violations)
+    baseline = Baseline.load(REPO_ROOT / "reprolint-baseline.json")
+    # The v1 engine runs per-file rules only, so program-rule
+    # allowances (R014) legitimately go unused here.
+    kept, _, _ = baseline.apply(violations, REPO_ROOT)
+    assert kept == [], "\n".join(v.render() for v in kept)
 
 
-def test_cli_exit_zero_on_clean_tree(capsys):
-    assert main([str(REPO_ROOT / "src"), "--no-cache"]) == 0
+def test_cli_exit_zero_on_clean_tree(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main([str(REPO_ROOT / "src"), "--no-cache", "--baseline",
+                 str(REPO_ROOT / "reprolint-baseline.json")]) == 0
     assert "0 violations" in capsys.readouterr().out
 
 
@@ -293,13 +324,15 @@ def test_cli_list_rules(capsys):
 
 def test_cli_module_invocation_from_repo_root():
     proc = subprocess.run(
-        [sys.executable, "-m", "tools.reprolint", "src", "--no-cache"],
+        [sys.executable, "-m", "tools.reprolint", "src", "--no-cache",
+         "--baseline", "reprolint-baseline.json"],
         cwd=str(REPO_ROOT), capture_output=True, text=True)
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 def test_repo_root_shim_invocation():
     proc = subprocess.run(
-        [sys.executable, "-m", "reprolint", "src", "--no-cache"],
+        [sys.executable, "-m", "reprolint", "src", "--no-cache",
+         "--baseline", "reprolint-baseline.json"],
         cwd=str(REPO_ROOT), capture_output=True, text=True)
     assert proc.returncode == 0, proc.stdout + proc.stderr

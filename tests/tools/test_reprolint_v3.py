@@ -1,0 +1,427 @@
+"""v3 features: effect facts, propagation, autofix engine, baselines.
+
+The corpus-level behaviour of R013–R017 is covered by
+``test_reprolint.py``; here we test the machinery underneath — effect
+fact extraction, the caller-ward effect fixpoint, span-based autofix
+application (including idempotency and conflict skipping), baseline
+ratchet semantics, and the incremental engine's reaction to an
+effect-fact-only edit.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import analyze_project
+from tools.reprolint.baseline import Baseline
+from tools.reprolint.callgraph import build_program_facts
+from tools.reprolint.cli import main
+from tools.reprolint.engine import Violation
+from tools.reprolint.facts import collect_facts
+from tools.reprolint.fixes import (FIXABLE_RULES, apply_patches,
+                                   fixes_for_file)
+from tools.reprolint.incremental import analyze_source
+from tools.reprolint.sarif import sarif_document
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = REPO_ROOT / "tests" / "tools" / "corpus"
+
+
+def facts_of(source, module="repro.core.sample"):
+    return collect_facts(ast.parse(source), "sample.py", module)
+
+
+def effects_of(source, qualname_suffix, module="repro.core.sample"):
+    facts = facts_of(source, module)
+    for def_facts in facts.defs:
+        if def_facts.qualname.endswith(qualname_suffix):
+            return [effect for effect, _, _, _ in def_facts.effects]
+    raise AssertionError(f"no def matching {qualname_suffix}")
+
+
+# ------------------------------------------------------- effect facts
+
+
+class TestEffectFacts:
+    def test_materializer_call_recorded(self):
+        source = ("def rows(dataset):\n"
+                  "    return dataset.entries()\n")
+        assert effects_of(source, ".rows") == ["materializes_entries"]
+
+    def test_io_and_blocking_calls_recorded(self):
+        source = ("import json\n"
+                  "import time\n\n\n"
+                  "def slow_load(path):\n"
+                  "    time.sleep(1)\n"
+                  "    with open(path) as handle:\n"
+                  "        return json.load(handle)\n")
+        effects = effects_of(source, ".slow_load")
+        assert "performs_io" in effects
+        assert "blocks" in effects
+
+    def test_heavy_pool_dispatch_recorded(self):
+        source = ("def fan_out(pool, datasets):\n"
+                  "    return pool.map(len, datasets)\n")
+        assert effects_of(source, ".fan_out") == ["pickles_large"]
+
+    def test_heavy_local_propagates_one_step(self):
+        source = ("def fan_out(pool, day):\n"
+                  "    tasks = day.entries()\n"
+                  "    return pool.map(len, tasks)\n")
+        effects = effects_of(source, ".fan_out")
+        assert "pickles_large" in effects
+
+    def test_light_dispatch_not_recorded(self):
+        source = ("def fan_out(pool, labels):\n"
+                  "    return pool.map(len, labels)\n")
+        assert effects_of(source, ".fan_out") == []
+
+    def test_raises_and_broad_handlers_recorded(self):
+        source = ("class BlobFormatError(ValueError):\n"
+                  "    pass\n\n\n"
+                  "def decode(raw):\n"
+                  "    if not raw:\n"
+                  "        raise BlobFormatError('x')\n"
+                  "    return raw\n\n\n"
+                  "def load(raw):\n"
+                  "    try:\n"
+                  "        return decode(raw)\n"
+                  "    except Exception:\n"
+                  "        return None\n")
+        facts = facts_of(source)
+        by_name = {d.qualname.rsplit(".", 1)[-1]: d for d in facts.defs}
+        assert by_name["decode"].raises == ("BlobFormatError",)
+        handlers = by_name["load"].broad_handlers
+        assert len(handlers) == 1
+        _, _, kind, calls = handlers[0]
+        assert kind == "except Exception"
+        assert any(call.endswith(".decode") for call in calls)
+
+    def test_rereraising_handler_not_recorded(self):
+        source = ("def load(raw):\n"
+                  "    try:\n"
+                  "        return raw.decode()\n"
+                  "    except Exception:\n"
+                  "        raise\n")
+        facts = facts_of(source)
+        assert facts.defs[0].broad_handlers == ()
+
+    def test_import_sites_recorded(self):
+        source = ("import repro.experiments.cli as _cli\n"
+                  "from repro.core import miner\n")
+        facts = facts_of(source)
+        imported = {name for _, name in facts.import_sites}
+        assert "repro.experiments.cli" in imported
+        assert "repro.core.miner" in imported
+
+
+class TestEffectPropagation:
+    def test_effects_propagate_caller_ward(self):
+        source = ("def _inner(dataset):\n"
+                  "    return dataset.entries()\n\n\n"
+                  "def _mid(dataset):\n"
+                  "    return _inner(dataset)\n\n\n"
+                  "def outer(dataset):\n"
+                  "    return _mid(dataset)\n")
+        program = build_program_facts([facts_of(source)])
+        effect_map = program.call_graph.effect_map()
+        for name in ("_inner", "_mid", "outer"):
+            qualname = f"repro.core.sample.{name}"
+            assert "materializes_entries" in effect_map[qualname], name
+        # Transitive carriers get a chain reason naming the root.
+        reason = effect_map["repro.core.sample.outer"][
+            "materializes_entries"]
+        assert "via" in reason
+
+    def test_global_write_seeds_mutates_module_state(self):
+        source = ("_COUNT = 0\n\n\n"
+                  "def bump():\n"
+                  "    global _COUNT\n"
+                  "    _COUNT += 1\n")
+        program = build_program_facts([facts_of(source)])
+        effect_map = program.call_graph.effect_map()
+        assert "mutates_module_state" in effect_map[
+            "repro.core.sample.bump"]
+
+
+# ------------------------------------------------------------- autofix
+
+
+def lint_and_fix(source, path="fix_me.py", module="repro.core.fixture"):
+    """One analyze→patch→apply round; returns the new source."""
+    result = analyze_source(source, path, module)
+    patches = fixes_for_file(path, source, result.violations)
+    fixed, _, _ = apply_patches(source, patches)
+    return fixed
+
+
+class TestAutofix:
+    def test_for_loop_set_iteration_gets_sorted_wrap(self):
+        source = ("__all__ = []\n\n"
+                  "def names(zones):\n"
+                  "    out = []\n"
+                  "    for zone in zones & {'a'}:\n"
+                  "        out.append(zone)\n"
+                  "    return out\n")
+        fixed = lint_and_fix(source)
+        assert "for zone in sorted(zones & {'a'}):" in fixed
+
+    def test_list_of_set_becomes_sorted(self):
+        source = ("__all__ = []\n\n"
+                  "def as_list():\n"
+                  "    seen = {'x', 'y'}\n"
+                  "    return list(seen)\n")
+        assert "return sorted(seen)" in lint_and_fix(source)
+
+    def test_join_and_comprehension_wrapped(self):
+        source = ("__all__ = []\n\n"
+                  "def joined():\n"
+                  "    labels = {'b', 'a'}\n"
+                  "    return ','.join(labels)\n\n"
+                  "def pairs():\n"
+                  "    zones = {'z'}\n"
+                  "    return [(z, 1) for z in zones]\n")
+        fixed = lint_and_fix(source)
+        assert "','.join(sorted(labels))" in fixed
+        assert "for z in sorted(zones)]" in fixed
+
+    def test_unsorted_listing_wrapped(self):
+        source = ("import os\n\n"
+                  "__all__ = []\n\n"
+                  "def listing(root):\n"
+                  "    return [p for p in os.listdir(root)]\n")
+        assert "sorted(os.listdir(root))" in lint_and_fix(source)
+
+    def test_os_walk_is_not_autofixable(self):
+        source = ("import os\n\n"
+                  "__all__ = []\n\n"
+                  "def walk(root):\n"
+                  "    return [t for t in os.walk(root)]\n")
+        result = analyze_source(source, "walk.py", "repro.core.fixture")
+        assert any(v.rule_id == "R010" for v in result.violations)
+        assert fixes_for_file("walk.py", source, result.violations) == []
+
+    def test_fix_is_idempotent(self):
+        source = ("import os\n\n"
+                  "__all__ = []\n\n"
+                  "def everything(root):\n"
+                  "    seen = {'x'}\n"
+                  "    return list(seen) + [p for p in os.listdir(root)]\n")
+        once = lint_and_fix(source)
+        twice = lint_and_fix(once)
+        assert once == twice
+        result = analyze_source(twice, "fix_me.py", "repro.core.fixture")
+        assert [v for v in result.violations
+                if v.rule_id in FIXABLE_RULES] == []
+
+    def test_stale_suppression_line_deleted(self):
+        source = ("__all__ = []\n\n"
+                  "def value():\n"
+                  "    # reprolint: disable=R001\n"
+                  "    return 1\n")
+        result = analyze_source(source, "s.py", "repro.core.fixture")
+        stale = [Violation(rule_id="S001", path="s.py", line=4, col=0,
+                           message="stale")]
+        patches = fixes_for_file("s.py", source, stale)
+        fixed, applied, _ = apply_patches(source, patches)
+        assert applied
+        assert "reprolint" not in fixed
+        assert "return 1" in fixed
+
+    def test_stale_trailing_suppression_stripped(self):
+        source = ("__all__ = []\n"
+                  "X = 1  # reprolint: disable=R001\n")
+        stale = [Violation(rule_id="S001", path="s.py", line=2, col=0,
+                           message="stale")]
+        fixed, applied, _ = apply_patches(
+            source, fixes_for_file("s.py", source, stale))
+        assert applied
+        assert fixed.splitlines()[1] == "X = 1"
+
+    def test_overlapping_patches_skip_not_merge(self):
+        from tools.reprolint.fixes import Patch
+        source = "abcdef\n"
+        outer = Patch(path="p.py", rule_id="R009", start_line=1,
+                      start_col=0, end_line=1, end_col=6,
+                      replacement="sorted(abcdef)", description="outer")
+        inner = Patch(path="p.py", rule_id="R009", start_line=1,
+                      start_col=2, end_line=1, end_col=4,
+                      replacement="sorted(cd)", description="inner")
+        fixed, applied, skipped = apply_patches(source, [outer, inner])
+        assert fixed == "sorted(abcdef)\n"
+        assert applied == [outer]
+        assert skipped == [inner]
+
+    def test_cli_fix_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "# reprolint: module=repro.core.tmpfix\n"
+            "__all__ = []\n\n"
+            "def as_list():\n"
+            "    seen = {'x', 'y'}\n"
+            "    return list(seen)\n")
+        assert main([str(target), "--no-cache", "--fix-check"]) == 1
+        capsys.readouterr()
+        assert main([str(target), "--no-cache", "--fix"]) == 0
+        capsys.readouterr()
+        assert "sorted(seen)" in target.read_text()
+        # Second --fix run is a no-op: nothing left to fix.
+        before = target.read_text()
+        assert main([str(target), "--no-cache", "--fix"]) == 0
+        assert target.read_text() == before
+
+
+# ------------------------------------------------------------ baseline
+
+
+def _violation(path, rule, line=1):
+    return Violation(rule_id=rule, path=path, line=line, col=0,
+                     message="m")
+
+
+class TestBaseline:
+    def test_round_trip_and_apply(self, tmp_path):
+        root = tmp_path
+        violations = [_violation(str(root / "a.py"), "R015", line=3),
+                      _violation(str(root / "a.py"), "R015", line=9),
+                      _violation(str(root / "b.py"), "R014", line=2)]
+        baseline = Baseline.from_violations(violations, root)
+        file = tmp_path / "baseline.json"
+        baseline.save(file)
+        loaded = Baseline.load(file)
+        assert loaded.counts == {"a.py::R015": 2, "b.py::R014": 1}
+
+        kept, suppressed, unused = loaded.apply(violations, root)
+        assert kept == []
+        assert suppressed == 3
+        assert unused == {}
+
+    def test_new_violation_exceeds_allowance(self, tmp_path):
+        root = tmp_path
+        old = [_violation(str(root / "a.py"), "R015")]
+        baseline = Baseline.from_violations(old, root)
+        grown = old + [_violation(str(root / "a.py"), "R015", line=7)]
+        kept, suppressed, _ = baseline.apply(grown, root)
+        assert suppressed == 1
+        assert len(kept) == 1          # the new one still fails
+
+    def test_paid_down_debt_reports_unused_allowance(self, tmp_path):
+        root = tmp_path
+        old = [_violation(str(root / "a.py"), "R015", line=3),
+               _violation(str(root / "a.py"), "R015", line=9)]
+        baseline = Baseline.from_violations(old, root)
+        kept, suppressed, unused = baseline.apply(old[:1], root)
+        assert kept == []
+        assert suppressed == 1
+        assert unused == {"a.py::R015": 1}  # ratchet: must shrink file
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        file = tmp_path / "baseline.json"
+        file.write_text(json.dumps({"version": 99, "counts": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(file)
+
+    def test_cli_write_then_apply(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "leaky.py"
+        target.write_text(
+            "# reprolint: module=repro.analysis.tmpgrow\n"
+            "__all__ = ['Ledger']\n\n\n"
+            "class Ledger:\n"
+            "    def __init__(self):\n"
+            "        self._seen = []\n\n"
+            "    def note(self, item):\n"
+            "        self._seen.append(item)\n")
+        file = tmp_path / "baseline.json"
+        assert main([str(target), "--no-cache",
+                     "--write-baseline", str(file)]) == 0
+        capsys.readouterr()
+        assert main([str(target), "--no-cache",
+                     "--baseline", str(file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+
+# ------------------------------------------------- SARIF fix objects
+
+
+class TestSarifFixes:
+    def test_results_carry_fix_objects(self):
+        source = ("__all__ = []\n\n"
+                  "def as_list():\n"
+                  "    seen = {'x'}\n"
+                  "    return list(seen)\n")
+        result = analyze_source(source, "fixable.py", "repro.core.tmp")
+        patches = fixes_for_file("fixable.py", source, result.violations)
+        document = sarif_document(result.violations, patches=patches)
+        results = document["runs"][0]["results"]
+        fixable = [r for r in results if r["ruleId"] == "R009"]
+        assert fixable and "fixes" in fixable[0]
+        change = fixable[0]["fixes"][0]["artifactChanges"][0]
+        assert change["artifactLocation"]["uri"] == "fixable.py"
+        replacement = change["replacements"][0]
+        assert replacement["insertedContent"]["text"] == "sorted"
+        assert document["runs"][0]["tool"]["driver"]["version"] == "3.0.0"
+
+    def test_unfixable_results_have_no_fix_objects(self):
+        source = "import time\n__all__ = []\nNOW = time.time()\n"
+        result = analyze_source(source, "clock.py", "repro.core.tmp")
+        document = sarif_document(
+            result.violations,
+            patches=fixes_for_file("clock.py", source, result.violations))
+        for entry in document["runs"][0]["results"]:
+            assert "fixes" not in entry
+
+
+# ------------------------------------- incremental + effect facts
+
+
+HOT_V1 = (
+    "# reprolint: module=repro.core.hotpath\n"
+    "__all__ = ['total_from_digest']\n\n\n"
+    "def _helper(dataset):\n"
+    "    return dataset.size\n\n\n"
+    "def total_from_digest(dataset):\n"
+    "    return _helper(dataset)\n")
+
+#: Same shape, but the helper now materialises entries: only *effect*
+#: facts change, and the program pass must notice.
+HOT_V2 = HOT_V1.replace("return dataset.size",
+                        "return len(dataset.entries_snapshot())")
+
+
+class TestIncrementalEffects:
+    def test_effect_fact_edit_invalidates_program_pass(self, tmp_path):
+        project = tmp_path / "proj"
+        project.mkdir()
+        target = project / "hot.py"
+        target.write_text(HOT_V1)
+        cache = tmp_path / "cache"
+
+        cold = analyze_project([str(project)], cache_dir=cache)
+        assert cold.violations == []
+
+        warm = analyze_project([str(project)], cache_dir=cache)
+        assert warm.stats.program_rerun is False
+        assert warm.violations == []
+
+        target.write_text(HOT_V2)
+        edited = analyze_project([str(project)], cache_dir=cache)
+        assert edited.stats.files_analyzed == 1
+        assert edited.stats.program_rerun is True
+        assert [v.rule_id for v in edited.violations] == ["R013"]
+
+        # And the new verdict itself replays from cache.
+        replay = analyze_project([str(project)], cache_dir=cache)
+        assert replay.stats.program_rerun is False
+        assert [v.rule_id for v in replay.violations] == ["R013"]
+
+    def test_program_pass_timing_recorded(self, tmp_path):
+        project = tmp_path / "proj"
+        project.mkdir()
+        (project / "hot.py").write_text(HOT_V1)
+        result = analyze_project([str(project)], cache_dir=None)
+        assert result.stats.program_rerun is True
+        assert result.stats.program_pass_s > 0.0

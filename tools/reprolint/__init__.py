@@ -9,6 +9,16 @@ atomic cache publication, deterministic iteration/listing orders, and
 — via a project-wide import graph, call graph, and determinism-taint
 pass — worker-state isolation and pure content-hash cache keys.
 
+v3 adds an interprocedural *effect* system (per-function
+``materializes_entries`` / ``performs_io`` / ``blocks`` /
+``pickles_large`` / ``mutates_module_state`` sets, propagated
+caller-ward over the call graph) with five rules on top: digest-path
+materialisation (R013), heavy-payload IPC (R014), unbounded growth on
+long-lived objects (R015), swallowed corruption signals (R016), and
+service/library layering (R017) — plus a safe autofix engine
+(``--fix`` / ``--fix-check``) and violation baselines
+(``--baseline`` / ``--write-baseline``).
+
 Run it as::
 
     python -m reprolint src tools          # repo-root shim
@@ -16,9 +26,10 @@ Run it as::
 
 Per-file results are cached by content hash (``.reprolint-cache/``),
 analysis fans out over ``--jobs`` processes, and SARIF 2.1.0 output
-(``--sarif``) feeds CI annotation.  See ``docs/STATIC_ANALYSIS.md``
-for the rule catalogue and architecture, and
-``tests/tools/test_reprolint.py`` for the known-bad corpus.
+(``--sarif``, with ``fixes`` objects for autofixable results) feeds CI
+annotation.  See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue
+and architecture, and ``tests/tools/test_reprolint.py`` for the
+known-bad corpus.
 """
 
 from tools.reprolint.engine import (LintEngine, ModuleContext, Rule,
@@ -45,4 +56,4 @@ __all__ = [
     "rule_by_id",
 ]
 
-__version__ = "2.0.0"
+__version__ = "3.0.0"

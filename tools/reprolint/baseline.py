@@ -1,0 +1,103 @@
+"""Violation baselines: grandfather known debt, forbid new debt.
+
+A baseline file records *how many* violations of each rule each file
+is allowed to keep: ``{"src/repro/core/tracking.py::R015": 3}``.
+Applying it subtracts that allowance from the report, so CI stays
+green on the grandfathered set while any **new** violation — one more
+in a baselined file, or any in a clean file — still fails.
+
+The allowance is a ratchet, not a licence: entries whose allowance is
+not fully used are returned as *unused*, and the repo self-check test
+fails on them, forcing the baseline to shrink as debt is paid down
+(``--write-baseline`` regenerates it).  Counts are keyed by
+``relative/path::RULE`` with POSIX separators so the file is stable
+across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, List, Sequence, Tuple
+
+from tools.reprolint.engine import Violation
+
+__all__ = ["Baseline", "baseline_key"]
+
+_VERSION = 1
+
+
+def _normalize(path: str, root: Path) -> str:
+    """``path`` relative to ``root`` (POSIX), or as given if outside."""
+    try:
+        relative = Path(path).resolve().relative_to(root.resolve())
+    except ValueError:
+        relative = Path(path)
+    return str(PurePosixPath(*relative.parts))
+
+
+def baseline_key(violation: Violation, root: Path) -> str:
+    return f"{_normalize(violation.path, root)}::{violation.rule_id}"
+
+
+@dataclass
+class Baseline:
+    """Per-``path::rule`` violation allowances."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}")
+        counts = {str(key): int(count)
+                  for key, count in payload.get("counts", {}).items()
+                  if int(count) > 0}
+        return cls(counts=counts)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "counts": {key: self.counts[key] for key in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation],
+                        root: Path) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for violation in violations:
+            key = baseline_key(violation, root)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    def apply(self, violations: Sequence[Violation],
+              root: Path) -> Tuple[List[Violation], int, Dict[str, int]]:
+        """Subtract the allowance from ``violations``.
+
+        Returns ``(kept, suppressed_count, unused)`` where *kept* are
+        the violations exceeding their allowance (new debt), and
+        *unused* maps baseline keys to leftover allowance (paid-down
+        debt whose entry must now shrink).
+        """
+        remaining = dict(self.counts)
+        kept: List[Violation] = []
+        suppressed = 0
+        for violation in sorted(violations, key=Violation.sort_key):
+            key = baseline_key(violation, root)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                suppressed += 1
+            else:
+                kept.append(violation)
+        unused = {key: count for key, count in sorted(remaining.items())
+                  if count > 0}
+        return kept, suppressed, unused
+
+    def total(self) -> int:
+        return sum(self.counts.values())

@@ -11,7 +11,8 @@ higher-order values) produce no edge — the graph under-approximates
 reachability but never invents it, which keeps the downstream rules'
 false-positive rate near zero at the cost of missing exotic flows.
 
-Two fixpoints are computed on top:
+Three fixpoints are computed on top, all instances of one caller-ward
+propagation (:meth:`CallGraph.propagate`):
 
 * **worker reachability** — everything transitively callable from a
   function that is dispatched into a worker process
@@ -22,13 +23,19 @@ Two fixpoints are computed on top:
   directory listing, ``hash()``) or when it calls a tainted project
   function; rule R012 flags tainted values flowing into cache-key /
   artifact / parallel-dispatch sinks.
+* **effects** — a function carries an effect (``materializes_entries``,
+  ``performs_io``, ``blocks``, ``pickles_large``,
+  ``mutates_module_state``) when its body exhibits it directly or when
+  it calls a project function that carries it; rules R013/R014 consume
+  the map, and R016 runs the same propagation over corruption-raising
+  exception facts.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
-from tools.reprolint.facts import DefFacts, FileFacts
+from tools.reprolint.facts import DefFacts, EFFECT_NAMES, FileFacts
 from tools.reprolint.graph import ModuleGraph, build_module_graph
 
 __all__ = ["CallGraph", "ProgramFacts", "build_program_facts"]
@@ -70,36 +77,78 @@ class CallGraph:
                     frontier.append(callee)
         return frozenset(seen)
 
-    # -- taint ---------------------------------------------------------
+    # -- caller-ward fixpoints ----------------------------------------
+
+    def _caller_index(self) -> Dict[str, Set[str]]:
+        callers: Dict[str, Set[str]] = {}
+        for source, targets in self._edges.items():
+            for target in targets:
+                callers.setdefault(target, set()).add(source)
+        return callers
+
+    def propagate(self, seeds: Mapping[str, str]) -> Dict[str, str]:
+        """Caller-ward fixpoint of a seeded property.
+
+        ``seeds`` maps a def to the human-readable reason it holds the
+        property directly.  The result adds every transitive caller,
+        with a chain reason: ``"time.time"`` for a seed,
+        ``"repro.x.helper (via time.time)"`` one hop up.  Seeds outside
+        the graph are ignored.
+        """
+        marked: Dict[str, str] = {qualname: reason
+                                  for qualname, reason in seeds.items()
+                                  if qualname in self.defs}
+        callers = self._caller_index()
+        frontier = sorted(marked)
+        while frontier:
+            current = frontier.pop()
+            reason = marked[current]
+            root = reason.split(" (via ", 1)[0] if " (via " in reason \
+                else reason
+            for caller in sorted(callers.get(current, set())):
+                if caller not in marked:
+                    marked[caller] = f"{current} (via {root})"
+                    frontier.append(caller)
+        return marked
 
     def taint_map(self) -> Dict[str, str]:
         """Tainted def → human-readable root cause.
 
         A def is seeded tainted by a direct nondeterminism source in
         its body; taint then propagates caller-ward until fixpoint
-        (``f`` calling tainted ``g`` makes ``f`` tainted).  The value
-        explains the chain: ``"time.time"`` for a seed,
-        ``"repro.x.helper (via time.time)"`` one hop up.
+        (``f`` calling tainted ``g`` makes ``f`` tainted).
         """
-        tainted: Dict[str, str] = {}
-        for qualname, def_facts in self.defs.items():
-            if def_facts.source_calls:
-                tainted[qualname] = def_facts.source_calls[0][1]
-        callers: Dict[str, Set[str]] = {}
-        for source, targets in self._edges.items():
-            for target in targets:
-                callers.setdefault(target, set()).add(source)
-        frontier = sorted(tainted)
-        while frontier:
-            current = frontier.pop()
-            reason = tainted[current]
-            root = reason.split(" (via ", 1)[0] if " (via " in reason \
-                else reason
-            for caller in sorted(callers.get(current, set())):
-                if caller not in tainted:
-                    tainted[caller] = f"{current} (via {root})"
-                    frontier.append(caller)
-        return tainted
+        return self.propagate({
+            qualname: def_facts.source_calls[0][1]
+            for qualname, def_facts in self.defs.items()
+            if def_facts.source_calls})
+
+    # -- effects -------------------------------------------------------
+
+    def effect_map(self) -> Dict[str, Dict[str, str]]:
+        """Per-def effect sets, propagated over the call graph.
+
+        Maps each def to ``{effect name: reason}`` for every effect in
+        :data:`~tools.reprolint.facts.EFFECT_NAMES` it exhibits —
+        directly (the reason is the effect site's display detail) or
+        transitively (the reason is the callee chain).  Defs with no
+        effects are absent.
+        """
+        combined: Dict[str, Dict[str, str]] = {}
+        for effect in EFFECT_NAMES:
+            seeds: Dict[str, str] = {}
+            for qualname, def_facts in self.defs.items():
+                for name, _line, _col, detail in def_facts.effects:
+                    if name == effect and qualname not in seeds:
+                        seeds[qualname] = detail
+                if (effect == "mutates_module_state"
+                        and def_facts.global_writes
+                        and qualname not in seeds):
+                    first = def_facts.global_writes[0]
+                    seeds[qualname] = f"writes module-level `{first[2]}`"
+            for qualname, reason in self.propagate(seeds).items():
+                combined.setdefault(qualname, {})[effect] = reason
+        return combined
 
 
 class ProgramFacts:

@@ -70,6 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stats", action="store_true",
                         help="print engine statistics (cache hits, "
                              "program-pass reruns) to stderr")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply safe autofixes (R009/R010 sorted-"
+                             "wraps, stale-suppression removal) and "
+                             "re-analyze; remaining violations are "
+                             "reported as usual")
+    parser.add_argument("--fix-check", action="store_true",
+                        help="fail (without modifying anything) if any "
+                             "reported violation is auto-fixable — the "
+                             "CI gate for 'run --fix locally'")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="subtract the allowances in this baseline "
+                             "file from the report; unused allowances "
+                             "are reported so the baseline ratchets "
+                             "down")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write the current violations to FILE as a "
+                             "baseline and exit 0")
     return parser
 
 
@@ -119,6 +136,34 @@ def _render_json(violations: Sequence[Violation]) -> str:
                       indent=2)
 
 
+def _collect_patches(violations: Sequence[Violation]) -> List["Patch"]:
+    """Generate autofix patches for every fixable reported violation."""
+    from tools.reprolint.fixes import fixes_for_file
+    patches: List[Patch] = []
+    for path in sorted({v.path for v in violations}):
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        patches.extend(fixes_for_file(path, source, violations))
+    return patches
+
+
+def _apply_fixes(violations: Sequence[Violation]) -> int:
+    """Write autofixes to disk; returns how many patches were applied."""
+    from tools.reprolint.fixes import apply_patches
+    patches = _collect_patches(violations)
+    applied_total = 0
+    for path in sorted({p.path for p in patches}):
+        source = Path(path).read_text(encoding="utf-8")
+        fixed, applied, _ = apply_patches(
+            source, [p for p in patches if p.path == path])
+        if applied:
+            Path(path).write_text(fixed, encoding="utf-8")
+            applied_total += len(applied)
+    return applied_total
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -139,16 +184,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         cache_dir = default_cache_dir()
 
-    try:
+    def run_analysis() -> List[Violation]:
         result = analyze_project(
             args.paths, jobs=jobs, cache_dir=cache_dir,
             respect_suppressions=not args.no_suppressions)
+        run_analysis.last = result  # type: ignore[attr-defined]
+        return _filter(
+            result.reported(audit_suppressions=args.audit_suppressions),
+            chosen)
+
+    try:
+        violations = run_analysis()
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
+    result = run_analysis.last  # type: ignore[attr-defined]
 
-    violations = _filter(
-        result.reported(audit_suppressions=args.audit_suppressions), chosen)
+    if args.fix:
+        # Fix until quiescent: overlapping (nested) patches are skipped
+        # within a pass and picked up by the re-analysis of the next.
+        for _ in range(5):
+            applied = _apply_fixes(violations)
+            if applied == 0:
+                break
+            print(f"reprolint: applied {applied} autofix(es)",
+                  file=sys.stderr)
+            violations = run_analysis()
+            result = run_analysis.last  # type: ignore[attr-defined]
+
+    fixable_remaining: List[Violation] = []
+    if args.fix_check:
+        patched = _collect_patches(violations)
+        fixable_lines = {(p.path, p.rule_id) for p in patched}
+        fixable_remaining = [v for v in violations
+                             if (v.path, v.rule_id) in fixable_lines]
+
+    if args.write_baseline:
+        from tools.reprolint.baseline import Baseline
+        root = Path.cwd()
+        Baseline.from_violations(violations, root).save(
+            Path(args.write_baseline))
+        print(f"reprolint: wrote baseline with {len(violations)} "
+              f"violation(s) to {args.write_baseline}", file=sys.stderr)
+        return 0
+
+    unused_allowances: dict = {}
+    if args.baseline:
+        from tools.reprolint.baseline import Baseline
+        root = Path.cwd()
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"reprolint: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        violations, suppressed, unused_allowances = baseline.apply(
+            violations, root)
+        print(f"reprolint: baseline suppressed {suppressed} "
+              f"grandfathered violation(s)"
+              + (f"; {sum(unused_allowances.values())} allowance(s) "
+                 f"unused — shrink the baseline" if unused_allowances
+                 else ""),
+              file=sys.stderr)
 
     if args.stats:
         stats = result.stats
@@ -162,18 +259,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               + (f"; dirty: {dirty}" if dirty else ""),
               file=sys.stderr)
 
+    sarif_patches = None
+    if args.sarif or args.format == "sarif":
+        sarif_patches = _collect_patches(violations)
+
     if args.sarif:
         from tools.reprolint.sarif import render_sarif
-        Path(args.sarif).write_text(render_sarif(violations) + "\n",
-                                    encoding="utf-8")
+        Path(args.sarif).write_text(
+            render_sarif(violations, patches=sarif_patches) + "\n",
+            encoding="utf-8")
 
     if args.format == "sarif":
         from tools.reprolint.sarif import render_sarif
-        print(render_sarif(violations))
+        print(render_sarif(violations, patches=sarif_patches))
     elif args.format == "json":
         print(_render_json(violations))
     else:
         print(_render_text(violations))
+
+    if args.fix_check and fixable_remaining:
+        print("reprolint: the following violation(s) are auto-fixable — "
+              "run with --fix:", file=sys.stderr)
+        for violation in fixable_remaining:
+            print(f"  {violation.render()}", file=sys.stderr)
+        return 1
+    if unused_allowances:
+        return 1
     return 1 if violations else 0
 
 

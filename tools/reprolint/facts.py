@@ -1,12 +1,20 @@
 """Per-file facts for the whole-program passes.
 
 One :class:`FileFacts` summarises everything the cross-file analyses
-need to know about a module: which project modules it imports, which
-functions it defines, which calls each function makes (resolved
-through import aliases), where nondeterminism *sources* are invoked,
-where cache-key / artifact / parallel-boundary *sinks* are invoked and
-what flows into them, which callables are dispatched into worker
-processes, and which module-level names each function writes.
+need to know about a module: which project modules it imports (and on
+which lines), which functions it defines, which calls each function
+makes (resolved through import aliases), where nondeterminism
+*sources* are invoked, where cache-key / artifact / parallel-boundary
+*sinks* are invoked and what flows into them, which callables are
+dispatched into worker processes, and which module-level names each
+function writes.
+
+v3 adds the *effect* facts the interprocedural effect system
+(:meth:`tools.reprolint.callgraph.CallGraph.effect_map`) propagates:
+per-def effect sites (``materializes_entries`` / ``performs_io`` /
+``blocks`` / ``pickles_large``), the exception names a def raises
+(corruption propagation for R016), and broad ``except`` handlers that
+swallow instead of re-raising.
 
 Facts are pure data (tuples of primitives) so they serialise to JSON
 for the incremental cache and hash canonically for the program-pass
@@ -18,7 +26,7 @@ from __future__ import annotations
 
 import ast
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from tools.reprolint.astutil import parent_map, sanitizing_ancestor
@@ -26,12 +34,21 @@ from tools.reprolint.nondet import BANNED_CLOCKS, NUMPY_RANDOM_OK
 from tools.reprolint.qualnames import build_alias_table, qualified_name
 
 __all__ = [
+    "CORRUPTION_EXCEPTION_SUFFIXES",
     "DefFacts",
+    "EFFECT_NAMES",
     "FileFacts",
+    "MATERIALIZER_TERMINALS",
     "SinkCall",
     "collect_facts",
     "facts_fingerprint",
+    "is_corruption_exception",
+    "is_heavy_name",
 ]
+
+#: The effect vocabulary, in stable display order.
+EFFECT_NAMES = ("materializes_entries", "performs_io", "blocks",
+                "pickles_large", "mutates_module_state")
 
 #: Pool / executor methods whose callable argument runs in a worker.
 POOL_DISPATCH = frozenset({
@@ -76,6 +93,69 @@ _MUTATORS = frozenset({
     "clear", "sort", "reverse",
 })
 
+# -- effect seeds (v3) -------------------------------------------------
+
+#: Terminal callee names that materialise full per-entry lists out of a
+#: columnar / digest-native representation.  Calling one of these is
+#: exactly the O(entries) transposition the fpDNS-v2 data plane exists
+#: to avoid; R013 flags such calls when they are reachable from a
+#: digest-native hot path.
+MATERIALIZER_TERMINALS = frozenset({
+    "entries", "entries_snapshot", "iter_entries", "to_entries",
+    "load_fpdns", "loads_fpdns", "_materialize_stream",
+})
+
+#: Resolved call names with a filesystem / serialisation side effect.
+_IO_CALLS = frozenset({
+    "open", "gzip.open", "bz2.open", "lzma.open",
+    "json.load", "json.dump", "pickle.load", "pickle.dump",
+    "numpy.load", "numpy.save", "numpy.savez",
+    "numpy.savez_compressed",
+    "shutil.copy", "shutil.copyfile", "shutil.move",
+    "os.replace", "os.rename", "os.remove", "os.unlink",
+})
+
+#: Method terminals with a filesystem side effect (Path / store APIs).
+_IO_METHODS = frozenset({
+    "read_text", "read_bytes", "write_text", "write_bytes",
+    "store_bytes", "load_bytes",
+})
+
+#: Resolved call names that block the calling thread.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep", "input", "select.select",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "socket.create_connection",
+})
+
+#: Argument names that denote heavy per-entry payloads.  A pool
+#: dispatch whose argument matches gets a ``pickles_large`` effect
+#: (R014): the payload is pickled into every worker instead of a
+#: digest column or blob path.
+_HEAVY_ARG_NAMES = frozenset({
+    "entries", "entry", "entry_list", "entry_lists",
+    "dataset", "datasets", "payload", "payloads",
+})
+_HEAVY_ARG_SUFFIXES = ("_entries", "_entry", "_dataset", "_datasets",
+                       "_payload", "_payloads")
+
+#: Exception-name terminals treated as data-corruption signals (R016).
+CORRUPTION_EXCEPTION_SUFFIXES = ("FormatError", "CorruptionError")
+
+
+def is_heavy_name(name: str) -> bool:
+    """True when ``name`` names a per-entry payload by convention."""
+    lowered = name.lower()
+    return (lowered in _HEAVY_ARG_NAMES
+            or any(lowered.endswith(suffix)
+                   for suffix in _HEAVY_ARG_SUFFIXES))
+
+
+def is_corruption_exception(name: str) -> bool:
+    terminal = name.rsplit(".", 1)[-1]
+    return any(terminal.endswith(suffix)
+               for suffix in CORRUPTION_EXCEPTION_SUFFIXES)
+
 
 @dataclass(frozen=True)
 class SinkCall:
@@ -98,6 +178,13 @@ class DefFacts:
     source_calls: Tuple[Tuple[int, str], ...]       # (line, source name)
     global_writes: Tuple[Tuple[int, int, str, str], ...]  # (line, col, name, how)
     sink_calls: Tuple[SinkCall, ...]
+    #: Direct effect sites: (effect name, line, col, display detail).
+    effects: Tuple[Tuple[str, int, int, str], ...] = ()
+    #: Exception names this def raises directly (terminal dotted names).
+    raises: Tuple[str, ...] = ()
+    #: Broad ``except`` handlers that swallow (no re-raise):
+    #: (line, col, handler display, resolved calls inside the try body).
+    broad_handlers: Tuple[Tuple[int, int, str, Tuple[str, ...]], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -109,9 +196,35 @@ class FileFacts:
     imports: Tuple[str, ...]
     defs: Tuple[DefFacts, ...]
     worker_targets: Tuple[Tuple[int, str], ...]     # (line, resolved name)
+    #: Import statement sites: (line, imported dotted name).
+    import_sites: Tuple[Tuple[int, str], ...] = ()
 
     def to_json(self) -> Dict[str, object]:
-        return asdict(self)
+        # Hand-rolled rather than dataclasses.asdict(): asdict deep-
+        # copies every leaf, and this runs per file per session when
+        # the program-pass cache key is computed (warm-run hot path).
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": self.imports,
+            "defs": [{
+                "qualname": d.qualname,
+                "line": d.line,
+                "calls": d.calls,
+                "source_calls": d.source_calls,
+                "global_writes": d.global_writes,
+                "sink_calls": [{
+                    "line": s.line, "col": s.col, "sink": s.sink,
+                    "direct_sources": s.direct_sources,
+                    "arg_calls": s.arg_calls,
+                } for s in d.sink_calls],
+                "effects": d.effects,
+                "raises": d.raises,
+                "broad_handlers": d.broad_handlers,
+            } for d in self.defs],
+            "worker_targets": self.worker_targets,
+            "import_sites": self.import_sites,
+        }
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "FileFacts":
@@ -128,12 +241,23 @@ class FileFacts:
                                   sink=s["sink"],
                                   direct_sources=tuple(s["direct_sources"]),
                                   arg_calls=tuple(s["arg_calls"]))
-                         for s in d["sink_calls"]))
+                         for s in d["sink_calls"]),
+                     effects=tuple(
+                         (effect, line, col, detail)
+                         for effect, line, col, detail
+                         in d.get("effects", ())),
+                     raises=tuple(d.get("raises", ())),
+                     broad_handlers=tuple(
+                         (line, col, kind, tuple(calls))
+                         for line, col, kind, calls
+                         in d.get("broad_handlers", ())))
             for d in payload["defs"])
         return cls(path=payload["path"], module=payload["module"],
                    imports=tuple(payload["imports"]), defs=defs,
                    worker_targets=tuple((line, name) for line, name
-                                        in payload["worker_targets"]))
+                                        in payload["worker_targets"]),
+                   import_sites=tuple((line, name) for line, name
+                                      in payload.get("import_sites", ())))
 
 
 def facts_fingerprint(facts: FileFacts) -> str:
@@ -191,6 +315,9 @@ class _Scope:
         self.source_calls: List[Tuple[int, str]] = []
         self.global_writes: List[Tuple[int, int, str, str]] = []
         self.sink_calls: List[SinkCall] = []
+        self.effects: List[Tuple[str, int, int, str]] = []
+        self.raises: List[str] = []
+        self.broad_handlers: List[Tuple[int, int, str, Tuple[str, ...]]] = []
 
     def freeze(self) -> DefFacts:
         return DefFacts(
@@ -198,7 +325,10 @@ class _Scope:
             calls=tuple(sorted(set(self.calls))),
             source_calls=tuple(self.source_calls),
             global_writes=tuple(self.global_writes),
-            sink_calls=tuple(self.sink_calls))
+            sink_calls=tuple(self.sink_calls),
+            effects=tuple(self.effects),
+            raises=tuple(sorted(set(self.raises))),
+            broad_handlers=tuple(self.broad_handlers))
 
 
 class _FactsCollector(ast.NodeVisitor):
@@ -211,6 +341,7 @@ class _FactsCollector(ast.NodeVisitor):
         self.aliases = build_alias_table(tree)
         self.parents = parent_map(tree)
         self.imports: List[str] = []
+        self.import_sites: List[Tuple[int, str]] = []
         self.defs: List[DefFacts] = []
         self.worker_targets: List[Tuple[int, str]] = []
         self.module_level_names = _module_level_names(tree)
@@ -218,6 +349,7 @@ class _FactsCollector(ast.NodeVisitor):
         self._scope_stack: List[_Scope] = [_Scope(self.module, 1)]
         self._class_stack: List[str] = []
         self._local_names_stack: List[set] = [set()]
+        self._heavy_locals_stack: List[set] = [_heavy_local_names(tree)]
 
     # -- scope bookkeeping --------------------------------------------
 
@@ -238,7 +370,9 @@ class _FactsCollector(ast.NodeVisitor):
         scope = _Scope(self._qualname_for(node.name), node.lineno)
         self._scope_stack.append(scope)
         self._local_names_stack.append(_assigned_names(node))
+        self._heavy_locals_stack.append(_heavy_local_names(node))
         self.generic_visit(node)
+        self._heavy_locals_stack.pop()
         self._local_names_stack.pop()
         self._scope_stack.pop()
         self.defs.append(scope.freeze())
@@ -251,16 +385,20 @@ class _FactsCollector(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             self.imports.append(alias.name)
+            self.import_sites.append((node.lineno, alias.name))
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         base = self._absolute_base(node)
         if base is not None:
             self.imports.append(base)
+            self.import_sites.append((node.lineno, base))
             for alias in node.names:
                 if alias.name != "*":
                     # The imported name may itself be a module.
                     self.imports.append(f"{base}.{alias.name}")
+                    self.import_sites.append((node.lineno,
+                                              f"{base}.{alias.name}"))
         self.generic_visit(node)
 
     def _absolute_base(self, node: ast.ImportFrom) -> Optional[str]:
@@ -304,7 +442,64 @@ class _FactsCollector(ast.NodeVisitor):
         self._check_worker_dispatch(node)
         self._check_sink(node, resolved)
         self._check_mutation(node)
+        self._check_effects(node, resolved)
+        self._check_heavy_dispatch(node)
         self.generic_visit(node)
+
+    # -- effect seeds --------------------------------------------------
+
+    def _check_effects(self, node: ast.Call,
+                       resolved: Optional[str]) -> None:
+        func = node.func
+        terminal = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+        if terminal is None:
+            return
+        display = resolved if resolved is not None else (
+            f".{terminal}" if isinstance(func, ast.Attribute) else terminal)
+        resolved_terminal = (resolved.rsplit(".", 1)[-1]
+                             if resolved is not None else terminal)
+        if (terminal in MATERIALIZER_TERMINALS
+                or resolved_terminal in MATERIALIZER_TERMINALS):
+            self.scope.effects.append(
+                ("materializes_entries", node.lineno, node.col_offset,
+                 f"`{display}(...)`"))
+        if resolved in _IO_CALLS or terminal in _IO_METHODS:
+            self.scope.effects.append(
+                ("performs_io", node.lineno, node.col_offset,
+                 f"`{display}(...)`"))
+        if resolved in _BLOCKING_CALLS:
+            self.scope.effects.append(
+                ("blocks", node.lineno, node.col_offset,
+                 f"`{display}(...)`"))
+
+    def _check_heavy_dispatch(self, node: ast.Call) -> None:
+        func = node.func
+        terminal = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else "")
+        payload_args: List[ast.expr] = []
+        if isinstance(func, ast.Attribute) and func.attr in POOL_DISPATCH:
+            payload_args.extend(node.args[1:])
+            payload_args.extend(
+                kw.value for kw in node.keywords
+                if kw.arg not in ("func", "chunksize", "callback",
+                                  "error_callback", "timeout"))
+        elif terminal in PROCESS_TYPES:
+            payload_args.extend(kw.value for kw in node.keywords
+                                if kw.arg in ("args", "kwargs"))
+        if not payload_args:
+            return
+        heavy_locals = self._heavy_locals_stack[-1]
+        for arg in payload_args:
+            detail = _heavy_payload(arg, heavy_locals)
+            if detail is None:
+                continue
+            boundary = (f"pool.{func.attr}"
+                        if isinstance(func, ast.Attribute)
+                        and func.attr in POOL_DISPATCH else terminal)
+            self.scope.effects.append(
+                ("pickles_large", node.lineno, node.col_offset,
+                 f"`{boundary}(...)` ships {detail} to workers"))
 
     # -- worker dispatch ----------------------------------------------
 
@@ -430,6 +625,34 @@ class _FactsCollector(ast.NodeVisitor):
             self._record_rebind(node.target, node)
         self.generic_visit(node)
 
+    # -- exceptions ----------------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        name = _raised_name(node, self.aliases)
+        if name is not None:
+            self.scope.raises.append(name)
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            kind = _broad_handler_kind(handler.type)
+            if kind is None:
+                continue
+            if any(isinstance(inner, ast.Raise)
+                   for inner in ast.walk(handler)):
+                continue  # re-raising broad handlers are fine
+            calls: List[str] = []
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, ast.Call):
+                        inner_resolved = self._resolve_call(inner)
+                        if inner_resolved is not None:
+                            calls.append(inner_resolved)
+            self.scope.broad_handlers.append(
+                (handler.lineno, handler.col_offset, kind,
+                 tuple(sorted(set(calls)))))
+        self.generic_visit(node)
+
     # -- result --------------------------------------------------------
 
     def freeze(self) -> FileFacts:
@@ -439,7 +662,8 @@ class _FactsCollector(ast.NodeVisitor):
             module=self.module if self.module != "<unknown>" else None,
             imports=tuple(sorted(set(self.imports))),
             defs=tuple(sorted(defs, key=lambda d: (d.line, d.qualname))),
-            worker_targets=tuple(sorted(set(self.worker_targets))))
+            worker_targets=tuple(sorted(set(self.worker_targets))),
+            import_sites=tuple(sorted(set(self.import_sites))))
 
 
 def _module_level_names(tree: ast.Module) -> set:
@@ -528,6 +752,101 @@ def _is_memo_init(stmt: ast.stmt, name: str,
                 return True
         current = parent
     return False
+
+
+def _call_terminal(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _heavy_local_names(scope: ast.AST) -> set:
+    """Local names assigned from a heavy payload (one propagation step:
+    ``tasks = [(day, dataset) for ...]`` makes ``tasks`` heavy)."""
+    heavy = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not _expr_is_heavy(value):
+            continue
+        for target in targets:
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name):
+                    heavy.add(name_node.id)
+    return heavy
+
+
+def _expr_is_heavy(value: ast.expr) -> bool:
+    for inner in ast.walk(value):
+        if isinstance(inner, ast.Name) and is_heavy_name(inner.id):
+            return True
+        if isinstance(inner, ast.Attribute) and is_heavy_name(inner.attr):
+            return True
+        if (isinstance(inner, ast.Call)
+                and _call_terminal(inner) in MATERIALIZER_TERMINALS):
+            return True
+    return False
+
+
+def _heavy_payload(arg: ast.expr, heavy_locals: set) -> Optional[str]:
+    """Why ``arg`` is a heavy worker payload, or ``None``."""
+    for inner in ast.walk(arg):
+        if (isinstance(inner, ast.Call)
+                and _call_terminal(inner) in MATERIALIZER_TERMINALS):
+            return f"the result of `{_call_terminal(inner)}(...)`"
+        if isinstance(inner, ast.Name) and (is_heavy_name(inner.id)
+                                            or inner.id in heavy_locals):
+            return f"`{inner.id}`"
+        if isinstance(inner, ast.Attribute) and is_heavy_name(inner.attr):
+            return f"`.{inner.attr}`"
+    return None
+
+
+def _raised_name(node: ast.Raise,
+                 aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted name of the raised exception type, or ``None`` for a
+    bare ``raise`` / dynamic expression."""
+    exc = node.exc
+    target: Optional[ast.expr]
+    if isinstance(exc, ast.Call):
+        target = exc.func
+    else:
+        target = exc
+    if target is None:
+        return None
+    resolved = qualified_name(target, aliases)
+    if resolved is not None:
+        return resolved
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _broad_handler_kind(type_node: Optional[ast.expr]) -> Optional[str]:
+    """Display name of a too-broad handler clause, or ``None``."""
+    if type_node is None:
+        return "except:"
+    elts = (type_node.elts if isinstance(type_node, ast.Tuple)
+            else [type_node])
+    names = []
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.append(elt.attr)
+    for broad in ("BaseException", "Exception"):
+        if broad in names:
+            return f"except {broad}"
+    return None
 
 
 def collect_facts(tree: ast.Module, path: str,

@@ -1,0 +1,286 @@
+"""Safe autofix engine (``--fix`` / ``--fix-check``).
+
+Three rules have *mechanical* fixes whose before/after semantics
+differ only in ways the rule exists to forbid, so applying them can
+never change a correct program's meaning:
+
+* **R009** nondet-iteration-order — wrap the set being iterated in
+  ``sorted(...)`` (or turn ``list(the_set)`` into ``sorted(the_set)``);
+  the output order becomes a function of the contents.
+* **R010** unsorted-fs-listing — wrap the listing call in
+  ``sorted(...)``.  ``os.walk`` is *not* auto-fixable (sorting the
+  outside only sorts the top level) and is skipped.
+* **S001** stale-suppression — delete the dead directive comment (the
+  whole line when the comment stands alone, the trailing comment
+  otherwise).
+
+Fixes are span-based :class:`Patch` objects over the original source,
+so they compose: all patches for a file are applied in one pass,
+back-to-front, and overlapping patches are *skipped*, never merged —
+the next ``--fix`` iteration picks up whatever the re-analysis still
+reports.  The engine is idempotent by construction: patches are only
+generated for *current* violations, and every fix removes the
+violation that produced it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from tools.reprolint.astutil import (is_set_typed, iter_scopes, parent_map,
+                                     set_typed_names)
+from tools.reprolint.engine import Violation
+from tools.reprolint.qualnames import build_alias_table, qualified_name
+
+__all__ = ["FIXABLE_RULES", "Patch", "apply_patches", "fixes_for_file"]
+
+#: Rules the autofixer knows how to repair.
+FIXABLE_RULES = frozenset({"R009", "R010", "S001"})
+
+#: R010 functions that have no safe mechanical fix.
+_UNFIXABLE_LISTINGS = frozenset({"os.walk", "os.fwalk"})
+
+_DIRECTIVE_START = re.compile(r"#\s*reprolint:\s*(?:disable-file|disable)\b")
+
+
+@dataclass(frozen=True)
+class Patch:
+    """One span replacement: ``source[start:end] -> replacement``.
+
+    Positions use the AST convention — 1-based lines, 0-based columns —
+    so they line up with node attributes and :class:`Violation` sites.
+    """
+
+    path: str
+    rule_id: str
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+    description: str
+    #: Line of the violation this patch repairs (SARIF ``fixes``
+    #: objects are attached per result through this).
+    violation_line: int = 0
+
+    def sort_key(self) -> Tuple[int, int, int, int]:
+        return (self.start_line, self.start_col,
+                self.end_line, self.end_col)
+
+
+def _line_starts(source: str) -> List[int]:
+    starts = [0]
+    for idx, char in enumerate(source):
+        if char == "\n":
+            starts.append(idx + 1)
+    return starts
+
+
+def _offset(starts: Sequence[int], line: int, col: int) -> int:
+    return starts[line - 1] + col
+
+
+def apply_patches(source: str,
+                  patches: Iterable[Patch]) -> Tuple[str, List[Patch],
+                                                     List[Patch]]:
+    """Apply non-overlapping patches; return ``(text, applied, skipped)``.
+
+    Patches are ordered by span start; a patch overlapping an earlier
+    (kept) one is skipped, so nested fixes defer to the outermost and
+    the caller re-analyzes before trying again.
+    """
+    starts = _line_starts(source)
+    spans = sorted(
+        ((_offset(starts, p.start_line, p.start_col),
+          _offset(starts, p.end_line, p.end_col), p)
+         for p in patches),
+        key=lambda item: (item[0], item[1]))
+    applied: List[Patch] = []
+    skipped: List[Patch] = []
+    kept: List[Tuple[int, int, Patch]] = []
+    last_end = -1
+    for begin, end, patch in spans:
+        if begin < last_end:
+            skipped.append(patch)
+            continue
+        kept.append((begin, end, patch))
+        applied.append(patch)
+        last_end = max(last_end, end)
+    text = source
+    for begin, end, patch in reversed(kept):
+        text = text[:begin] + patch.replacement + text[end:]
+    return text, applied, skipped
+
+
+class _FileFixer:
+    """Per-file fix generation: one parse, many violations."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.starts = _line_starts(source)
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(source, filename=path)
+        except SyntaxError:
+            self.tree = None
+            self.parents: Dict[ast.AST, ast.AST] = {}
+            self.aliases: Dict[str, str] = {}
+            return
+        self.parents = parent_map(self.tree)
+        self.aliases = build_alias_table(self.tree)
+        self._scope_sets: Optional[Dict[int, frozenset]] = None
+
+    # -- helpers ------------------------------------------------------
+
+    def _segment(self, node: ast.AST) -> str:
+        begin = _offset(self.starts, node.lineno, node.col_offset)
+        end = _offset(self.starts, node.end_lineno, node.end_col_offset)
+        return self.source[begin:end]
+
+    def _wrap_sorted(self, node: ast.AST, rule_id: str,
+                     what: str) -> Patch:
+        return Patch(
+            path=self.path, rule_id=rule_id,
+            start_line=node.lineno, start_col=node.col_offset,
+            end_line=node.end_lineno, end_col=node.end_col_offset,
+            replacement=f"sorted({self._segment(node)})",
+            description=f"wrap {what} in sorted(...)")
+
+    def _nodes_at(self, line: int, col: int) -> List[ast.AST]:
+        assert self.tree is not None
+        return [node for node in ast.walk(self.tree)
+                if getattr(node, "lineno", None) == line
+                and getattr(node, "col_offset", None) == col
+                and hasattr(node, "end_lineno")]
+
+    def _set_names_for(self, node: ast.AST) -> frozenset:
+        """Set-typed local names of ``node``'s enclosing scope."""
+        assert self.tree is not None
+        current: ast.AST = node
+        while current in self.parents:
+            current = self.parents[current]
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Module)):
+                break
+        for scope, _ in iter_scopes(self.tree):
+            if scope is current:
+                return frozenset(set_typed_names(scope))
+        return frozenset(set_typed_names(self.tree))
+
+    # -- rule fixers --------------------------------------------------
+
+    def fix(self, violation: Violation) -> List[Patch]:
+        if self.tree is None and violation.rule_id != "S001":
+            return []
+        if violation.rule_id == "R009":
+            return self._fix_r009(violation)
+        if violation.rule_id == "R010":
+            return self._fix_r010(violation)
+        if violation.rule_id == "S001":
+            return self._fix_s001(violation)
+        return []
+
+    def _fix_r009(self, violation: Violation) -> List[Patch]:
+        nodes = self._nodes_at(violation.line, violation.col)
+        calls = [n for n in nodes if isinstance(n, ast.Call)]
+        comps = [n for n in nodes
+                 if isinstance(n, (ast.ListComp, ast.GeneratorExp))]
+        if calls:
+            call = calls[0]
+            func = call.func
+            if (isinstance(func, ast.Name) and func.id == "list"
+                    and call.args):
+                # ``list(the_set)`` -> ``sorted(the_set)``: same list,
+                # content-determined order.
+                return [Patch(
+                    path=self.path, rule_id="R009",
+                    start_line=func.lineno, start_col=func.col_offset,
+                    end_line=func.end_lineno, end_col=func.end_col_offset,
+                    replacement="sorted",
+                    description="materialise via sorted(...) instead of "
+                                "list(...)")]
+            if (isinstance(func, ast.Name)
+                    and func.id in ("tuple", "enumerate", "iter")
+                    and call.args):
+                return [self._wrap_sorted(call.args[0], "R009",
+                                          f"the set passed to {func.id}()")]
+            if (isinstance(func, ast.Attribute) and func.attr == "join"
+                    and call.args):
+                return [self._wrap_sorted(call.args[0], "R009",
+                                          "the set passed to str.join()")]
+            # e.g. a bare ``set(...)`` used as a for-loop iterable.
+            return [self._wrap_sorted(call, "R009", "the iterated set")]
+        if comps:
+            comp = comps[0]
+            set_names = self._set_names_for(comp)
+            patches = [self._wrap_sorted(gen.iter, "R009",
+                                         "the comprehension's set iterable")
+                       for gen in comp.generators
+                       if is_set_typed(gen.iter, set_names)]
+            return patches
+        exprs = [n for n in nodes if isinstance(n, ast.expr)]
+        if exprs:
+            return [self._wrap_sorted(exprs[0], "R009",
+                                      "the iterated set")]
+        return []
+
+    def _fix_r010(self, violation: Violation) -> List[Patch]:
+        for node in self._nodes_at(violation.line, violation.col):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = qualified_name(node.func, self.aliases)
+            if resolved in _UNFIXABLE_LISTINGS:
+                return []  # sorting outside os.walk fixes nothing
+            return [self._wrap_sorted(node, "R010", "the directory listing")]
+        return []
+
+    def _fix_s001(self, violation: Violation) -> List[Patch]:
+        if violation.line > len(self.lines):
+            return []
+        text = self.lines[violation.line - 1]
+        match = _DIRECTIVE_START.search(text)
+        if match is None:
+            return []
+        before = text[:match.start()]
+        if before.strip() == "":
+            # Comment-only line: remove it entirely, newline included.
+            end_line = violation.line + 1
+            end_col = 0
+            if violation.line == len(self.lines):
+                end_line, end_col = violation.line, len(text)
+            return [Patch(
+                path=self.path, rule_id="S001",
+                start_line=violation.line, start_col=0,
+                end_line=end_line, end_col=end_col,
+                replacement="",
+                description="delete stale suppression line")]
+        return [Patch(
+            path=self.path, rule_id="S001",
+            start_line=violation.line, start_col=len(before.rstrip()),
+            end_line=violation.line, end_col=len(text),
+            replacement="",
+            description="strip stale trailing suppression comment")]
+
+
+def fixes_for_file(path: str, source: str,
+                   violations: Sequence[Violation]) -> List[Patch]:
+    """Patches for every fixable violation of one file.
+
+    Unfixable rules (anything outside :data:`FIXABLE_RULES`) and sites
+    the fixer cannot locate or repair safely yield no patch — they
+    simply stay reported.
+    """
+    relevant = [v for v in violations
+                if v.path == path and v.rule_id in FIXABLE_RULES]
+    if not relevant:
+        return []
+    fixer = _FileFixer(path, source)
+    patches: List[Patch] = []
+    for violation in sorted(relevant, key=Violation.sort_key):
+        patches.extend(replace(patch, violation_line=violation.line)
+                       for patch in fixer.fix(violation))
+    return patches

@@ -23,6 +23,7 @@ cache hits replay exactly what a fresh analysis would produce.
 from __future__ import annotations
 
 import ast
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,7 +50,8 @@ __all__ = [
 STALE_SUPPRESSION_ID = "S001"
 
 #: Schema version of cached per-file results; bump to invalidate.
-_RESULT_VERSION = 1
+#: v2: effect facts (effects/raises/broad_handlers/import_sites).
+_RESULT_VERSION = 2
 
 
 @dataclass
@@ -120,6 +122,9 @@ class SessionStats:
     files_analyzed: int = 0
     files_cached: int = 0
     program_rerun: bool = False
+    #: Wall-clock seconds of the whole-program pass (graph builds +
+    #: taint/effect fixpoints + R011–R017); 0.0 when it was cached.
+    program_pass_s: float = 0.0
     #: Modules whose facts changed since the previous run, plus their
     #: transitive dependents in the import graph — the whole-program
     #: blast radius of the edit.
@@ -204,7 +209,8 @@ def _read_file(path: Path) -> Tuple[Optional[str], Optional[Violation]]:
                                message=f"unreadable file: {exc}")
 
 
-def _program_key(results: Sequence[FileResult]) -> str:
+def _program_key(results: Sequence[FileResult],
+                 fingerprints: Dict[str, str]) -> str:
     import hashlib
     from tools.reprolint.cache import engine_fingerprint
     digest = hashlib.sha256()
@@ -212,7 +218,7 @@ def _program_key(results: Sequence[FileResult]) -> str:
     for result in sorted(results, key=lambda r: r.path):
         digest.update(result.path.encode())
         digest.update(b"\x00")
-        digest.update(facts_fingerprint(result.facts).encode())
+        digest.update(fingerprints[result.path].encode())
         digest.update(b"\x00")
     return digest.hexdigest()
 
@@ -226,12 +232,13 @@ def _run_program_rules(results: Sequence[FileResult]) -> List[Violation]:
 
 
 def _dirty_modules(results: Sequence[FileResult],
-                   previous: Optional[Dict[str, Any]]) -> List[str]:
+                   previous: Optional[Dict[str, Any]],
+                   fingerprints: Dict[str, str]) -> List[str]:
     """Changed modules + their transitive dependents (import graph)."""
     current: Dict[str, str] = {}
     for result in results:
         if result.module is not None:
-            current[result.module] = facts_fingerprint(result.facts)
+            current[result.module] = fingerprints[result.path]
     if previous is None:
         return sorted(current)
     before = previous.get("fingerprints", {})
@@ -305,7 +312,13 @@ def analyze_project(roots: Sequence[str], *,
     ordered = [results[path_str] for path_str in sorted(results)]
 
     # -- whole-program pass (cached by facts fingerprint) --------------
-    program_key = _program_key(ordered)
+    # Fingerprints are computed once per session and shared by the
+    # program key, the persisted per-module fingerprints, and the
+    # dirty-module closure: the serialisation behind them is the
+    # dominant cost of a fully warm run.
+    fingerprints = {result.path: facts_fingerprint(result.facts)
+                    for result in ordered}
+    program_key = _program_key(ordered, fingerprints)
     program_violations: Optional[List[Violation]] = None
     previous_state = cache.load_program_state() if cache is not None else None
     if (previous_state is not None
@@ -317,13 +330,16 @@ def analyze_project(roots: Sequence[str], *,
             in previous_state.get("violations", [])]
     if program_violations is None:
         stats.program_rerun = True
+        began = time.perf_counter()
         program_violations = _run_program_rules(ordered)
-    stats.dirty_modules = _dirty_modules(ordered, previous_state) \
+        stats.program_pass_s = time.perf_counter() - began
+    stats.dirty_modules = _dirty_modules(ordered, previous_state,
+                                         fingerprints) \
         if stats.program_rerun else []
     if cache is not None:
         cache.store_program_state({
             "program_key": program_key,
-            "fingerprints": {result.module: facts_fingerprint(result.facts)
+            "fingerprints": {result.module: fingerprints[result.path]
                              for result in ordered
                              if result.module is not None},
             "violations": [[v.rule_id, v.path, v.line, v.col, v.message]

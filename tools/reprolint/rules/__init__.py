@@ -8,14 +8,16 @@ from tools.reprolint.engine import Rule
 from tools.reprolint.rules.atomicity import AtomicCachePublishRule
 from tools.reprolint.rules.config import FrozenConfigRule
 from tools.reprolint.rules.determinism import NoWallClockRule, SeededRngOnlyRule
+from tools.reprolint.rules.effects import ALL_EFFECT_RULES
 from tools.reprolint.rules.exports import AllExportsExistRule
 from tools.reprolint.rules.floats import NoFloatEqRule
 from tools.reprolint.rules.fslisting import UnsortedFsListingRule
+from tools.reprolint.rules.growth import UnboundedGrowthRule
 from tools.reprolint.rules.imports import ImportLayeringRule
 from tools.reprolint.rules.iteration import NondetIterationOrderRule
 from tools.reprolint.rules.multiprocessing import PicklableWorkersRule
-from tools.reprolint.rules.whole_program import (ALL_PROGRAM_RULES,
-                                                 ProgramRule)
+from tools.reprolint.rules.whole_program import (
+    ALL_PROGRAM_RULES as _CORE_PROGRAM_RULES, ProgramRule)
 
 __all__ = ["ALL_PROGRAM_RULES", "ALL_RULES", "ProgramRule", "rule_by_id"]
 
@@ -30,7 +32,11 @@ ALL_RULES: List[Rule] = [
     AtomicCachePublishRule(),
     NondetIterationOrderRule(),
     UnsortedFsListingRule(),
+    UnboundedGrowthRule(),
 ]
+
+ALL_PROGRAM_RULES: List[ProgramRule] = (list(_CORE_PROGRAM_RULES)
+                                        + list(ALL_EFFECT_RULES))
 
 _BY_ID: Dict[str, object] = {rule.rule_id: rule for rule in ALL_RULES}
 _BY_ID.update({rule.rule_id: rule for rule in ALL_PROGRAM_RULES})

@@ -1,0 +1,223 @@
+"""Whole-program effect rules R013, R014, R016, R017.
+
+These consume the v3 effect facts (:mod:`tools.reprolint.facts`) and
+the caller-ward propagation on the call graph
+(:meth:`tools.reprolint.callgraph.CallGraph.propagate`):
+
+* **R013** — entry materialisation reachable from a digest-native hot
+  path.  ``run_digest`` / ``*_from_digest`` functions and worker entry
+  points exist precisely so the per-entry rows never get rebuilt; a
+  ``.entries()``-style call anywhere in their call cone reintroduces
+  the O(entries) transposition the fpDNS-v2 columnar plane avoids.
+* **R014** — heavy per-entry payloads (entry lists, datasets) pickled
+  into ``ProcessPoolExecutor`` / ``multiprocessing`` dispatches.  This
+  is the ROADMAP's measured failure mode: sharded simulation ran at
+  0.18x serial because each worker deserialised the full entry list.
+* **R016** — broad ``except`` handlers that swallow corruption
+  signals: the try body (transitively) raises ``*FormatError`` /
+  ``*CorruptionError`` or calls a raw decoder, and the handler neither
+  narrows the exception type nor re-raises, so a corrupt artifact
+  degrades into a silent miss.
+* **R017** — service/CLI layering: ``repro.*`` library modules must
+  never import the service surfaces (``repro.service``,
+  ``repro.experiments.cli``), so a future ``repro serve`` daemon can
+  embed the library without dragging in argument parsing or sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from tools.reprolint.callgraph import ProgramFacts
+from tools.reprolint.engine import Violation
+from tools.reprolint.facts import is_corruption_exception
+from tools.reprolint.rules.whole_program import ProgramRule, _in_scope
+
+__all__ = [
+    "ALL_EFFECT_RULES",
+    "DigestPathMaterializationRule",
+    "HeavyPayloadIpcRule",
+    "ServiceImportLayeringRule",
+    "SwallowedCorruptionRule",
+]
+
+#: Function-name shapes that mark a digest-native hot path.
+_HOT_ROOT_TERMINALS = frozenset({"run_digest"})
+_HOT_ROOT_SUFFIXES = ("_from_digest",)
+
+#: Raw decoders whose broad-catch wrappers hide corruption (R016).
+_DIRECT_DECODERS = frozenset({
+    "json.load", "json.loads", "pickle.load", "pickle.loads",
+    "marshal.load", "marshal.loads", "numpy.load",
+})
+
+#: Module prefixes that *are* the service/CLI surface (R017).
+_SURFACE_PREFIXES = ("repro.service", "repro.experiments.cli",
+                     "repro.__main__")
+
+
+def _is_hot_root(qualname: str) -> bool:
+    terminal = qualname.rsplit(".", 1)[-1]
+    return (terminal in _HOT_ROOT_TERMINALS
+            or any(terminal.endswith(suffix)
+                   for suffix in _HOT_ROOT_SUFFIXES))
+
+
+def _is_surface_module(module: str) -> bool:
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in _SURFACE_PREFIXES)
+
+
+class DigestPathMaterializationRule(ProgramRule):
+    rule_id = "R013"
+    name = "digest-path-materialization"
+    description = ("functions reachable from a digest-native hot path "
+                   "(run_digest, *_from_digest, worker entry points) "
+                   "must not materialise per-entry rows (.entries(), "
+                   "entries_snapshot(), ...) — stay columnar or move "
+                   "the materialisation off the hot path.")
+
+    def check(self, program: ProgramFacts) -> Iterator[Violation]:
+        graph = program.call_graph
+        roots = sorted({qualname for qualname in graph.defs
+                        if _is_hot_root(qualname)}
+                       | set(program.worker_entry_points()))
+        hit_by: Dict[str, List[str]] = {}
+        for root in roots:
+            for qualname in graph.reachable_from([root]):
+                hit_by.setdefault(qualname, []).append(root)
+        for qualname in sorted(graph.defs):
+            roots_hitting = hit_by.get(qualname)
+            if not roots_hitting:
+                continue
+            module = program.module_of_def(qualname)
+            if module is None or not _in_scope(module):
+                continue
+            for effect, line, col, detail in graph.defs[qualname].effects:
+                if effect != "materializes_entries":
+                    continue
+                shown = ", ".join(f"`{root}`"
+                                  for root in sorted(roots_hitting)[:3])
+                extra = len(roots_hitting) - 3
+                if extra > 0:
+                    shown += f" (+{extra} more)"
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=graph.def_paths[qualname], line=line, col=col,
+                    message=(f"{detail} materialises per-entry rows "
+                             f"inside `{qualname}`, which is reachable "
+                             f"from digest-native hot path(s) {shown} — "
+                             f"stay on the columnar digest plane "
+                             f"(day_digest/digest_of) or move the "
+                             f"materialisation off the hot path"))
+
+
+class HeavyPayloadIpcRule(ProgramRule):
+    rule_id = "R014"
+    name = "heavy-payload-ipc"
+    description = ("entry lists and datasets must not be pickled into "
+                   "pool/Process dispatches — pass digest columns or "
+                   "fpDNS-v2 blob paths and materialise inside the "
+                   "worker (sharded simulation measured 0.18x serial "
+                   "from exactly this).")
+
+    def check(self, program: ProgramFacts) -> Iterator[Violation]:
+        graph = program.call_graph
+        for qualname in sorted(graph.defs):
+            module = program.module_of_def(qualname)
+            if module is None or not _in_scope(module):
+                continue
+            for effect, line, col, detail in graph.defs[qualname].effects:
+                if effect != "pickles_large":
+                    continue
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=graph.def_paths[qualname], line=line, col=col,
+                    message=(f"{detail} — per-entry payloads crossing "
+                             f"the process boundary are re-pickled for "
+                             f"every task; pass digest columns or blob "
+                             f"paths and let the worker materialise "
+                             f"locally"))
+
+
+class SwallowedCorruptionRule(ProgramRule):
+    rule_id = "R016"
+    name = "swallowed-corruption"
+    description = ("broad `except` around decode/load paths converts "
+                   "corrupt artifacts into silent cache misses — catch "
+                   "FormatError (or the specific corruption exception) "
+                   "narrowly, or re-raise.")
+
+    def check(self, program: ProgramFacts) -> Iterator[Violation]:
+        graph = program.call_graph
+        seeds: Dict[str, str] = {}
+        for qualname, def_facts in graph.defs.items():
+            for raised in def_facts.raises:
+                if is_corruption_exception(raised):
+                    seeds.setdefault(qualname, f"raises `{raised}`")
+        raisers = graph.propagate(seeds)
+        for qualname in sorted(graph.defs):
+            module = program.module_of_def(qualname)
+            if module is None or not _in_scope(module):
+                continue
+            def_facts = graph.defs[qualname]
+            for line, col, kind, calls in def_facts.broad_handlers:
+                evidence: List[str] = []
+                for call in calls:
+                    if call in raisers:
+                        evidence.append(f"`{call}` ({raisers[call]})")
+                    elif call in _DIRECT_DECODERS:
+                        evidence.append(f"decoder `{call}(...)`")
+                if not evidence:
+                    continue
+                shown = "; ".join(sorted(evidence)[:3])
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=graph.def_paths[qualname], line=line, col=col,
+                    message=(f"broad `{kind}` swallows corruption "
+                             f"signals from the try body ({shown}) — "
+                             f"catch the corruption exception narrowly "
+                             f"so corrupt artifacts fail loudly instead "
+                             f"of degrading into silent misses"))
+
+
+class ServiceImportLayeringRule(ProgramRule):
+    rule_id = "R017"
+    name = "service-import-layering"
+    description = ("repro.* library modules must not import the "
+                   "service/CLI surfaces (repro.service, "
+                   "repro.experiments.cli) — the library has to stay "
+                   "embeddable by the `repro serve` daemon without "
+                   "dragging in argument parsing or sockets.")
+
+    def check(self, program: ProgramFacts) -> Iterator[Violation]:
+        for path in sorted(program.files):
+            facts = program.files[path]
+            module = facts.module
+            if module is None or not (module == "repro"
+                                      or module.startswith("repro.")):
+                continue
+            if _is_surface_module(module):
+                continue
+            seen_lines = set()
+            for line, imported in sorted(facts.import_sites):
+                if not _is_surface_module(imported):
+                    continue
+                if line in seen_lines:
+                    continue
+                seen_lines.add(line)
+                yield Violation(
+                    rule_id=self.rule_id, path=path, line=line, col=0,
+                    message=(f"library module `{module}` imports "
+                             f"service/CLI surface `{imported}` — "
+                             f"invert the dependency (the surface "
+                             f"imports the library) or move the shared "
+                             f"code into the library layer"))
+
+
+ALL_EFFECT_RULES: List[ProgramRule] = [
+    DigestPathMaterializationRule(),
+    HeavyPayloadIpcRule(),
+    SwallowedCorruptionRule(),
+    ServiceImportLayeringRule(),
+]

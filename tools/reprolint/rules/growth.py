@@ -1,0 +1,173 @@
+"""R015 unbounded-growth: long-lived objects must bound their state.
+
+The ROADMAP targets a streaming/online mining mode and a resident
+``repro serve`` daemon; both die slowly if any long-lived object
+(cache, tracker, collector, registry, context) accumulates per-day or
+per-query state with no eviction path.  This rule finds classes whose
+name marks them long-lived and whose ``self.*`` containers only ever
+grow: every mutation site is an append/add/update/``[...] =`` store,
+and no method anywhere in the class shrinks (``pop``/``clear``/
+``del``/slice-reset), resets the attribute, or checks ``len()``
+against a bound.
+
+One violation per attribute (at its first growth site outside
+``__init__``), so a leaky ledger reads as one finding, not fifty.
+The fix is a retention bound, an eviction path, or — when unbounded
+growth *is* the semantics (e.g. a first-seen ledger) — a baseline
+entry with a burn-down note.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.reprolint.engine import ModuleContext, Rule, Violation
+
+__all__ = ["UnboundedGrowthRule"]
+
+#: Class-name fragments that mark an object as long-lived.
+_LONG_LIVED = re.compile(
+    r"Cache|Store|Tracker|Collector|Registry|Ledger|Context|"
+    r"Accumulator|History|Session|Monitor|Journal")
+
+#: Container method calls that grow the receiver.
+_GROW_CALLS = frozenset({
+    "append", "appendleft", "add", "update", "extend", "insert",
+    "setdefault",
+})
+
+#: Container method calls that shrink (or may shrink) the receiver.
+_SHRINK_CALLS = frozenset({
+    "pop", "popitem", "popleft", "remove", "discard", "clear",
+    "prune", "evict", "expire", "trim", "compact", "truncate",
+    "drop", "release",
+})
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")
+
+
+def _self_attr_method(func: ast.expr) -> Optional[Tuple[str, str]]:
+    """``("attr", "meth")`` for ``self.<attr>.<meth>(...)``."""
+    if isinstance(func, ast.Attribute) and _is_self_attr(func.value):
+        return func.value.attr, func.attr
+    return None
+
+
+def _len_of_self_attr(node: ast.expr) -> Optional[str]:
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "len" and node.args
+            and _is_self_attr(node.args[0])):
+        return node.args[0].attr
+    return None
+
+
+def _is_bounded_constructor(value: ast.expr) -> bool:
+    """``deque(maxlen=...)`` with a real bound: grows, but never
+    beyond ``maxlen`` — append past the limit evicts the other end."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    terminal = (func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None)
+    if terminal != "deque":
+        return False
+    for keyword in value.keywords:
+        if keyword.arg == "maxlen":
+            is_none = (isinstance(keyword.value, ast.Constant)
+                       and keyword.value.value is None)
+            return not is_none
+    return False
+
+
+class UnboundedGrowthRule(Rule):
+    rule_id = "R015"
+    name = "unbounded-growth"
+    description = ("long-lived objects (caches, trackers, collectors, "
+                   "contexts) must not hold containers that only ever "
+                   "grow — add a retention bound, an eviction path, or "
+                   "a documented reset, or the streaming/daemon modes "
+                   "leak without limit.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.ClassDef)
+                    and _LONG_LIVED.search(node.name)):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: ModuleContext,
+                     cls: ast.ClassDef) -> Iterator[Violation]:
+        grows: Dict[str, List[Tuple[ast.AST, str]]] = {}
+        bounded: Set[str] = set()
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            in_init = method.name == "__init__"
+            for inner in ast.walk(method):
+                if isinstance(inner, ast.Call):
+                    target = _self_attr_method(inner.func)
+                    if target is None:
+                        continue
+                    attr, meth = target
+                    if meth in _SHRINK_CALLS:
+                        bounded.add(attr)
+                    elif meth in _GROW_CALLS and not in_init:
+                        grows.setdefault(attr, []).append(
+                            (inner, f".{meth}(...)"))
+                elif isinstance(inner, ast.Assign):
+                    if _is_bounded_constructor(inner.value):
+                        for tgt in inner.targets:
+                            if _is_self_attr(tgt):
+                                bounded.add(tgt.attr)
+                    for tgt in inner.targets:
+                        self._classify_store(tgt, in_init, grows, bounded)
+                elif isinstance(inner, ast.Delete):
+                    for tgt in inner.targets:
+                        if (isinstance(tgt, ast.Subscript)
+                                and _is_self_attr(tgt.value)):
+                            bounded.add(tgt.value.attr)
+                        elif _is_self_attr(tgt):
+                            bounded.add(tgt.attr)
+                elif isinstance(inner, ast.Compare):
+                    for operand in [inner.left] + list(inner.comparators):
+                        attr = _len_of_self_attr(operand)
+                        if attr is not None:
+                            bounded.add(attr)
+        for attr in sorted(grows):
+            if attr in bounded:
+                continue
+            sites = sorted(grows[attr],
+                           key=lambda pair: (pair[0].lineno,
+                                             pair[0].col_offset))
+            node, how = sites[0]
+            noun = "site" if len(sites) == 1 else "sites"
+            yield self.violation(
+                ctx, node,
+                f"`self.{attr}` on long-lived `{cls.name}` only ever "
+                f"grows ({len(sites)} {how} {noun}, no "
+                f"pop/clear/del/len-bound anywhere in the class) — "
+                f"long-running streaming or serve modes will leak; add "
+                f"a retention bound or eviction path")
+
+    @staticmethod
+    def _classify_store(target: ast.expr, in_init: bool,
+                        grows: Dict[str, List[Tuple[ast.AST, str]]],
+                        bounded: Set[str]) -> None:
+        if isinstance(target, ast.Subscript) and _is_self_attr(target.value):
+            attr = target.value.attr
+            if isinstance(target.slice, ast.Slice):
+                bounded.add(attr)  # slice reset: self._x[:k] = ...
+            elif not in_init:
+                grows.setdefault(attr, []).append((target, "[...] ="))
+        elif _is_self_attr(target) and not in_init:
+            # Reassignment outside __init__ is a reset: bounded.
+            bounded.add(target.attr)

@@ -2,18 +2,26 @@
 
 Only the schema subset GitHub code scanning actually consumes is
 emitted: one run, a tool driver with the full rule catalogue
-(R001–R012 plus the audit pseudo-rule), and one result per violation
+(R001–R017 plus the audit pseudo-rule), and one result per violation
 with a physical location.  Columns are converted from the engine's
 0-based ``col`` to SARIF's 1-based ``startColumn``.
+
+When autofix patches are supplied (``render_sarif(..., patches=...)``),
+each result whose site has a patch carries a SARIF ``fixes`` object —
+``artifactChanges`` with a ``deletedRegion`` and ``insertedContent`` —
+so code-scanning UIs can offer the one-click sorted-wrap.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from tools.reprolint.engine import PARSE_ERROR_ID, Violation
 from tools.reprolint.rules import ALL_PROGRAM_RULES, ALL_RULES
+
+if TYPE_CHECKING:
+    from tools.reprolint.fixes import Patch
 
 __all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif",
            "sarif_document"]
@@ -51,8 +59,26 @@ def _rule_catalogue() -> List[Dict[str, Any]]:
     return entries
 
 
-def _result(violation: Violation,
-            rule_index: Dict[str, int]) -> Dict[str, Any]:
+def _fix_object(uri: str, patches: Sequence["Patch"]) -> Dict[str, Any]:
+    return {
+        "description": {"text": patches[0].description},
+        "artifactChanges": [{
+            "artifactLocation": {"uri": uri},
+            "replacements": [{
+                "deletedRegion": {
+                    "startLine": patch.start_line,
+                    "startColumn": patch.start_col + 1,
+                    "endLine": patch.end_line,
+                    "endColumn": patch.end_col + 1,
+                },
+                "insertedContent": {"text": patch.replacement},
+            } for patch in patches],
+        }],
+    }
+
+
+def _result(violation: Violation, rule_index: Dict[str, int],
+            patches: Sequence["Patch"] = ()) -> Dict[str, Any]:
     uri = violation.path.replace("\\", "/")
     entry: Dict[str, Any] = {
         "ruleId": violation.rule_id,
@@ -70,14 +96,23 @@ def _result(violation: Violation,
     }
     if violation.rule_id in rule_index:
         entry["ruleIndex"] = rule_index[violation.rule_id]
+    owned = [patch for patch in patches
+             if patch.path == violation.path
+             and patch.rule_id == violation.rule_id
+             and patch.violation_line == violation.line]
+    if owned:
+        entry["fixes"] = [_fix_object(uri, owned)]
     return entry
 
 
-def sarif_document(violations: Sequence[Violation]) -> Dict[str, Any]:
+def sarif_document(violations: Sequence[Violation],
+                   patches: Optional[Sequence["Patch"]] = None
+                   ) -> Dict[str, Any]:
     """The SARIF log as a plain dict (tests poke at the shape)."""
     rules = _rule_catalogue()
     rule_index = {rule["id"]: position
                   for position, rule in enumerate(rules)}
+    all_patches = list(patches or ())
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
@@ -87,16 +122,18 @@ def sarif_document(violations: Sequence[Violation]) -> Dict[str, Any]:
                     "name": "reprolint",
                     "informationUri":
                         "docs/STATIC_ANALYSIS.md",
-                    "version": "2.0.0",
+                    "version": "3.0.0",
                     "rules": rules,
                 },
             },
             "columnKind": "unicodeCodePoints",
-            "results": [_result(violation, rule_index)
+            "results": [_result(violation, rule_index, all_patches)
                         for violation in violations],
         }],
     }
 
 
-def render_sarif(violations: Sequence[Violation]) -> str:
-    return json.dumps(sarif_document(violations), indent=2, sort_keys=True)
+def render_sarif(violations: Sequence[Violation],
+                 patches: Optional[Sequence["Patch"]] = None) -> str:
+    return json.dumps(sarif_document(violations, patches=patches),
+                      indent=2, sort_keys=True)
