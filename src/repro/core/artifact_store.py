@@ -107,6 +107,16 @@ class ArtifactStore:
         self._mark_used(path)
         return value
 
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        """Raw blob bytes for ``key``, or ``None`` (counted as a miss).
+
+        The identity-codec convenience for callers that do their own
+        decoding — e.g. the column-spill IPC transport
+        (:mod:`repro.core.ipc`), whose packed buffers are validated by
+        the unpacker rather than here.
+        """
+        return self.load(key, lambda data: data)
+
     def _mark_used(self, path: Path) -> None:
         """Refresh mtime so prune order tracks recency of use."""
         try:

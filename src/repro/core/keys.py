@@ -24,7 +24,7 @@ from typing import Any, Mapping
 from repro.core.records import FpDnsDataset, FpDnsEntry
 
 __all__ = ["canonical_json_key", "versioned_key", "dataset_content_key",
-           "object_fingerprint"]
+           "compute_dataset_content_key", "object_fingerprint"]
 
 
 def canonical_json_key(payload: Mapping[str, Any]) -> str:
@@ -75,6 +75,18 @@ def dataset_content_key(dataset: FpDnsDataset) -> str:
         # entries) at store time, so keying a warm day costs nothing
         # and — crucially — never materialises the lazy entry views.
         return precomputed
+    return compute_dataset_content_key(dataset)
+
+
+def compute_dataset_content_key(dataset: FpDnsDataset) -> str:
+    """The entry-hashing loop behind :func:`dataset_content_key`,
+    without the precomputed-key fast path.
+
+    Split out so :class:`~repro.pdns.columnar.ColumnarFpDnsDataset` can
+    compute its *own* key lazily (its ``content_key`` attribute is the
+    fast path's probe target — calling the probing function from inside
+    the property would recurse).
+    """
     digest = hashlib.sha256()
     digest.update(dataset.day.encode("utf-8"))
     for stream_tag, entries in ((b"<", dataset.below), (b">", dataset.above)):

@@ -26,13 +26,17 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.artifact_store import ArtifactStore
 from repro.core.classifier.base import BinaryClassifier
-from repro.core.interning import digest_of
+from repro.core.interning import DayDigest, digest_of
+from repro.core.ipc import (IPC_AUTO, IPC_MODES, IPC_SHM, ColumnChannel,
+                            ColumnsRef, IpcStats, resolve_ipc_mode)
 from repro.core.keys import (dataset_content_key, object_fingerprint,
                              versioned_key)
 from repro.core.miner import DisposableZoneFinding, MinerConfig
@@ -170,9 +174,17 @@ def mine_day(dataset: FpDnsDataset, classifier: BinaryClassifier,
 
 @dataclass(frozen=True)
 class _MineDayTask:
-    """Everything one worker needs to mine one day (picklable)."""
+    """Everything one worker needs to mine one day (picklable).
 
-    dataset: FpDnsDataset
+    The day's data travels as a :class:`~repro.core.ipc.ColumnsRef`
+    into a digest-column payload the parent published — a few dozen
+    bytes of pickle instead of the per-entry dataset pickles that made
+    the first parallel miner lose to serial (reprolint R014 pins the
+    no-heavy-payload contract on this dispatch).
+    """
+
+    day: str
+    columns_ref: ColumnsRef
     classifier: BinaryClassifier
     config: MinerConfig
     suffix_list: Optional[SuffixList]
@@ -180,9 +192,20 @@ class _MineDayTask:
 
 def _mine_day_task(task: _MineDayTask) -> DailyMiningResult:
     """Worker entry point: top-level (picklable) by design — handed to
-    ``Pool.map``."""
-    return mine_day(task.dataset, task.classifier, task.config,
-                    task.suffix_list)
+    ``Pool.map``.
+
+    Digest-native: maps the parent's column payload, rebuilds the
+    :class:`~repro.core.interning.DayDigest` (no entry materialisation,
+    no re-interning) and runs the ranker on it.  The payload is owned
+    and released by the parent, never here.
+    """
+    channel = ColumnChannel(task.columns_ref.kind,
+                            spill_root=task.columns_ref.spill_root)
+    digest = DayDigest.from_columns(task.day,
+                                    channel.fetch(task.columns_ref))
+    ranker = DisposableZoneRanker(task.classifier, task.config,
+                                  task.suffix_list)
+    return ranker.run_digest(digest)
 
 
 class CalendarMiner:
@@ -193,20 +216,76 @@ class CalendarMiner:
     every ``n_workers`` value and for cache-warm replays — the digest
     pipeline is deterministic per day, ``Pool.map`` preserves order,
     and cached results round-trip exactly.
+
+    The parallel path dispatches *digest columns*, not datasets: the
+    parent builds (or reuses — columnar artifact loads already carry
+    one) each pending day's digest, publishes its
+    :meth:`~repro.core.interning.DayDigest.to_columns` arrays through a
+    :class:`~repro.core.ipc.ColumnChannel`, and pickles only the
+    resulting refs.  ``ipc`` selects the transport (``auto`` resolves
+    to shared memory where available, else artifact spill).  Every
+    published payload is released in a ``finally`` — a worker raising
+    mid-calendar leaks no segments.
     """
 
     def __init__(self, classifier: BinaryClassifier,
                  config: Optional[MinerConfig] = None,
                  suffix_list: Optional[SuffixList] = None,
                  n_workers: int = 1,
-                 cache: Optional[MinerResultCache] = None) -> None:
+                 cache: Optional[MinerResultCache] = None,
+                 ipc: str = IPC_AUTO) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if ipc not in IPC_MODES:
+            raise ValueError(f"ipc mode {ipc!r} not in {IPC_MODES}")
         self.classifier = classifier
         self.config = config or MinerConfig()
         self.suffix_list = suffix_list
         self.n_workers = n_workers
         self.cache = cache
+        self.ipc = ipc
+        self._last_ipc: Optional[IpcStats] = None
+
+    @property
+    def last_ipc(self) -> Optional[IpcStats]:
+        """Payload accounting for the most recent :meth:`mine_calendar`."""
+        return self._last_ipc
+
+    def _mine_parallel(self, pending_days: List[FpDnsDataset]
+                       ) -> List[DailyMiningResult]:
+        """Dispatch pending days to a worker pool as column refs."""
+        mode = resolve_ipc_mode(self.ipc)
+        spill_dir: Optional[tempfile.TemporaryDirectory] = None
+        spill_root: Optional[str] = None
+        if mode != IPC_SHM:
+            spill_dir = tempfile.TemporaryDirectory(
+                prefix="repro-miner-spill-")
+            spill_root = spill_dir.name
+        run_tag = f"repro-miner-{os.getpid()}"
+        channel = ColumnChannel(mode, spill_root=spill_root)
+        try:
+            tasks: List[_MineDayTask] = []
+            for position, dataset in enumerate(pending_days):
+                digest = digest_of(dataset)
+                ref = channel.publish(f"{run_tag}-d{position}",
+                                      digest.to_columns())
+                tasks.append(_MineDayTask(day=digest.day, columns_ref=ref,
+                                          classifier=self.classifier,
+                                          config=self.config,
+                                          suffix_list=self.suffix_list))
+            self._last_ipc = IpcStats(
+                mode=mode,
+                payload_bytes=sum(task.columns_ref.nbytes
+                                  for task in tasks),
+                segments=len(tasks))
+            context = multiprocessing.get_context()
+            n_processes = min(self.n_workers, len(tasks))
+            with context.Pool(processes=n_processes) as pool:
+                return pool.map(_mine_day_task, tasks)
+        finally:
+            channel.release_published()
+            if spill_dir is not None:
+                spill_dir.cleanup()
 
     def mine_calendar(self, datasets: Sequence[FpDnsDataset]
                       ) -> List[DailyMiningResult]:
@@ -224,18 +303,15 @@ class CalendarMiner:
                     continue
             pending.append(index)
         if pending:
-            tasks = [_MineDayTask(dataset=datasets[index],
-                                  classifier=self.classifier,
-                                  config=self.config,
-                                  suffix_list=self.suffix_list)
-                     for index in pending]
-            if self.n_workers > 1 and len(tasks) > 1:
-                context = multiprocessing.get_context()
-                n_processes = min(self.n_workers, len(tasks))
-                with context.Pool(processes=n_processes) as pool:
-                    mined = pool.map(_mine_day_task, tasks)
+            if self.n_workers > 1 and len(pending) > 1:
+                mined = self._mine_parallel(
+                    [datasets[index] for index in pending])
             else:
-                mined = [_mine_day_task(task) for task in tasks]
+                self._last_ipc = IpcStats(mode="inline", payload_bytes=0,
+                                          segments=0)
+                mined = [mine_day(datasets[index], self.classifier,
+                                  self.config, self.suffix_list)
+                         for index in pending]
             for index, result in zip(pending, mined):
                 results[index] = result
                 key = keys[index]

@@ -24,10 +24,11 @@ import numpy as np
 from repro.core.classifier import LadTreeClassifier
 from repro.core.features import FeatureExtractor
 from repro.core.hitrate import HitRateTable, hit_rates_from_digest
-from repro.core.interning import DayDigest, build_day_digest, digest_of
+from repro.core.interning import DayDigest, digest_of
 from repro.core.labeling import TrainingSet, build_training_set
 from repro.core.miner import MinerConfig
 from repro.core.mining_pipeline import CalendarMiner, MinerResultCache
+from repro.core.parallelism import worker_count_from_env
 from repro.core.ranking import (DailyMiningResult, DisposableZoneRanker,
                                 build_tree_from_digest)
 from repro.pdns.records import FpDnsDataset
@@ -168,9 +169,12 @@ class ExperimentContext:
             if self.artifacts.format == "columnar":
                 # Encoding needs the day's digest anyway; build it once
                 # and memoise so the first analysis pass gets it free.
+                # digest_of reuses a digest the dataset already carries
+                # (parallel-merged and artifact-loaded columnar days),
+                # so only serially simulated days pay a digest build.
                 digest = self._digests.get(date.label)
                 if digest is None:
-                    digest = build_day_digest(dataset)
+                    digest = digest_of(dataset)
                     self._digests[date.label] = digest
             self.artifacts.store(
                 artifact_key(self.simulator.config, self._history), dataset,
@@ -400,10 +404,10 @@ def _options_from_env() -> Tuple[int, Optional[FpDnsArtifactCache],
     — which changes bytes on disk only, never a loaded day's content;
     see :mod:`repro.traffic.artifacts`.)
     """
-    n_workers = int(os.environ.get("REPRO_SIM_WORKERS", "1"))
+    n_workers = worker_count_from_env("REPRO_SIM_WORKERS", default=1)
     cache_dir = os.environ.get("REPRO_ARTIFACT_CACHE")
     cache = FpDnsArtifactCache(cache_dir) if cache_dir else None
-    miner_workers = int(os.environ.get("REPRO_MINER_WORKERS", "1"))
+    miner_workers = worker_count_from_env("REPRO_MINER_WORKERS", default=1)
     miner_cache_dir = os.environ.get("REPRO_MINER_CACHE")
     miner_cache = (MinerResultCache(miner_cache_dir)
                    if miner_cache_dir else None)

@@ -65,7 +65,8 @@ from repro.core.dnstypes import RCode
 from repro.core.interning import (RRTYPE_BY_CODE, DayDigest,
                                   build_day_digest, decode_string_pool,
                                   encode_string_pool)
-from repro.core.keys import dataset_content_key
+from repro.core.keys import (compute_dataset_content_key,
+                             dataset_content_key)
 from repro.core.records import FpDnsDataset, FpDnsEntry
 from repro.pdns.io import FormatError
 
@@ -89,22 +90,40 @@ class ColumnarFpDnsDataset(FpDnsDataset):
     """An fpDNS day backed by columns instead of entry lists.
 
     Carries the deserialised :class:`~repro.core.interning.DayDigest`
-    (via :meth:`day_digest`) and the precomputed ``content_key``;
-    ``below``/``above`` materialise the legacy
-    :class:`~repro.core.records.FpDnsEntry` lists only when a
+    (via :meth:`day_digest`); ``below``/``above`` materialise the
+    legacy :class:`~repro.core.records.FpDnsEntry` lists only when a
     per-entry consumer actually reads them.
+
+    ``content_key`` is precomputed on warm artifact loads (carried by
+    the fpDNS-v2 header) and *lazy* on freshly merged parallel days
+    (pass ``None``): the key hashes the real entries, so computing it
+    eagerly would force the entry materialisation this class exists to
+    avoid.  Reading the property on a keyless day computes and caches
+    it once — the merged entries are identical to the serial day's, so
+    the lazy key equals the key a serial run would have stored.
     """
 
     def __init__(self, day: str, digest: DayDigest, xrdata: _XRdata,
-                 content_key: str) -> None:
+                 content_key: Optional[str]) -> None:
         # Deliberately not calling the dataclass __init__: ``below`` /
         # ``above`` are lazy properties here, not list fields.
         self.day = day
         self._digest = digest
         self._xrdata = xrdata
-        self.content_key = content_key
+        self._content_key = content_key
         self._below_entries: Optional[List[FpDnsEntry]] = None
         self._above_entries: Optional[List[FpDnsEntry]] = None
+
+    @property
+    def content_key(self) -> str:
+        """The day's :func:`~repro.core.keys.dataset_content_key`.
+
+        Free on warm loads; computed (and cached) from the entries on
+        first read for parallel-merged days.
+        """
+        if self._content_key is None:
+            self._content_key = compute_dataset_content_key(self)
+        return self._content_key
 
     def day_digest(self) -> DayDigest:
         """The columnar digest — free, already deserialised."""

@@ -1,4 +1,4 @@
-"""Sharded-parallel trace simulation.
+"""Sharded-parallel trace simulation with zero-copy column IPC.
 
 The monitored cluster of Section III-A is a set of *independent*
 recursive caches with clients pinned to servers by hash
@@ -7,6 +7,22 @@ is shared between servers, the simulated query stream can be
 partitioned by pinned server and each partition simulated in its own
 process — the same observation that makes DNS measurement at scale a
 parallel-workers problem (ZDNS).
+
+The first version of this module shipped each shard's results back as
+pickled :class:`~repro.pdns.records.FpDnsEntry` lists and lost badly
+to serial (0.18x at 4 workers — the ROADMAP's measured failure mode,
+reprolint R014).  Workers are now **digest-native end to end**: each
+shard builds per-day *column arrays* (timestamps, event-sequence tags,
+shard-locally interned name ids, RR/rdata tables — the fpDNS-v2
+vocabulary of :mod:`repro.core.interning`) and ships them through a
+:class:`repro.core.ipc.ColumnChannel` — one shared-memory segment per
+shard by default, or spilled blobs through an
+:class:`~repro.core.artifact_store.ArtifactStore` where POSIX shared
+memory is unavailable.  The parent performs the deterministic
+``(timestamp, seq)`` k-way merge **at the column level**
+(:func:`repro.core.interning.merge_shard_columns`) and materialises a
+:class:`~repro.pdns.columnar.ColumnarFpDnsDataset` directly, so the
+coordinator never constructs a per-entry object.
 
 Determinism contract
 --------------------
@@ -17,56 +33,186 @@ config and dates:
 * every worker regenerates the *full* day's event stream from the
   workload seed (generation is a pure function of the config and day),
   then simulates only the events pinned to its shard's servers;
-* each fpDNS entry group is tagged with the index of the generating
-  query event, and the per-shard streams are k-way merged on
+* each fpDNS row is tagged with the index of the generating query
+  event, and the per-shard column streams are stably merged on
   ``(timestamp, event index)``.  Event streams are timestamp-sorted at
   generation, so this restores exactly the serial interleaving — note
   that ``(timestamp, client_id, qname)`` alone is *not* a total order
-  over entries (every member of a CNAME chain shares the timestamp and
+  over rows (every member of a CNAME chain shares the timestamp and
   client of its query), which is why the generation-order index is the
-  tie-break;
+  tie-break and why the merge sort must be stable (rows of one
+  response keep their answer-section order);
+* name and RR ids are renumbered to first-appearance order over the
+  merged streams, so the merged digest equals
+  ``build_day_digest(serial_day)`` column for column;
 * per-server cache statistics ride back with the shard results, so
   :meth:`ShardedTraceSimulator.total_stats` equals the serial
   cluster's :meth:`~repro.dns.resolver.RdnsCluster.total_stats`.
 
-Worker entry points are top-level picklable functions (reprolint R007):
-no lambdas or closures are handed to the pool.
+Worker entry points are top-level picklable functions (reprolint R007)
+and the dispatched tasks carry configs and column refs, never entry
+lists (R014).  Shared-memory segment names are chosen by the *parent*
+so its ``finally`` block can release every segment even when a worker
+dies mid-task; workers release their own segments on the exception
+path (``tests/traffic/test_parallel.py`` pins the no-leak contract).
 """
 
 from __future__ import annotations
 
-import heapq
 import multiprocessing
 import os
+import tempfile
 from dataclasses import dataclass
-from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.ipc import (IPC_AUTO, IPC_MODES, IPC_SHM, ColumnChannel,
+                            ColumnsRef, IpcStats, resolve_ipc_mode)
 from repro.core.labeling import LabeledZone
+from repro.core.interning import (RRTYPE_CODES, SHARD_STREAM_FIELDS,
+                                  encode_string_pool, merge_shard_columns)
+from repro.core.parallelism import available_cpu_count
 from repro.dns.cache import CacheStats, LruDnsCache
+from repro.dns.message import RCode, Response
 from repro.dns.resolver import RecursiveResolver
-from repro.pdns.collector import entries_for_response
-from repro.pdns.records import FpDnsDataset, FpDnsEntry
+from repro.pdns.columnar import ColumnarFpDnsDataset
+from repro.pdns.records import FpDnsDataset
 from repro.traffic.diurnal import SECONDS_PER_DAY
 from repro.traffic.population import ZonePopulation
 from repro.traffic.simulate import (MeasurementDate, SimulatorConfig,
                                     apply_ttl_schedule)
 from repro.traffic.workload import WorkloadModel
 
-__all__ = ["ShardedTraceSimulator", "default_worker_count"]
+__all__ = ["ShardedTraceSimulator", "ShardColumnsBuilder", "IpcStats",
+           "default_worker_count"]
 
-#: One tagged fpDNS stream: (timestamp, generating-event index, entries).
-_TaggedGroup = Tuple[float, int, List[FpDnsEntry]]
+_NOERROR = RCode.NOERROR
+_NXDOMAIN = RCode.NXDOMAIN
+
+#: Field order of one shard row while being collected (transposed into
+#: the :data:`~repro.core.interning.SHARD_STREAM_FIELDS` arrays at day
+#: end).
+_ROW_DTYPES: Tuple[Tuple[str, type], ...] = (
+    ("timestamps", np.float64), ("seqs", np.int64),
+    ("name_ids", np.int32), ("rr_ids", np.int32),
+    ("client_ids", np.int64), ("rcodes", np.int16),
+    ("qtypes", np.int16), ("ttls", np.int64), ("xrdata_ids", np.int32))
+
+
+class ShardColumnsBuilder:
+    """Collects one shard's contribution to one day as columns.
+
+    Mirrors :func:`repro.pdns.collector.entries_for_response` row for
+    row — one row per answer RR under its own owner name, one row per
+    failure — but appends scalars into column buffers instead of
+    constructing :class:`~repro.pdns.records.FpDnsEntry` objects.
+    Names, answer rdata and RR triples are interned shard-locally
+    (dense ids in first-appearance order over this shard's rows); the
+    column merge renumbers them to the serial global order.
+    """
+
+    def __init__(self) -> None:
+        self._name_ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        self._rdata_ids: Dict[str, int] = {}
+        self._rdatas: List[str] = []
+        self._rr_ids: Dict[Tuple[int, int, int], int] = {}
+        self._rr_rows: List[Tuple[int, int, int]] = []
+        self._rows: Dict[str, List[Tuple[float, int, int, int, int, int,
+                                         int, int, int]]] = {
+            "below": [], "above": []}
+
+    def _intern_name(self, name: str) -> int:
+        nid = self._name_ids.get(name)
+        if nid is None:
+            nid = len(self._names)
+            self._name_ids[name] = nid
+            self._names.append(name)
+        return nid
+
+    def add_response(self, stream: str, now: float, seq: int,
+                     client_id: Optional[int],
+                     response: Response) -> None:
+        """Record the fpDNS rows one observed response contributes."""
+        rows = self._rows[stream]
+        cid = -1 if client_id is None else client_id
+        if response.rcode is _NXDOMAIN or not response.answers:
+            rcode = (response.rcode if response.rcode is not _NOERROR
+                     else _NXDOMAIN)
+            question = response.question
+            rows.append((now, seq, self._intern_name(question.qname),
+                         -1, cid, rcode.value,
+                         RRTYPE_CODES[question.qtype], -1, -1))
+            return
+        noerror = _NOERROR.value
+        for rr in response.answers:
+            nid = self._intern_name(rr.name)
+            qtype_code = RRTYPE_CODES[rr.rtype]
+            rdid = self._rdata_ids.get(rr.rdata)
+            if rdid is None:
+                rdid = len(self._rdatas)
+                self._rdata_ids[rr.rdata] = rdid
+                self._rdatas.append(rr.rdata)
+            rr_key = (nid, qtype_code, rdid)
+            rid = self._rr_ids.get(rr_key)
+            if rid is None:
+                rid = len(self._rr_rows)
+                self._rr_ids[rr_key] = rid
+                self._rr_rows.append(rr_key)
+            rows.append((now, seq, nid, rid, cid, noerror, qtype_code,
+                         -1 if rr.ttl is None else rr.ttl, -1))
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        """This shard-day as the column dict the merge consumes."""
+        columns: Dict[str, np.ndarray] = {}
+        names_blob, names_offsets = encode_string_pool(self._names)
+        columns["names_blob"] = names_blob
+        columns["names_offsets"] = names_offsets
+        rdata_blob, rdata_offsets = encode_string_pool(self._rdatas)
+        columns["rdata_blob"] = rdata_blob
+        columns["rdata_offsets"] = rdata_offsets
+        # Failure rows never carry rdata in the simulated streams
+        # (entries_for_response drops it), so the extra-rdata pool is
+        # structurally empty — kept in the layout for format parity
+        # with fpDNS-v2.
+        xrdata_blob, xrdata_offsets = encode_string_pool([])
+        columns["xrdata_blob"] = xrdata_blob
+        columns["xrdata_offsets"] = xrdata_offsets
+        columns["rr_name_ids"] = np.array(
+            [row[0] for row in self._rr_rows], dtype=np.int64)
+        columns["rr_qtypes"] = np.array(
+            [row[1] for row in self._rr_rows], dtype=np.int16)
+        columns["rr_rdata_ids"] = np.array(
+            [row[2] for row in self._rr_rows], dtype=np.int32)
+        for prefix in ("below", "above"):
+            rows = self._rows[prefix]
+            if rows:
+                transposed = list(zip(*rows))
+            else:
+                transposed = [() for _ in _ROW_DTYPES]
+            for (field, dtype), values in zip(_ROW_DTYPES, transposed):
+                columns[f"{prefix}_{field}"] = np.array(values,
+                                                        dtype=dtype)
+        return columns
 
 
 @dataclass(frozen=True)
 class _ShardTask:
-    """Everything one worker needs to simulate its servers' year."""
+    """Everything one worker needs to simulate its servers' window."""
 
     config: SimulatorConfig
     server_indices: Tuple[int, ...]
     dates: Tuple[MeasurementDate, ...]
     n_events: Optional[int]
+    #: Resolved IPC transport (``shm``/``spill``) or ``inline`` for the
+    #: single-shard in-process path (no pool, no serialisation).
+    transport: str
+    #: Parent-chosen shared-memory segment name — the parent must be
+    #: able to release the segment even if this worker dies after
+    #: publishing.
+    shm_name: Optional[str] = None
+    spill_root: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -79,19 +225,22 @@ class _ServerStats:
 
 
 @dataclass
-class _ShardDay:
-    """One shard's contribution to one simulated day."""
-
-    below: List[_TaggedGroup]
-    above: List[_TaggedGroup]
-
-
-@dataclass
 class _ShardResult:
-    """A worker's full output: per-day streams plus final stats."""
+    """A worker's full output: a column payload ref plus final stats.
 
-    days: List[_ShardDay]
+    Exactly one of ``columns_ref`` (pool path) and ``inline_days``
+    (single-shard in-process path) is set.  The published columns hold
+    one :class:`ShardColumnsBuilder` payload per date, key-prefixed
+    ``d<index>:``.
+    """
+
+    columns_ref: Optional[ColumnsRef]
+    inline_days: Optional[List[Dict[str, np.ndarray]]]
     stats: Dict[int, _ServerStats]
+
+
+def _day_prefix(day_index: int) -> str:
+    return f"d{day_index}:"
 
 
 def _simulate_shard(task: _ShardTask) -> _ShardResult:
@@ -101,7 +250,11 @@ def _simulate_shard(task: _ShardTask) -> _ShardResult:
     private population/authority/workload (deterministic from the
     config seeds, so identical across workers) and one resolver per
     assigned server, then replays each day's full event stream,
-    executing only the events whose pinned server belongs to the shard.
+    executing only the events whose pinned server belongs to the shard
+    and collecting columns instead of entries.  On the pool path the
+    day columns are published through the column channel and only a
+    small ref is pickled back; if anything fails after publication the
+    segment is released here before the exception propagates.
     """
     config = task.config
     population = ZonePopulation(config.population)
@@ -115,57 +268,58 @@ def _simulate_shard(task: _ShardTask) -> _ShardResult:
         for index in task.server_indices
     }
     n_servers = config.n_servers
-    days: List[_ShardDay] = []
+    shard_set = frozenset(task.server_indices)
+    days: List[Dict[str, np.ndarray]] = []
     for date in task.dates:
         apply_ttl_schedule(population, authority, date.year_fraction)
         events = workload.generate_day(
             date.day_index, year_fraction=date.year_fraction,
             n_events=task.n_events)
         day_start = date.day_index * SECONDS_PER_DAY
-        below: List[_TaggedGroup] = []
-        above: List[_TaggedGroup] = []
+        builder = ShardColumnsBuilder()
+        add_response = builder.add_response
         for seq, event in enumerate(events):
-            server = servers.get(event.client_id % n_servers)
-            if server is None:
+            server_index = event.client_id % n_servers
+            if server_index not in shard_set:
                 continue
+            server = servers[server_index]
             now = day_start + event.timestamp
             result = server.resolve(event.question, now)
             # Mirror RdnsCluster.query + PassiveDnsCollector exactly:
             # the above-tap fires first on a miss, then the below-tap.
             if not result.cache_hit:
-                above.append((now, seq,
-                              entries_for_response(now, None,
-                                                   result.response)))
-            below.append((now, seq,
-                          entries_for_response(now, event.client_id,
-                                               result.response)))
-        days.append(_ShardDay(below=below, above=above))
+                add_response("above", now, seq, None, result.response)
+            add_response("below", now, seq, event.client_id,
+                         result.response)
+        days.append(builder.finalize())
     stats = {
         index: _ServerStats(cache=server.cache.stats,
                             upstream_queries=server.upstream_queries,
                             answered_queries=server.answered_queries)
         for index, server in servers.items()
     }
-    return _ShardResult(days=days, stats=stats)
-
-
-def _merge_streams(streams: Sequence[List[_TaggedGroup]]) -> List[FpDnsEntry]:
-    """K-way merge tagged shard streams back into serial order.
-
-    Each shard's stream is already sorted by ``(timestamp, seq)`` and
-    event indices are disjoint across shards, so the merge is a total
-    deterministic order; within a group (one response), entry order is
-    preserved as produced.
-    """
-    merged: List[FpDnsEntry] = []
-    for _ts, _seq, entries in heapq.merge(*streams, key=itemgetter(0, 1)):
-        merged.extend(entries)
-    return merged
+    if task.transport == "inline":
+        return _ShardResult(columns_ref=None, inline_days=days,
+                            stats=stats)
+    payload: Dict[str, np.ndarray] = {}
+    for day_index, columns in enumerate(days):
+        prefix = _day_prefix(day_index)
+        for key, array in columns.items():
+            payload[prefix + key] = array
+    channel = ColumnChannel(task.transport, spill_root=task.spill_root)
+    try:
+        ref = channel.publish(task.shm_name or "shard", payload)
+    except BaseException:
+        channel.release_published()
+        raise
+    return _ShardResult(columns_ref=ref, inline_days=None, stats=stats)
 
 
 def default_worker_count(n_servers: int) -> int:
-    """Workers to use when unspecified: one per core, capped by shards."""
-    return max(1, min(n_servers, os.cpu_count() or 1))
+    """Workers to use when unspecified: one per *schedulable* core
+    (cgroup/affinity aware — ``os.cpu_count`` over-subscribes
+    constrained CI boxes), capped by shards."""
+    return max(1, min(n_servers, available_cpu_count()))
 
 
 class ShardedTraceSimulator:
@@ -176,58 +330,136 @@ class ShardedTraceSimulator:
     caches — exactly what a freshly constructed serial simulator would
     produce for the same dates.  Server ``i`` is assigned to worker
     ``i % n_workers``, so any worker count from 1 to ``n_servers``
-    yields the identical merged output.
+    yields the identical merged output.  Returned datasets are
+    :class:`~repro.pdns.columnar.ColumnarFpDnsDataset` views: the
+    digest is already built (the merge produced it) and per-entry
+    lists materialise only if a legacy consumer reads them.
+
+    ``ipc`` selects the worker transport: ``auto`` (default) resolves
+    to shared memory where available, else artifact spill; a
+    single-shard run stays fully in-process either way.
     """
 
     def __init__(self, config: Optional[SimulatorConfig] = None,
-                 n_workers: Optional[int] = None) -> None:
+                 n_workers: Optional[int] = None,
+                 ipc: str = IPC_AUTO) -> None:
         self.config = config or SimulatorConfig()
         if n_workers is None:
             n_workers = default_worker_count(self.config.n_servers)
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if ipc not in IPC_MODES:
+            raise ValueError(f"ipc mode {ipc!r} not in {IPC_MODES}")
         self.n_workers = min(n_workers, self.config.n_servers)
+        self.ipc = ipc
         self._population: Optional[ZonePopulation] = None
         self._stats: Optional[Dict[int, _ServerStats]] = None
+        self._last_ipc: Optional[IpcStats] = None
 
     # -- shard planning -----------------------------------------------------
 
-    def _tasks(self, dates: Sequence[MeasurementDate],
-               n_events: Optional[int]) -> List[_ShardTask]:
+    def _shards(self) -> List[Tuple[int, ...]]:
         shards: List[List[int]] = [[] for _ in range(self.n_workers)]
         for index in range(self.config.n_servers):
             shards[index % self.n_workers].append(index)
-        return [
-            _ShardTask(config=self.config, server_indices=tuple(shard),
-                       dates=tuple(dates), n_events=n_events)
-            for shard in shards if shard
-        ]
+        return [tuple(shard) for shard in shards if shard]
 
     # -- running ------------------------------------------------------------
 
     def run_days(self, dates: Sequence[MeasurementDate],
                  n_events: Optional[int] = None) -> List[FpDnsDataset]:
         """Simulate ``dates`` (chronological) and return one dataset each."""
-        tasks = self._tasks(dates, n_events)
-        if len(tasks) == 1:
-            # Single shard: same code path, no process overhead.
-            results = [_simulate_shard(tasks[0])]
-        else:
+        shards = self._shards()
+        if len(shards) == 1:
+            results = [_simulate_shard(_ShardTask(
+                config=self.config, server_indices=shards[0],
+                dates=tuple(dates), n_events=n_events,
+                transport="inline"))]
+            self._last_ipc = IpcStats(mode="inline", payload_bytes=0,
+                                      segments=0)
+            return self._finish(dates, results)
+        mode = resolve_ipc_mode(self.ipc)
+        spill_dir: Optional[tempfile.TemporaryDirectory] = None
+        spill_root: Optional[str] = None
+        if mode != IPC_SHM:
+            spill_dir = tempfile.TemporaryDirectory(
+                prefix="repro-sim-spill-")
+            spill_root = spill_dir.name
+        run_tag = f"repro-sim-{os.getpid()}"
+        tasks = [
+            _ShardTask(config=self.config, server_indices=shard,
+                       dates=tuple(dates), n_events=n_events,
+                       transport=mode,
+                       shm_name=f"{run_tag}-s{shard_index}",
+                       spill_root=spill_root)
+            for shard_index, shard in enumerate(shards)
+        ]
+        try:
             context = multiprocessing.get_context()
             with context.Pool(processes=len(tasks)) as pool:
                 results = pool.map(_simulate_shard, tasks)
+            self._last_ipc = IpcStats(
+                mode=mode,
+                payload_bytes=sum(result.columns_ref.nbytes
+                                  for result in results
+                                  if result.columns_ref is not None),
+                segments=sum(1 for result in results
+                             if result.columns_ref is not None))
+            return self._finish(dates, results)
+        finally:
+            # Release every possible segment by its parent-chosen name:
+            # covers worker crashes after publication (the ref never
+            # reached us) as well as the normal path.  release() is
+            # idempotent, so double-frees are no-ops.
+            for task in tasks:
+                if task.shm_name is not None and mode == IPC_SHM:
+                    ColumnsRef(kind=IPC_SHM, token=task.shm_name,
+                               nbytes=0).release()
+            if spill_dir is not None:
+                spill_dir.cleanup()
+
+    def _finish(self, dates: Sequence[MeasurementDate],
+                results: List[_ShardResult]) -> List[FpDnsDataset]:
+        """Merge shard columns day by day and collect server stats."""
         stats: Dict[int, _ServerStats] = {}
         for result in results:
             stats.update(result.stats)
         self._stats = stats
+        channel = ColumnChannel(IPC_SHM)
+        shard_days: List[List[Dict[str, np.ndarray]]] = []
+        for result in results:
+            if result.inline_days is not None:
+                shard_days.append(result.inline_days)
+                continue
+            assert result.columns_ref is not None
+            # fetch() copies the columns out and unmaps immediately —
+            # the merge below must not hold views into a segment the
+            # run_days finally block is about to unlink.
+            payload = channel.fetch(result.columns_ref)
+            days: List[Dict[str, np.ndarray]] = []
+            for day_index in range(len(dates)):
+                prefix = _day_prefix(day_index)
+                days.append({key[len(prefix):]: array
+                             for key, array in payload.items()
+                             if key.startswith(prefix)})
+            shard_days.append(days)
         datasets: List[FpDnsDataset] = []
         for day_index, date in enumerate(dates):
-            shard_days = [result.days[day_index] for result in results]
-            datasets.append(FpDnsDataset(
-                day=date.label,
-                below=_merge_streams([day.below for day in shard_days]),
-                above=_merge_streams([day.above for day in shard_days])))
+            merged = merge_shard_columns(
+                date.label,
+                [days[day_index] for days in shard_days])
+            datasets.append(ColumnarFpDnsDataset(
+                day=date.label, digest=merged.digest,
+                xrdata=(merged.below_xrdata_ids,
+                        merged.above_xrdata_ids,
+                        merged.xrdata_strings),
+                content_key=None))
         return datasets
+
+    @property
+    def last_ipc(self) -> Optional[IpcStats]:
+        """Payload accounting for the most recent :meth:`run_days`."""
+        return self._last_ipc
 
     def total_stats(self) -> dict:
         """Aggregate cache statistics, matching

@@ -1,0 +1,155 @@
+"""Tests for repro.core.ipc — the zero-copy column transport.
+
+Three contracts: the packed buffer round-trips every column exactly
+(and rejects corrupt buffers loudly); both transports (shared memory,
+artifact spill) deliver byte-identical payloads; and no shared-memory
+segment survives a run, even when a producer or consumer raises —
+segment leaks outlive the process and eat ``/dev/shm``, so cleanup is
+part of the API contract, not a courtesy.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.artifact_store import CorruptArtifact
+from repro.core.ipc import (IPC_SHM, IPC_SPILL, ColumnChannel, ColumnsRef,
+                            pack_columns, packed_nbytes, resolve_ipc_mode,
+                            shared_memory_available, unpack_columns)
+
+needs_shm = pytest.mark.skipif(not shared_memory_available(),
+                               reason="no POSIX shared memory")
+
+
+def sample_columns():
+    return {
+        "timestamps": np.array([0.5, 1.25, 3.0], dtype=np.float64),
+        "name_ids": np.array([0, 1, 0], dtype=np.int32),
+        "rcodes": np.array([0, 3], dtype=np.int16),
+        "blob": np.frombuffer(b"alpha\x00beta", dtype=np.uint8),
+        "empty": np.array([], dtype=np.int64),
+    }
+
+
+def shm_segments():
+    """Names of live shared-memory segments created by this suite."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux fallback
+        return []
+    return [path.name for path in root.iterdir()
+            if path.name.startswith("repro-test-")]
+
+
+class TestPackedFormat:
+    def test_roundtrip_exact(self):
+        columns = sample_columns()
+        unpacked = unpack_columns(pack_columns(columns))
+        assert sorted(unpacked) == sorted(columns)
+        for key, array in columns.items():
+            assert unpacked[key].dtype == array.dtype
+            assert unpacked[key].shape == array.shape
+            np.testing.assert_array_equal(unpacked[key], array)
+
+    def test_roundtrip_multidimensional(self):
+        columns = {"grid": np.arange(12, dtype=np.int64).reshape(3, 4)}
+        unpacked = unpack_columns(pack_columns(columns))
+        np.testing.assert_array_equal(unpacked["grid"], columns["grid"])
+
+    def test_views_are_zero_copy(self):
+        data = pack_columns(sample_columns())
+        unpacked = unpack_columns(data)
+        # A view's buffer is the packed bytes themselves, not a copy.
+        assert not unpacked["timestamps"].flags.owndata
+
+    def test_packed_nbytes_upper_bounds_actual(self):
+        columns = sample_columns()
+        assert packed_nbytes(columns) >= len(pack_columns(columns))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CorruptArtifact, match="not a packed"):
+            unpack_columns(b"NOPE" + b"\x00" * 64)
+
+    def test_truncated_payload_rejected(self):
+        data = pack_columns(sample_columns())
+        with pytest.raises(CorruptArtifact, match="truncated"):
+            unpack_columns(data[:-8])
+
+    def test_corrupt_header_rejected(self):
+        data = bytearray(pack_columns({"a": np.array([1], dtype=np.int8)}))
+        data[16] ^= 0xFF  # somewhere inside the JSON header
+        with pytest.raises(CorruptArtifact):
+            unpack_columns(bytes(data))
+
+
+class TestResolveMode:
+    def test_explicit_modes_pass_through(self):
+        assert resolve_ipc_mode(IPC_SHM) == IPC_SHM
+        assert resolve_ipc_mode(IPC_SPILL) == IPC_SPILL
+
+    def test_auto_resolves_to_a_concrete_mode(self):
+        assert resolve_ipc_mode("auto") in (IPC_SHM, IPC_SPILL)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_ipc_mode("carrier-pigeon")
+
+    def test_spill_requires_root(self):
+        with pytest.raises(ValueError, match="spill_root"):
+            ColumnChannel(IPC_SPILL)
+
+
+class TestSpillTransport:
+    def test_publish_fetch_release(self, tmp_path):
+        channel = ColumnChannel(IPC_SPILL, spill_root=str(tmp_path))
+        ref = channel.publish("repro-test-day0", sample_columns())
+        assert ref.kind == IPC_SPILL
+        assert ref.nbytes > 0
+        fetched = channel.fetch(ref)
+        np.testing.assert_array_equal(fetched["timestamps"],
+                                      sample_columns()["timestamps"])
+        ref.release()
+        assert list(tmp_path.glob("*.cols")) == []
+        ref.release()  # idempotent
+
+    def test_map_yields_views(self, tmp_path):
+        channel = ColumnChannel(IPC_SPILL, spill_root=str(tmp_path))
+        ref = channel.publish("repro-test-day0", sample_columns())
+        with channel.map(ref) as columns:
+            np.testing.assert_array_equal(columns["name_ids"],
+                                          sample_columns()["name_ids"])
+        channel.release_published()
+
+
+@needs_shm
+class TestShmTransport:
+    def test_publish_fetch_release(self):
+        channel = ColumnChannel(IPC_SHM)
+        ref = channel.publish("repro-test-shm0", sample_columns())
+        try:
+            assert ref.kind == IPC_SHM
+            assert "repro-test-shm0" in shm_segments()
+            fetched = channel.fetch(ref)
+            for key, array in sample_columns().items():
+                np.testing.assert_array_equal(fetched[key], array)
+            # fetch() returns owned copies: usable after release.
+            ref.release()
+            assert "repro-test-shm0" not in shm_segments()
+            np.testing.assert_array_equal(
+                fetched["timestamps"], sample_columns()["timestamps"])
+        finally:
+            ref.release()  # idempotent; covers assertion-failure paths
+
+    def test_release_published_frees_every_segment(self):
+        channel = ColumnChannel(IPC_SHM)
+        for index in range(3):
+            channel.publish(f"repro-test-multi{index}", sample_columns())
+        assert len([n for n in shm_segments()
+                    if n.startswith("repro-test-multi")]) == 3
+        channel.release_published()
+        assert [n for n in shm_segments()
+                if n.startswith("repro-test-multi")] == []
+
+    def test_release_of_unknown_segment_is_noop(self):
+        ColumnsRef(kind=IPC_SHM, token="repro-test-never-created",
+                   nbytes=0).release()

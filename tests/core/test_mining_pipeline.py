@@ -103,9 +103,64 @@ class TestCalendarMiner:
         with pytest.raises(ValueError):
             CalendarMiner(classifier, n_workers=0)
 
+    def test_rejects_bad_ipc_mode(self, calendar):
+        _, classifier = calendar
+        with pytest.raises(ValueError):
+            CalendarMiner(classifier, ipc="telegraph")
+
     def test_empty_calendar(self, calendar):
         _, classifier = calendar
         assert CalendarMiner(classifier).mine_calendar([]) == []
+
+
+class TestDigestDispatch:
+    """The parallel miner ships digest columns, not datasets: every
+    transport produces the serial result, and the dispatch reports the
+    (column-sized) payload that actually crossed the pool."""
+
+    def test_spill_transport_equals_serial(self, calendar, oracle):
+        datasets, classifier = calendar
+        miner = CalendarMiner(classifier, MinerConfig(), n_workers=2,
+                              ipc="spill")
+        mined = miner.mine_calendar(datasets)
+        for reference, candidate in zip(oracle, mined):
+            _assert_results_equal(reference, candidate)
+        assert miner.last_ipc is not None
+        assert miner.last_ipc.mode == "spill"
+        assert miner.last_ipc.segments == len(datasets)
+        assert miner.last_ipc.payload_bytes > 0
+
+    def test_parallel_run_reports_ipc_payload(self, calendar):
+        datasets, classifier = calendar
+        miner = CalendarMiner(classifier, MinerConfig(), n_workers=2)
+        miner.mine_calendar(datasets)
+        assert miner.last_ipc is not None
+        assert miner.last_ipc.mode in ("shm", "spill")
+        assert miner.last_ipc.payload_bytes > 0
+
+    def test_serial_run_reports_inline(self, calendar):
+        datasets, classifier = calendar
+        miner = CalendarMiner(classifier, MinerConfig(), n_workers=1)
+        miner.mine_calendar(datasets)
+        assert miner.last_ipc is not None
+        assert miner.last_ipc.mode == "inline"
+        assert miner.last_ipc.payload_bytes == 0
+
+
+class TestWarmKeyFastPath:
+    """Keying a warm columnar day must not materialise its entries —
+    the whole point of carrying content keys in the fpDNS-v2 header."""
+
+    def test_miner_result_key_skips_entry_materialisation(self, calendar):
+        from repro.pdns.columnar import dumps_fpdns2, loads_fpdns2
+        datasets, classifier = calendar
+        warm = loads_fpdns2(dumps_fpdns2(datasets[0]))
+        key = miner_result_key(warm, classifier, MinerConfig())
+        assert key == miner_result_key(datasets[0], classifier,
+                                       MinerConfig())
+        # The lazy entry views were never touched.
+        assert warm._below_entries is None
+        assert warm._above_entries is None
 
 
 class TestMinerResultCache:

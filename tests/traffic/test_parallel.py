@@ -9,15 +9,28 @@ in-memory entry streams and the serialized bytes.
 """
 
 import gzip
+from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro.core.interning import STREAM_FIELDS, build_day_digest
+from repro.core.keys import dataset_content_key
 from repro.pdns.io import save_fpdns
 from repro.traffic.parallel import ShardedTraceSimulator, default_worker_count
 from repro.traffic.population import PopulationConfig
 from repro.traffic.simulate import (PAPER_DATES, MeasurementDate,
                                     SimulatorConfig, TraceSimulator)
 from repro.traffic.workload import WorkloadConfig
+
+try:
+    from repro.core.ipc import shared_memory_available
+    HAVE_SHM = shared_memory_available()
+except ImportError:  # pragma: no cover
+    HAVE_SHM = False
+
+needs_shm = pytest.mark.skipif(not HAVE_SHM,
+                               reason="no POSIX shared memory")
 
 DATES = PAPER_DATES[:2]
 N_EVENTS = 3_000
@@ -97,6 +110,119 @@ class TestShardPlanning:
         serial = TraceSimulator(small_config())
         sharded = ShardedTraceSimulator(small_config())
         assert sharded.disposable_truth() == serial.disposable_truth()
+
+
+def _live_sim_segments():
+    """Live shared-memory segments published by the sharded simulator."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux fallback
+        return []
+    return [path.name for path in root.iterdir()
+            if path.name.startswith("repro-sim-")]
+
+
+class TestColumnMerge:
+    """The tentpole contract: the column-level merge reproduces the
+    serial digest *column for column*, not just entry for entry."""
+
+    @pytest.mark.parametrize("ipc", [
+        pytest.param("shm", marks=needs_shm), "spill"])
+    def test_transports_byte_identical(self, serial_run, ipc):
+        serial_datasets, _ = serial_run
+        sharded = ShardedTraceSimulator(small_config(), n_workers=2,
+                                        ipc=ipc)
+        parallel_datasets = sharded.run_days(DATES, n_events=N_EVENTS)
+        assert sharded.last_ipc is not None
+        assert sharded.last_ipc.mode == ipc
+        assert sharded.last_ipc.segments == 2
+        assert sharded.last_ipc.payload_bytes > 0
+        for serial_day, parallel_day in zip(serial_datasets,
+                                            parallel_datasets):
+            assert parallel_day.below == serial_day.below
+            assert parallel_day.above == serial_day.above
+
+    def test_merged_digest_equals_serial_digest(self, serial_run):
+        serial_datasets, _ = serial_run
+        sharded = ShardedTraceSimulator(small_config(), n_workers=4)
+        parallel_datasets = sharded.run_days(DATES, n_events=N_EVENTS)
+        for serial_day, parallel_day in zip(serial_datasets,
+                                            parallel_datasets):
+            reference = build_day_digest(serial_day)
+            merged = parallel_day.day_digest()
+            assert merged.names.names == reference.names.names
+            assert merged.rr_keys == reference.rr_keys
+            np.testing.assert_array_equal(merged.rr_name_ids,
+                                          reference.rr_name_ids)
+            for stream in ("below", "above"):
+                for field in STREAM_FIELDS:
+                    np.testing.assert_array_equal(
+                        getattr(getattr(merged, stream), field),
+                        getattr(getattr(reference, stream), field),
+                        err_msg=f"{stream}.{field}")
+
+    def test_lazy_content_key_equals_serial(self, serial_run):
+        serial_datasets, _ = serial_run
+        sharded = ShardedTraceSimulator(small_config(), n_workers=2)
+        parallel_datasets = sharded.run_days(DATES, n_events=N_EVENTS)
+        for serial_day, parallel_day in zip(serial_datasets,
+                                            parallel_datasets):
+            assert (dataset_content_key(parallel_day)
+                    == dataset_content_key(serial_day))
+
+    def test_inline_run_reports_no_ipc(self):
+        sharded = ShardedTraceSimulator(small_config(), n_workers=1)
+        sharded.run_days(DATES[:1], n_events=500)
+        assert sharded.last_ipc is not None
+        assert sharded.last_ipc.mode == "inline"
+        assert sharded.last_ipc.payload_bytes == 0
+
+    def test_rejects_unknown_ipc_mode(self):
+        with pytest.raises(ValueError):
+            ShardedTraceSimulator(small_config(), ipc="smoke-signals")
+
+
+@needs_shm
+class TestSegmentCleanup:
+    """No shared-memory segment may survive a run — not on success, not
+    when a worker dies, not when the parent-side merge raises."""
+
+    def test_successful_run_leaves_no_segments(self):
+        sharded = ShardedTraceSimulator(small_config(), n_workers=2,
+                                        ipc="shm")
+        sharded.run_days(DATES[:1], n_events=500)
+        assert _live_sim_segments() == []
+
+    def test_worker_failure_leaves_no_segments(self, monkeypatch):
+        # Fork-pool workers inherit the patched module state, so the
+        # raise happens inside the children, before they publish.
+        import repro.traffic.parallel as parallel_module
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("injected worker failure")
+
+        monkeypatch.setattr(parallel_module.ShardColumnsBuilder,
+                            "add_response", explode)
+        sharded = ShardedTraceSimulator(small_config(), n_workers=2,
+                                        ipc="shm")
+        with pytest.raises(RuntimeError):
+            sharded.run_days(DATES[:1], n_events=500)
+        assert _live_sim_segments() == []
+
+    def test_parent_merge_failure_leaves_no_segments(self, monkeypatch):
+        # Workers publish successfully; the parent then dies merging.
+        # Its finally block must still unlink every segment by name.
+        import repro.traffic.parallel as parallel_module
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected merge failure")
+
+        monkeypatch.setattr(parallel_module, "merge_shard_columns",
+                            explode)
+        sharded = ShardedTraceSimulator(small_config(), n_workers=2,
+                                        ipc="shm")
+        with pytest.raises(RuntimeError):
+            sharded.run_days(DATES[:1], n_events=500)
+        assert _live_sim_segments() == []
 
 
 class TestStatsGuard:

@@ -9,11 +9,16 @@ numbers to ``BENCH_simulator.json`` at the repo root:
 * **artifact cache** — a cold session that stores every day, then a
   warm session that loads them instead of simulating.
 
-The recorded file also captures ``cpu_count``: sharding cannot beat
-serial on fewer cores than workers, so numbers are only comparable
-across machines together with that field.  Timing lives here in
-``tools/`` because ``src/repro`` is wall-clock-free by the determinism
-contract (reprolint R001).
+The recorded file also captures ``cpu_count``/``available_cpus``:
+sharding cannot beat serial on fewer schedulable cores than workers,
+so numbers are only comparable across machines together with those
+fields.  Each sharded run additionally records its IPC payload — the
+packed column bytes that crossed the worker boundary
+(``ipc_payload_bytes``) — next to ``legacy_pickle_payload_bytes``,
+what the retired per-entry pickle transport would have shipped for
+the same days (see docs/PERFORMANCE.md §6).  Timing lives here in
+``tools/`` because ``src/repro`` is wall-clock-free by the
+determinism contract (reprolint R001).
 
 Usage::
 
@@ -30,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import sys
 import tempfile
 import time
@@ -39,6 +45,7 @@ from typing import Dict, List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.parallelism import available_cpu_count  # noqa: E402
 from repro.experiments.context import MEDIUM, SMALL, ScaleProfile  # noqa: E402
 from repro.pdns.records import FpDnsDataset  # noqa: E402
 from repro.traffic.artifacts import (FpDnsArtifactCache,  # noqa: E402
@@ -68,6 +75,7 @@ def bench(profile: ScaleProfile, n_days: int,
         "n_days": len(dates),
         "events_per_day": n_events or profile.events_per_day,
         "cpu_count": os.cpu_count(),
+        "available_cpus": available_cpu_count(),
         "python": sys.version.split()[0],
     }
 
@@ -78,7 +86,18 @@ def bench(profile: ScaleProfile, n_days: int,
     results["serial_s"] = round(serial_s, 3)
     print(f"serial: {serial_s:.2f}s")
 
+    # What the pre-columnar engine would have shipped through the pool:
+    # the per-entry lists, pickled.  The column transport's
+    # ``ipc_payload_bytes`` below is the after number.
+    legacy_payload = sum(
+        len(pickle.dumps((day.day, day.below, day.above),
+                         protocol=pickle.HIGHEST_PROTOCOL))
+        for day in serial_days)
+    results["legacy_pickle_payload_bytes"] = legacy_payload
+    print(f"legacy pickled payload: {legacy_payload} bytes")
+
     sharded_timings: Dict[str, float] = {}
+    ipc_payloads: Dict[str, int] = {}
     for n_workers in (1, 2, 4):
         start = time.perf_counter()
         sharded = ShardedTraceSimulator(profile.simulator_config(),
@@ -88,12 +107,19 @@ def bench(profile: ScaleProfile, n_days: int,
         _check_identical(serial_days, sharded_days,
                          f"sharded(n_workers={n_workers})")
         sharded_timings[str(n_workers)] = round(elapsed, 3)
+        ipc = sharded.last_ipc
+        assert ipc is not None
+        ipc_payloads[str(n_workers)] = ipc.payload_bytes
         print(f"sharded n_workers={n_workers}: {elapsed:.2f}s "
-              f"(speedup {serial_s / elapsed:.2f}x, output identical)")
+              f"(speedup {serial_s / elapsed:.2f}x, ipc {ipc.mode} "
+              f"{ipc.payload_bytes} bytes, output identical)")
+        if ipc.payload_bytes:
+            results["ipc_mode"] = ipc.mode
     results["sharded_s"] = sharded_timings
+    results["ipc_payload_bytes"] = ipc_payloads
     results["speedup_at_4_workers"] = round(
         serial_s / sharded_timings["4"], 2)
-    if (os.cpu_count() or 1) == 1:
+    if available_cpu_count() == 1:
         # Multi-worker numbers on a single core measure process
         # overhead, not parallel speedup — flag them so readers (and
         # tooling) do not compare them against multi-core baselines.

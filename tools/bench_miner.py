@@ -15,11 +15,15 @@ a fixed simulated workload and writes the numbers to
   result, then a warm session that replays it without mining.
 
 Every timed path is asserted equal to the legacy oracle while being
-timed.  The recorded file captures ``cpu_count``; on a single core the
-multi-worker timings measure process overhead, not speedup, and are
-flagged ``constrained``.  Timing lives here in ``tools/`` because
-``src/repro`` is wall-clock-free by the determinism contract
-(reprolint R001).
+timed.  The recorded file captures ``cpu_count``/``available_cpus``;
+on a single schedulable core the multi-worker timings measure process
+overhead, not speedup, and are flagged ``constrained``.  Each parallel
+calendar run also records its IPC payload (``ipc_payload_bytes``, the
+packed digest-column bytes dispatched to workers) next to
+``legacy_pickle_payload_bytes``, what the retired dataset-pickling
+dispatch would have shipped (see docs/PERFORMANCE.md §6).  Timing
+lives here in ``tools/`` because ``src/repro`` is wall-clock-free by
+the determinism contract (reprolint R001).
 
 Usage::
 
@@ -37,6 +41,7 @@ import argparse
 import gc
 import json
 import os
+import pickle
 import sys
 import tempfile
 import time
@@ -65,6 +70,7 @@ from repro.core.labeling import build_training_set  # noqa: E402
 from repro.core.miner import MinerConfig  # noqa: E402
 from repro.core.mining_pipeline import (CalendarMiner,  # noqa: E402
                                         MinerResultCache)
+from repro.core.parallelism import available_cpu_count  # noqa: E402
 from repro.core.ranking import (DailyMiningResult,  # noqa: E402
                                 DisposableZoneRanker,
                                 build_tree_from_digest)
@@ -166,6 +172,7 @@ def bench(profile: ScaleProfile, n_days: int,
         "n_days": len(datasets),
         "events_per_day": n_events or profile.events_per_day,
         "cpu_count": os.cpu_count(),
+        "available_cpus": available_cpu_count(),
         "python": sys.version.split()[0],
     }
 
@@ -209,8 +216,18 @@ def bench(profile: ScaleProfile, n_days: int,
     # -- calendar mining at 1/2/4 workers --------------------------------
     oracle = [DisposableZoneRanker(classifier, MinerConfig()).run_day(dataset)
               for dataset in datasets]
+    # What the pre-columnar dispatch would have pickled to the pool:
+    # the datasets themselves, entry lists and all.  The digest-column
+    # dispatch's ``ipc_payload_bytes`` below is the after number.
+    legacy_payload = sum(
+        len(pickle.dumps(dataset, protocol=pickle.HIGHEST_PROTOCOL))
+        for dataset in datasets)
+    results["legacy_pickle_payload_bytes"] = legacy_payload
+    print(f"legacy pickled payload: {legacy_payload} bytes")
+
     serial_results: Optional[List[DailyMiningResult]] = None
     calendar_timings: Dict[str, float] = {}
+    ipc_payloads: Dict[str, int] = {}
     for n_workers in (1, 2, 4):
         miner = CalendarMiner(classifier, MinerConfig(), n_workers=n_workers)
         start = time.perf_counter()
@@ -225,10 +242,17 @@ def bench(profile: ScaleProfile, n_days: int,
             assert mined == serial_results, \
                 f"n_workers={n_workers} diverged from the 1-worker run"
         calendar_timings[str(n_workers)] = round(elapsed, 3)
+        ipc = miner.last_ipc
+        assert ipc is not None
+        ipc_payloads[str(n_workers)] = ipc.payload_bytes
         print(f"calendar n_workers={n_workers}: {elapsed:.2f}s "
-              "(output identical)")
+              f"(ipc {ipc.mode} {ipc.payload_bytes} bytes, "
+              "output identical)")
+        if ipc.payload_bytes:
+            results["ipc_mode"] = ipc.mode
     results["calendar_s"] = calendar_timings
-    if (os.cpu_count() or 1) == 1:
+    results["ipc_payload_bytes"] = ipc_payloads
+    if available_cpu_count() == 1:
         # Multi-worker numbers on a single core measure process
         # overhead, not parallel speedup — flag them so readers (and
         # tooling) do not compare them against multi-core baselines.
