@@ -8,6 +8,7 @@ shared :class:`BinaryClassifier` interface.
 
 from repro.core.classifier.base import BinaryClassifier, Standardizer
 from repro.core.classifier.cart import DecisionTreeClassifier
+from repro.core.classifier.compiled import CompiledLadTree, compile_lad_tree
 from repro.core.classifier.knn import KNearestNeighbors
 from repro.core.classifier.lad_tree import LadTreeClassifier
 from repro.core.classifier.logistic import LogisticRegressionClassifier
@@ -24,9 +25,14 @@ from repro.core.classifier.model_selection import (
 )
 from repro.core.classifier.naive_bayes import GaussianNaiveBayes
 from repro.core.classifier.persistence import (ModelFormatError,
+                                               compiled_from_dict,
+                                               compiled_to_dict,
                                                lad_tree_from_dict,
                                                lad_tree_to_dict,
-                                               load_lad_tree, save_lad_tree)
+                                               load_compiled_lad_tree,
+                                               load_lad_tree,
+                                               save_compiled_lad_tree,
+                                               save_lad_tree)
 from repro.core.classifier.stump import RegressionStump
 
 __all__ = [
@@ -35,9 +41,12 @@ __all__ = [
     "DecisionTreeClassifier",
     "RegressionStump",
     "LadTreeClassifier",
+    "CompiledLadTree", "compile_lad_tree",
     "GaussianNaiveBayes",
     "ModelFormatError", "lad_tree_from_dict", "lad_tree_to_dict",
     "load_lad_tree", "save_lad_tree",
+    "compiled_from_dict", "compiled_to_dict",
+    "load_compiled_lad_tree", "save_compiled_lad_tree",
     "KNearestNeighbors",
     "LogisticRegressionClassifier",
     "NeuralNetworkClassifier",

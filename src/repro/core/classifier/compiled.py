@@ -1,0 +1,109 @@
+"""Compiled LAD tree: the stump ensemble as parallel numpy arrays.
+
+:class:`~repro.core.classifier.lad_tree.LadTreeClassifier` scores a
+batch by looping over its stump objects — one ``np.where`` per stump
+per call, plus the Python dispatch between them.  The serving engine
+(:mod:`repro.service`) instead *compiles* the fitted ensemble into
+four parallel arrays (feature index, threshold, left value, right
+value), so scoring N feature vectors is one gather + ``where`` per
+ensemble, with no per-stump Python object dispatch:
+
+    contrib = where(X[:, features] <= thresholds, left, right)   # (N, T)
+    F(X)    = prior_f + 0.5*contrib[:, 0] + 0.5*contrib[:, 1] + ...
+
+Determinism note: the stump contributions are accumulated column by
+column in stump order — the *same association order* as the
+interpreted model's ``F = F + 0.5 * stump.predict(X)`` loop, and
+elementwise per row.  A single ``contrib.sum(axis=1)`` would be
+faster but numpy's pairwise reduction regroups the additions by
+array shape, so a 1-row call and an N-row call could disagree in the
+last ulp.  With the sequential accumulation, ``decision_function``
+on a 1-row matrix and on the same row inside an N-row matrix return
+bit-identical floats, and both match the interpreted model exactly.
+The serving engine's batch-vs-oracle equality guarantee rests on
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier.lad_tree import LadTreeClassifier
+
+__all__ = ["CompiledLadTree", "compile_lad_tree"]
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledLadTree:
+    """A fitted LAD tree flattened into parallel stump arrays.
+
+    ``eq=False``: the generated dataclass ``__eq__`` would compare the
+    numpy members elementwise and raise on ``bool(array)``; identity
+    comparison is the useful semantics for a loaded model object.
+    """
+
+    features: np.ndarray      # int64  (T,) feature index per stump
+    thresholds: np.ndarray    # float64 (T,)
+    left_values: np.ndarray   # float64 (T,) prediction when x <= threshold
+    right_values: np.ndarray  # float64 (T,)
+    prior_f: float
+
+    def __post_init__(self) -> None:
+        arrays = (self.features, self.thresholds,
+                  self.left_values, self.right_values)
+        lengths = {array.shape for array in arrays}
+        if len(lengths) != 1 or any(array.ndim != 1 for array in arrays):
+            raise ValueError(
+                f"stump arrays must be 1-d and parallel, got shapes "
+                f"{[array.shape for array in arrays]}")
+        if self.n_stumps == 0:
+            raise ValueError("compiled model has no stumps")
+        if int(self.features.min()) < 0:
+            raise ValueError("negative feature index in compiled model")
+
+    @property
+    def n_stumps(self) -> int:
+        return int(self.features.shape[0])
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """The additive score F(x) for every row of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-d feature matrix, got {X.ndim}-d")
+        if X.shape[1] <= int(self.features.max()):
+            raise ValueError(
+                f"feature matrix has {X.shape[1]} columns but the model "
+                f"tests feature {int(self.features.max())}")
+        contrib = np.where(X[:, self.features] <= self.thresholds,
+                           self.left_values, self.right_values)
+        # Accumulate in stump order (NOT contrib.sum(axis=1)): numpy's
+        # pairwise row reduction regroups additions by shape, which
+        # would make scores depend on the batch size.  See the module
+        # docstring's determinism note.
+        F = np.full(X.shape[0], self.prior_f)
+        for column in range(self.n_stumps):
+            F = F + 0.5 * contrib[:, column]
+        return F
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(disposable) per row — same link as the interpreted model."""
+        F = self.decision_function(X)
+        return 1.0 / (1.0 + np.exp(-2.0 * F))
+
+
+def compile_lad_tree(model: LadTreeClassifier) -> CompiledLadTree:
+    """Flatten a *fitted* LAD tree into a :class:`CompiledLadTree`."""
+    if not model.stumps_:
+        raise ValueError("cannot compile an unfitted LadTreeClassifier")
+    return CompiledLadTree(
+        features=np.array([stump.feature for stump in model.stumps_],
+                          dtype=np.int64),
+        thresholds=np.array([stump.threshold for stump in model.stumps_],
+                            dtype=np.float64),
+        left_values=np.array([stump.left_value for stump in model.stumps_],
+                             dtype=np.float64),
+        right_values=np.array([stump.right_value for stump in model.stumps_],
+                              dtype=np.float64),
+        prior_f=float(model.prior_f_))

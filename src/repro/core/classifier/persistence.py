@@ -5,6 +5,14 @@ zones and then ships the model to the daily mining jobs; this module
 serialises a trained :class:`LadTreeClassifier` to a small JSON
 document (stumps are four numbers each) and back.  The format is
 versioned, and load rejects anything it does not recognise.
+
+Two formats ship: ``repro-lad-tree-v1`` (one object per stump — the
+training-side interchange form) and ``repro-lad-tree-compiled-v1``
+(parallel arrays — the serving form consumed by
+:class:`~repro.core.classifier.compiled.CompiledLadTree`).
+:func:`load_compiled_lad_tree` accepts either and always hands back a
+compiled model, so the ``repro serve`` daemon can point at whichever
+artifact the training job produced.
 """
 
 from __future__ import annotations
@@ -13,13 +21,19 @@ import json
 from pathlib import Path
 from typing import Union
 
+import numpy as np
+
+from repro.core.classifier.compiled import CompiledLadTree, compile_lad_tree
 from repro.core.classifier.lad_tree import LadTreeClassifier
 from repro.core.classifier.stump import RegressionStump
 
 __all__ = ["save_lad_tree", "load_lad_tree", "lad_tree_to_dict",
-           "lad_tree_from_dict", "ModelFormatError"]
+           "lad_tree_from_dict", "ModelFormatError",
+           "save_compiled_lad_tree", "load_compiled_lad_tree",
+           "compiled_to_dict", "compiled_from_dict"]
 
 _FORMAT = "repro-lad-tree-v1"
+_COMPILED_FORMAT = "repro-lad-tree-compiled-v1"
 
 PathLike = Union[str, Path]
 
@@ -73,16 +87,83 @@ def lad_tree_from_dict(document: dict) -> LadTreeClassifier:
     return model
 
 
+def compiled_to_dict(model: CompiledLadTree) -> dict:
+    """Serialisable representation of a compiled LAD tree."""
+    return {
+        "format": _COMPILED_FORMAT,
+        "prior_f": model.prior_f,
+        "features": model.features.tolist(),
+        "thresholds": model.thresholds.tolist(),
+        "left": model.left_values.tolist(),
+        "right": model.right_values.tolist(),
+    }
+
+
+def compiled_from_dict(document: dict) -> CompiledLadTree:
+    """Rebuild a compiled LAD tree from :func:`compiled_to_dict` output."""
+    if not isinstance(document, dict) \
+            or document.get("format") != _COMPILED_FORMAT:
+        raise ModelFormatError(
+            f"not a {_COMPILED_FORMAT} document: {document.get('format')!r}"
+            if isinstance(document, dict) else "not a mapping")
+    try:
+        model = CompiledLadTree(
+            features=np.array([int(value) for value
+                               in document["features"]], dtype=np.int64),
+            thresholds=np.array([float(value) for value
+                                 in document["thresholds"]],
+                                dtype=np.float64),
+            left_values=np.array([float(value) for value
+                                  in document["left"]], dtype=np.float64),
+            right_values=np.array([float(value) for value
+                                   in document["right"]], dtype=np.float64),
+            prior_f=float(document["prior_f"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelFormatError(
+            f"malformed compiled-model document: {exc}") from exc
+    return model
+
+
 def save_lad_tree(model: LadTreeClassifier, path: PathLike) -> None:
     """Write a fitted model to ``path`` as JSON."""
     document = lad_tree_to_dict(model)
     Path(path).write_text(json.dumps(document, indent=1))
 
 
-def load_lad_tree(path: PathLike) -> LadTreeClassifier:
-    """Load a model written by :func:`save_lad_tree`."""
+def save_compiled_lad_tree(model: CompiledLadTree, path: PathLike) -> None:
+    """Write a compiled model to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(compiled_to_dict(model), indent=1))
+
+
+def _read_document(path: PathLike) -> dict:
+    """Parse the JSON document at ``path``; errors name the file."""
     try:
         document = json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:
-        raise ModelFormatError(f"invalid JSON: {exc}") from exc
-    return lad_tree_from_dict(document)
+        raise ModelFormatError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ModelFormatError(f"{path}: model document is not a mapping")
+    return document
+
+
+def load_lad_tree(path: PathLike) -> LadTreeClassifier:
+    """Load a model written by :func:`save_lad_tree`."""
+    return lad_tree_from_dict(_read_document(path))
+
+
+def load_compiled_lad_tree(path: PathLike) -> CompiledLadTree:
+    """Load a serving model from ``path``.
+
+    Accepts both on-disk formats: a ``repro-lad-tree-compiled-v1``
+    document loads directly; a ``repro-lad-tree-v1`` (stump-object)
+    document is compiled on the way in.  Anything else raises
+    :class:`ModelFormatError` naming the offending file.
+    """
+    document = _read_document(path)
+    kind = document.get("format")
+    if kind == _COMPILED_FORMAT:
+        return compiled_from_dict(document)
+    if kind == _FORMAT:
+        return compile_lad_tree(lad_tree_from_dict(document))
+    raise ModelFormatError(
+        f"{path}: not a {_FORMAT} or {_COMPILED_FORMAT} document: {kind!r}")

@@ -19,6 +19,7 @@ The resulting 8-dimensional vector is what the classifier consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import TYPE_CHECKING, Iterable, List, Sequence
 
 import numpy as np
@@ -74,8 +75,21 @@ class GroupFeatures:
         ], dtype=float)
 
 
+@lru_cache(maxsize=65_536)
+def _label_entropy(label: str) -> float:
+    """Process-wide memo over :func:`shannon_entropy`.
+
+    The same adjacent labels recur across depth groups, zones and days
+    (a calendar mining run re-hashes each hot label thousands of
+    times), so per-label entropy is cached once per process.  Bounded
+    (LRU) so a long-lived ``repro serve`` daemon cannot accumulate an
+    unbounded label vocabulary.
+    """
+    return shannon_entropy(label)
+
+
 def _entropy_stats(label_set: Sequence[str]) -> tuple:
-    entropies = np.array([shannon_entropy(label) for label in label_set],
+    entropies = np.array([_label_entropy(label) for label in label_set],
                          dtype=float)
     if entropies.size == 0:
         return 0.0, 0.0, 0.0, 0.0, 0.0

@@ -6,12 +6,24 @@ zones" under 12,397 distinct 2LDs.  :class:`ZoneTracker` accumulates
 daily findings into that ledger: first-seen day per (zone, depth)
 group, per-day new-zone counts, persistence (how many days a zone
 keeps being flagged), and confidence history.
+
+Retention: by default the tracker keeps the full ledger (the paper's
+offline 11-month accumulation).  A long-running deployment — the
+``repro serve`` daemon re-ingesting a fresh mining result every day —
+would leak without a bound, so ``retain_days=W`` caps the resident
+state to the trailing ``W``-day window: the per-day log is a
+``deque(maxlen=W)`` and zone entries not re-flagged within ``W`` days
+are evicted.  Cumulative totals (:meth:`total_zones`,
+:meth:`total_2lds`, :meth:`discovery_curve`) fold the evicted history
+into running counters before it is dropped, so the headline numbers
+keep growing while memory stays O(window).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.miner import DisposableZoneFinding
 from repro.core.ranking import DailyMiningResult
@@ -33,6 +45,7 @@ class TrackedZone:
     days_flagged: int = 1
     max_confidence: float = 0.0
     max_group_size: int = 0
+    last_seen_seq: int = 0      # ingestion index of ``last_seen``
 
     @property
     def group(self) -> GroupKey:
@@ -40,13 +53,48 @@ class TrackedZone:
 
 
 class ZoneTracker:
-    """Accumulates daily mining results into a discovery ledger."""
+    """Accumulates daily mining results into a discovery ledger.
 
-    def __init__(self, suffix_list: Optional[SuffixList] = None) -> None:
-        self._entries: Dict[GroupKey, TrackedZone] = {}
-        self._new_per_day: Dict[str, int] = {}
-        self._days: List[str] = []
+    Parameters
+    ----------
+    suffix_list:
+        Effective-TLD rules for the 2LD rollup (default: the shared
+        default list).
+    retain_days:
+        ``None`` (default) keeps every entry forever — exact, offline
+        semantics.  ``W`` bounds resident state to the trailing ``W``
+        ingested days; evicted history is folded into cumulative
+        counters.  In windowed mode a zone that disappears for more
+        than ``W`` days and then returns is counted as discovered
+        again (its entry was evicted), so :meth:`total_zones` /
+        :meth:`total_2lds` are upper bounds rather than exact distinct
+        counts; duplicate-day detection likewise only spans the
+        retained window.
+    """
+
+    def __init__(self, suffix_list: Optional[SuffixList] = None,
+                 retain_days: Optional[int] = None) -> None:
+        if retain_days is not None and retain_days < 1:
+            raise ValueError(
+                f"retain_days must be >= 1 or None, got {retain_days}")
+        self._retain_days = retain_days
         self._suffixes = suffix_list or default_suffix_list()
+        self._entries: Dict[GroupKey, TrackedZone] = {}
+        # (day, new-zone count) per ingested day, oldest first; the
+        # deque maxlen *is* the retention bound.
+        self._day_log: Deque[Tuple[str, int]] = deque(maxlen=retain_days)
+        # Live zone count per effective 2LD, maintained at ingest so
+        # eviction can retire a 2LD the moment its last zone leaves.
+        self._two_ld_counts: Dict[str, int] = {}
+        self._seq = 0             # ingestion counter (one per day)
+        self._pruned_new = 0      # new-zone counts dropped off the log
+        self._pruned_days = 0     # days dropped off the log
+        self._evicted_zones = 0   # zone entries evicted from the ledger
+        self._retired_2lds = 0    # 2LDs whose last zone was evicted
+
+    def _two_ld(self, zone: str) -> str:
+        two_ld = self._suffixes.effective_2ld(zone)
+        return two_ld if two_ld is not None else zone
 
     def ingest(self, result: DailyMiningResult) -> int:
         """Record one day's findings; returns the number of new zones."""
@@ -54,9 +102,10 @@ class ZoneTracker:
 
     def ingest_findings(self, day: str,
                         findings: Sequence[DisposableZoneFinding]) -> int:
-        if day in self._days:
+        if any(logged == day for logged, _ in self._day_log):
             raise ValueError(f"day {day!r} already ingested")
-        self._days.append(day)
+        seq = self._seq
+        self._seq += 1
         new = 0
         for finding in findings:
             key = finding.as_group_key()
@@ -66,17 +115,48 @@ class ZoneTracker:
                     zone=finding.zone, depth=finding.depth,
                     first_seen=day, last_seen=day,
                     max_confidence=finding.confidence,
-                    max_group_size=finding.group_size)
+                    max_group_size=finding.group_size,
+                    last_seen_seq=seq)
                 new += 1
+                two_ld = self._two_ld(finding.zone)
+                self._two_ld_counts[two_ld] = \
+                    self._two_ld_counts.get(two_ld, 0) + 1
             else:
                 entry.last_seen = day
+                entry.last_seen_seq = seq
                 entry.days_flagged += 1
                 entry.max_confidence = max(entry.max_confidence,
                                            finding.confidence)
                 entry.max_group_size = max(entry.max_group_size,
                                            finding.group_size)
-        self._new_per_day[day] = new
+        if (self._day_log.maxlen is not None
+                and len(self._day_log) == self._day_log.maxlen):
+            # The append below will push the oldest day off the log;
+            # fold its contribution into the cumulative counters first.
+            _, dropped_new = self._day_log[0]
+            self._pruned_new += dropped_new
+            self._pruned_days += 1
+        self._day_log.append((day, new))
+        self._evict_stale(seq)
         return new
+
+    def _evict_stale(self, seq: int) -> None:
+        """Drop ledger entries not re-flagged within the window."""
+        if self._retain_days is None:
+            return
+        cutoff = seq - self._retain_days
+        stale = [key for key, entry in self._entries.items()
+                 if entry.last_seen_seq <= cutoff]
+        for key in stale:
+            entry = self._entries.pop(key)
+            self._evicted_zones += 1
+            two_ld = self._two_ld(entry.zone)
+            remaining = self._two_ld_counts[two_ld] - 1
+            if remaining:
+                self._two_ld_counts[two_ld] = remaining
+            else:
+                del self._two_ld_counts[two_ld]
+                self._retired_2lds += 1
 
     # -- queries ----------------------------------------------------------
 
@@ -87,25 +167,26 @@ class ZoneTracker:
         return group in self._entries
 
     def entries(self) -> List[TrackedZone]:
+        """Resident ledger entries (the trailing window when bounded)."""
         return list(self._entries.values())
 
     def total_zones(self) -> int:
-        """Figure 11's 'number of disposable zones'."""
-        return len(self._entries)
+        """Figure 11's 'number of disposable zones' (cumulative)."""
+        return self._evicted_zones + len(self._entries)
 
     def total_2lds(self) -> int:
         """Figure 11's 'number of 2LDs with disposable zones'."""
-        two_lds: Set[str] = set()
-        for entry in self._entries.values():
-            two_ld = self._suffixes.effective_2ld(entry.zone)
-            two_lds.add(two_ld if two_ld is not None else entry.zone)
-        return len(two_lds)
+        return self._retired_2lds + len(self._two_ld_counts)
+
+    def evicted_zones(self) -> int:
+        """Ledger entries dropped by the retention window so far."""
+        return self._evicted_zones
 
     def new_zones_per_day(self) -> Dict[str, int]:
-        return dict(self._new_per_day)
+        return dict(self._day_log)
 
     def days(self) -> List[str]:
-        return list(self._days)
+        return [day for day, _ in self._day_log]
 
     def persistent_zones(self, min_days: int = 2) -> List[TrackedZone]:
         """Zones flagged on at least ``min_days`` distinct days —
@@ -119,10 +200,15 @@ class ZoneTracker:
                 if entry.days_flagged == 1]
 
     def discovery_curve(self) -> List[Tuple[str, int]]:
-        """(day, cumulative zones discovered) — the 14,488 curve."""
-        cumulative = 0
+        """(day, cumulative zones discovered) — the 14,488 curve.
+
+        Covers the retained days; the cumulative count starts from the
+        pruned history, so the curve's tail is exact even in windowed
+        mode.
+        """
+        cumulative = self._pruned_new
         curve = []
-        for day in self._days:
-            cumulative += self._new_per_day.get(day, 0)
+        for day, new in self._day_log:
+            cumulative += new
             curve.append((day, cumulative))
         return curve

@@ -6,6 +6,7 @@ Usage::
     python -m repro list
     python -m repro cache stats [--dir DIR]
     python -m repro cache prune --max-bytes N [--dir DIR]
+    python -m repro serve [--host H] [--port P] [--profile small|medium]
 
 where ``<experiment>`` is one of the ids below (e.g. ``fig13``,
 ``table1``, ``sec6b``, ``all``).  Output is the same text rendering
@@ -15,6 +16,12 @@ the benchmarks print.
 (simulated fpDNS days and mining results; see docs/PERFORMANCE.md §5).
 Without ``--dir`` it operates on the directories named by the
 ``REPRO_ARTIFACT_CACHE`` and ``REPRO_MINER_CACHE`` environment knobs.
+
+``serve`` starts the long-running classification daemon
+(:mod:`repro.service`; see docs/PERFORMANCE.md §7): it simulates or
+cache-loads the reference day, trains (or loads, with ``--model``)
+the LAD tree, and answers ``POST /classify`` / ``GET /metrics`` /
+``GET /healthz`` until interrupted.
 """
 
 from __future__ import annotations
@@ -109,13 +116,77 @@ def _run_cache(args: argparse.Namespace,
     return 0
 
 
+def _run_serve(argv: Sequence[str]) -> int:
+    """The ``serve`` subcommand: stand up the classification daemon."""
+    from repro.service.app import PROFILES, ServeSettings, build_server
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve online disposable-domain verdicts over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8053,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default: 8053)")
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="small",
+                        help="simulation scale for the reference day "
+                             "(default: small)")
+    parser.add_argument("--model", default=None, metavar="PATH",
+                        help="load a persisted LAD-tree model instead of "
+                             "training (stump or compiled JSON form)")
+    parser.add_argument("--threshold", type=float, default=0.9,
+                        help="disposable probability threshold θ "
+                             "(default: 0.9)")
+    parser.add_argument("--min-group-size", type=int, default=5,
+                        help="smallest classifiable depth group "
+                             "(default: 5)")
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="verdict-cache capacity in (zone, depth) "
+                             "entries (default: 4096)")
+    parser.add_argument("--max-batch", type=int, default=512,
+                        help="qnames per coalesced engine call "
+                             "(default: 512)")
+    parser.add_argument("--batch-window-ms", type=float, default=2.0,
+                        help="micro-batching window in milliseconds "
+                             "(default: 2.0)")
+    args = parser.parse_args(argv)
+
+    settings = ServeSettings(
+        host=args.host, port=args.port, profile=args.profile,
+        model_path=args.model, threshold=args.threshold,
+        min_group_size=args.min_group_size, cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0)
+    print(f"preparing engine (profile={settings.profile}, "
+          f"model={settings.model_path or 'trained in-process'}) ...")
+    server = build_server(settings)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          "(POST /classify, GET /metrics, GET /healthz; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.batcher.close()
+        server.server_close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "serve":
+        # ``serve`` takes daemon flags the experiment parser does not
+        # know; dispatch before it can reject them.
+        return _run_serve(arguments[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'calibrate', "
-                             "'cache', or 'all'/'list'")
+                             "'cache', 'serve', or 'all'/'list'")
     parser.add_argument("action", nargs="?", default=None,
                         help="cache action: 'stats' (default) or 'prune'")
     parser.add_argument("--profile", choices=sorted(_PROFILES),
@@ -127,7 +198,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "default: the REPRO_*_CACHE env knobs)")
     parser.add_argument("--max-bytes", type=int, default=None,
                         help="byte budget for 'cache prune'")
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.experiment == "cache":
         return _run_cache(args, parser)
@@ -154,6 +225,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  calibrate   (validation scorecard; exit 1 on failure)")
         print("  cache       (artifact-cache stats/prune; "
               "--dir / --max-bytes)")
+        print("  serve       (classification daemon; "
+              "--host / --port / --model)")
         return 0
 
     if args.experiment == "all":

@@ -1,0 +1,172 @@
+"""Micro-batching request queue for the serving daemon.
+
+The HTTP layer handles each request on its own thread
+(``ThreadingHTTPServer``), but the engine is fastest when concurrent
+lookups are coalesced into one vectorised ``classify_batch`` call.
+:class:`MicroBatcher` sits between the two: request threads submit
+their qnames and block; a single worker thread drains the queue,
+waits one short coalescing window for stragglers, classifies the
+union in one engine call, and slices the verdicts back per request.
+
+The worker also serialises all engine access, so the engine and its
+verdict cache need no locking of their own.
+
+No explicit clock reads (the repro package bans them for determinism,
+rule R001): the coalescing window is expressed purely as the timeout
+of a single ``Condition.wait`` call.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from repro.service.engine import Verdict
+
+__all__ = ["MicroBatcher"]
+
+
+class _PendingRequest:
+    """One submitted request waiting for its verdicts."""
+
+    __slots__ = ("qnames", "done", "verdicts", "error")
+
+    def __init__(self, qnames: List[str]) -> None:
+        self.qnames = qnames
+        self.done = threading.Event()
+        self.verdicts: Optional[List[Verdict]] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent classify requests into engine batches.
+
+    Parameters
+    ----------
+    classify:
+        The batched classify function (one call per drained batch) —
+        normally ``ClassificationEngine.classify_batch``.
+    max_batch:
+        Soft cap on qnames per engine call.  Whole requests are never
+        split; draining stops once the cap is reached or passed.
+    window_s:
+        Coalescing window: after the first pending request is seen,
+        the worker waits at most this long (one ``Condition.wait``
+        timeout) for more arrivals before classifying.  ``0`` disables
+        the wait.
+    """
+
+    def __init__(self, classify: Callable[[Sequence[str]], List[Verdict]],
+                 max_batch: int = 512, window_s: float = 0.002) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self._classify = classify
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._cond = threading.Condition()
+        self._queue: Deque[_PendingRequest] = deque()
+        self._closed = False
+        # Counters (ints; written by the worker thread only).
+        self.batches = 0
+        self.requests = 0
+        self.names = 0
+        self.coalesced_requests = 0
+        self.largest_batch = 0
+        self._worker = threading.Thread(target=self._run,
+                                        name="repro-serve-batcher",
+                                        daemon=True)
+        self._worker.start()
+
+    # -- request side ---------------------------------------------------
+
+    def submit(self, qnames: Sequence[str]) -> List[Verdict]:
+        """Classify ``qnames``; blocks until the worker answers."""
+        request = _PendingRequest(list(qnames))
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append(request)
+            self._cond.notify_all()
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.verdicts is not None
+        return request.verdicts
+
+    def close(self) -> None:
+        """Drain outstanding requests and stop the worker thread."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join()
+
+    # -- worker side ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._serve(batch)
+
+    def _next_batch(self) -> Optional[List[_PendingRequest]]:
+        """Block for work, coalesce briefly, and drain one batch.
+
+        Returns ``None`` when closed and fully drained.
+        """
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            if self.window_s > 0 and not self._closed:
+                # One bounded wait so concurrent request threads can
+                # land in the same engine call.  Whatever has arrived
+                # when it returns is the batch.
+                self._cond.wait(timeout=self.window_s)
+            batch: List[_PendingRequest] = []
+            total = 0
+            while self._queue and total < self.max_batch:
+                request = self._queue.popleft()
+                batch.append(request)
+                total += len(request.qnames)
+            return batch
+
+    def _serve(self, batch: List[_PendingRequest]) -> None:
+        qnames: List[str] = []
+        for request in batch:
+            qnames.extend(request.qnames)
+        try:
+            verdicts = self._classify(qnames)
+            if len(verdicts) != len(qnames):
+                raise RuntimeError(
+                    f"classify returned {len(verdicts)} verdicts "
+                    f"for {len(qnames)} qnames")
+        except Exception as exc:  # propagated to every waiting caller
+            for request in batch:
+                request.error = exc
+                request.done.set()
+            return
+        self.batches += 1
+        self.requests += len(batch)
+        self.names += len(qnames)
+        self.coalesced_requests += len(batch) - 1
+        self.largest_batch = max(self.largest_batch, len(qnames))
+        offset = 0
+        for request in batch:
+            request.verdicts = verdicts[offset:offset + len(request.qnames)]
+            offset += len(request.qnames)
+            request.done.set()
+
+    # -- metrics --------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {"batches": self.batches, "requests": self.requests,
+                "names": self.names,
+                "coalesced_requests": self.coalesced_requests,
+                "largest_batch": self.largest_batch}

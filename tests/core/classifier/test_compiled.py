@@ -1,0 +1,93 @@
+"""The compiled LAD tree against its interpreted source model."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import LadTreeClassifier
+from repro.core.classifier.compiled import CompiledLadTree, compile_lad_tree
+
+
+@pytest.fixture
+def fitted():
+    rng = np.random.default_rng(7)
+    X = np.vstack([rng.normal(0, 0.5, (60, 4)),
+                   rng.normal(2.0, 0.5, (60, 4))])
+    y = np.array([0] * 60 + [1] * 60)
+    return LadTreeClassifier(n_rounds=15).fit(X, y), X
+
+
+class TestEquivalence:
+    def test_scores_bit_identical_to_interpreted(self, fitted):
+        model, X = fitted
+        compiled = compile_lad_tree(model)
+        assert np.array_equal(compiled.decision_function(X),
+                              model.decision_function(X))
+
+    def test_probabilities_bit_identical(self, fitted):
+        model, X = fitted
+        compiled = compile_lad_tree(model)
+        assert np.array_equal(compiled.predict_proba(X),
+                              model.predict_proba(X))
+
+    def test_batch_size_independent(self, fitted):
+        """The determinism contract the serving engine rests on: a row
+        scores the same alone as inside any batch."""
+        model, X = fitted
+        compiled = compile_lad_tree(model)
+        whole = compiled.decision_function(X)
+        one_by_one = np.array([
+            compiled.decision_function(row.reshape(1, -1))[0]
+            for row in X])
+        assert np.array_equal(whole, one_by_one)
+
+    def test_stump_arrays_mirror_model(self, fitted):
+        model, _ = fitted
+        compiled = compile_lad_tree(model)
+        assert compiled.n_stumps == len(model.stumps_)
+        assert compiled.prior_f == model.prior_f_
+        for index, stump in enumerate(model.stumps_):
+            assert compiled.features[index] == stump.feature
+            assert compiled.thresholds[index] == stump.threshold
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            compile_lad_tree(LadTreeClassifier())
+
+    def test_mismatched_array_lengths_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            CompiledLadTree(features=np.array([0, 1], dtype=np.int64),
+                            thresholds=np.array([0.5]),
+                            left_values=np.array([1.0, -1.0]),
+                            right_values=np.array([-1.0, 1.0]),
+                            prior_f=0.0)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="no stumps"):
+            CompiledLadTree(features=np.array([], dtype=np.int64),
+                            thresholds=np.array([]),
+                            left_values=np.array([]),
+                            right_values=np.array([]),
+                            prior_f=0.0)
+
+    def test_negative_feature_index_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CompiledLadTree(features=np.array([-1], dtype=np.int64),
+                            thresholds=np.array([0.5]),
+                            left_values=np.array([1.0]),
+                            right_values=np.array([-1.0]),
+                            prior_f=0.0)
+
+    def test_wrong_matrix_rank_rejected(self, fitted):
+        model, X = fitted
+        compiled = compile_lad_tree(model)
+        with pytest.raises(ValueError, match="2-d"):
+            compiled.decision_function(X[0])
+
+    def test_too_few_columns_rejected(self, fitted):
+        model, X = fitted
+        compiled = compile_lad_tree(model)
+        needed = int(compiled.features.max())
+        with pytest.raises(ValueError, match="columns"):
+            compiled.decision_function(X[:, :needed])

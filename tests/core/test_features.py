@@ -130,3 +130,39 @@ class TestAllGroupFeatures:
         features = extractor.features_for("z.com", 3, names)
         assert features.chr_median == 0.0
         assert features.chr_zero_fraction == 1.0
+
+
+class TestEntropyMemo:
+    def test_memoised_entropy_equals_uncached(self):
+        from repro.core.features import _label_entropy
+        from repro.core.names import shannon_entropy
+
+        labels = ["www", "x7qz9kw", "cdn-edge-1", "a", "",
+                  "0123456789abcdef", "www"]
+        for label in labels:
+            assert _label_entropy(label) == shannon_entropy(label)
+
+    def test_feature_vectors_equal_uncached_path(self, disposable_setup):
+        """The memo is invisible: vectors are bit-identical to calling
+        shannon_entropy directly on every label."""
+        from repro.core.names import shannon_entropy
+
+        tree, table, names = disposable_setup
+        extractor = FeatureExtractor(tree, table)
+        cached = extractor.features_for("avqs.mcafee.com", 4, names)
+
+        # Recompute the five entropy stats from raw shannon_entropy
+        # over the group's adjacent labels (4th label from the right).
+        adjacent = sorted({name.split(".")[-4] for name in names})
+        entropies = np.array([shannon_entropy(label)
+                              for label in adjacent], dtype=float)
+        assert cached.entropy_max == float(entropies.max())
+        assert cached.entropy_min == float(entropies.min())
+        assert cached.entropy_mean == float(entropies.mean())
+        assert cached.entropy_median == float(np.median(entropies))
+        assert cached.entropy_variance == float(entropies.var())
+
+    def test_memo_is_bounded(self):
+        from repro.core.features import _label_entropy
+
+        assert _label_entropy.cache_info().maxsize == 65_536

@@ -81,6 +81,81 @@ class TestAggregates:
         assert tracker.days() == ["d1", "d2"]
 
 
+class TestRetentionWindow:
+    def test_invalid_retain_days_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneTracker(retain_days=0)
+
+    def test_stale_zone_evicted_after_window(self):
+        tracker = ZoneTracker(retain_days=2)
+        tracker.ingest_findings("d1", [finding("a.x.com")])
+        tracker.ingest_findings("d2", [finding("b.y.com")])
+        assert ("a.x.com", 4) in tracker
+        tracker.ingest_findings("d3", [finding("b.y.com")])
+        # a.x.com was last flagged 2 ingests ago — outside the window.
+        assert ("a.x.com", 4) not in tracker
+        assert ("b.y.com", 4) in tracker
+        assert tracker.evicted_zones() == 1
+
+    def test_reflagging_keeps_zone_resident(self):
+        tracker = ZoneTracker(retain_days=2)
+        for day in ("d1", "d2", "d3", "d4"):
+            tracker.ingest_findings(day, [finding("a.x.com")])
+        assert ("a.x.com", 4) in tracker
+        assert tracker.evicted_zones() == 0
+
+    def test_cumulative_totals_survive_eviction(self):
+        tracker = ZoneTracker(retain_days=1)
+        tracker.ingest_findings("d1", [finding("a.x.com")])
+        tracker.ingest_findings("d2", [finding("b.y.com")])
+        tracker.ingest_findings("d3", [finding("c.z.com")])
+        assert len(tracker) == 1               # resident window
+        assert tracker.total_zones() == 3      # cumulative
+        assert tracker.total_2lds() == 3
+
+    def test_returning_zone_counts_again(self):
+        # Documented upper-bound semantics: a zone that leaves the
+        # window and returns is rediscovered.
+        tracker = ZoneTracker(retain_days=1)
+        tracker.ingest_findings("d1", [finding("a.x.com")])
+        tracker.ingest_findings("d2", [])
+        assert tracker.ingest_findings("d3", [finding("a.x.com")]) == 1
+        assert tracker.total_zones() == 2
+
+    def test_day_log_bounded_and_curve_cumulative(self):
+        tracker = ZoneTracker(retain_days=2)
+        tracker.ingest_findings("d1", [finding("a.x.com")])
+        tracker.ingest_findings("d2", [finding("b.y.com")])
+        tracker.ingest_findings("d3", [finding("c.z.com")])
+        assert tracker.days() == ["d2", "d3"]
+        assert tracker.new_zones_per_day() == {"d2": 1, "d3": 1}
+        # The curve starts from the pruned d1 contribution.
+        assert tracker.discovery_curve() == [("d2", 2), ("d3", 3)]
+
+    def test_shared_2ld_retired_only_when_empty(self):
+        tracker = ZoneTracker(retain_days=2)
+        tracker.ingest_findings("d1", [finding("t1.one.com")])
+        tracker.ingest_findings("d2", [finding("t2.one.com")])
+        tracker.ingest_findings("d3", [finding("t2.one.com")])
+        # t1 evicted, but one.com still has t2 resident: not retired.
+        assert tracker.evicted_zones() == 1
+        assert tracker.total_2lds() == 1
+
+    def test_windowed_matches_unbounded_when_window_covers_all(self):
+        bounded = ZoneTracker(retain_days=10)
+        exact = ZoneTracker()
+        days = [("d1", [finding("a.x.com"), finding("b.y.com")]),
+                ("d2", [finding("a.x.com")]),
+                ("d3", [finding("c.z.com")])]
+        for day, findings in days:
+            bounded.ingest_findings(day, findings)
+            exact.ingest_findings(day, findings)
+        assert bounded.total_zones() == exact.total_zones()
+        assert bounded.total_2lds() == exact.total_2lds()
+        assert bounded.discovery_curve() == exact.discovery_curve()
+        assert bounded.days() == exact.days()
+
+
 class TestWithMiningResults:
     def test_ingest_daily_results(self, small_context):
         from repro.traffic.simulate import PAPER_DATES

@@ -105,3 +105,61 @@ class TestCacheCommand:
     def test_list_mentions_cache(self, capsys):
         cli.main(["list"])
         assert "cache" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_list_mentions_serve(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_serve_help_documents_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--host", "--port", "--profile", "--model",
+                     "--threshold", "--max-batch", "--batch-window-ms"):
+            assert flag in out
+
+    def test_serve_rejects_unknown_profile(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["serve", "--profile", "huge"])
+
+    def test_serve_wires_settings_and_serves(self, monkeypatch, capsys):
+        """`repro serve` builds a server from the parsed settings and
+        runs it; a stub server keeps the test off the network."""
+        from repro.service import app as service_app
+
+        captured = {}
+
+        class StubServer:
+            server_address = ("127.0.0.1", 43210)
+
+            class batcher:  # noqa: N801 - attribute stand-in
+                close = staticmethod(lambda: captured.setdefault(
+                    "batcher_closed", True))
+
+            def serve_forever(self):
+                captured["served"] = True
+                raise KeyboardInterrupt
+
+            def server_close(self):
+                captured["closed"] = True
+
+        def fake_build_server(settings):
+            captured["settings"] = settings
+            return StubServer()
+
+        monkeypatch.setattr(service_app, "build_server", fake_build_server)
+        assert cli.main(["serve", "--port", "0", "--profile", "small",
+                         "--threshold", "0.8", "--batch-window-ms", "1.5",
+                         "--cache-size", "128"]) == 0
+        settings = captured["settings"]
+        assert settings.port == 0
+        assert settings.threshold == 0.8
+        assert settings.cache_size == 128
+        assert settings.batch_window_s == pytest.approx(0.0015)
+        assert captured["served"]
+        assert captured["closed"]
+        assert captured["batcher_closed"]
+        assert "shutting down" in capsys.readouterr().out

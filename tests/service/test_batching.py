@@ -1,0 +1,123 @@
+"""The micro-batching request queue."""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Sequence
+
+import pytest
+
+from repro.service.batching import MicroBatcher
+from repro.service.engine import Verdict
+
+
+def fake_verdict(qname: str) -> Verdict:
+    return Verdict(qname=qname, zone="", depth=0, reason="invalid-name",
+                   disposable=False, score=0.0, probability=0.0,
+                   group_size=0)
+
+
+def fake_classify(qnames: Sequence[str]) -> List[Verdict]:
+    return [fake_verdict(qname) for qname in qnames]
+
+
+@pytest.fixture
+def batcher():
+    instance = MicroBatcher(fake_classify, max_batch=8, window_s=0.005)
+    yield instance
+    instance.close()
+
+
+class TestSubmit:
+    def test_single_request_round_trip(self, batcher):
+        verdicts = batcher.submit(["a.example.com", "b.example.com"])
+        assert [v.qname for v in verdicts] == ["a.example.com",
+                                               "b.example.com"]
+        assert batcher.requests == 1
+        assert batcher.names == 2
+        assert batcher.batches >= 1
+
+    def test_concurrent_requests_each_get_their_slice(self, batcher):
+        results: dict = {}
+        errors: List[BaseException] = []
+
+        def worker(tag: str) -> None:
+            try:
+                results[tag] = batcher.submit([f"{tag}-{i}.example.com"
+                                               for i in range(3)])
+            except BaseException as exc:  # pragma: no cover - test guard
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for tag, verdicts in results.items():
+            assert [v.qname for v in verdicts] == \
+                [f"{tag}-{i}.example.com" for i in range(3)]
+        assert batcher.requests == 6
+        assert batcher.names == 18
+
+    def test_zero_window_still_serves(self):
+        batcher = MicroBatcher(fake_classify, window_s=0.0)
+        try:
+            assert len(batcher.submit(["x.example.com"])) == 1
+        finally:
+            batcher.close()
+
+
+class TestErrorPropagation:
+    def test_classify_exception_reaches_every_caller(self):
+        def broken(qnames: Sequence[str]) -> List[Verdict]:
+            raise RuntimeError("model on fire")
+
+        batcher = MicroBatcher(broken, window_s=0.0)
+        try:
+            with pytest.raises(RuntimeError, match="model on fire"):
+                batcher.submit(["a.example.com"])
+            # The worker survives a failing batch.
+            with pytest.raises(RuntimeError, match="model on fire"):
+                batcher.submit(["b.example.com"])
+        finally:
+            batcher.close()
+
+    def test_length_mismatch_is_an_error(self):
+        def short(qnames: Sequence[str]) -> List[Verdict]:
+            return []
+
+        batcher = MicroBatcher(short, window_s=0.0)
+        try:
+            with pytest.raises(RuntimeError, match="0 verdicts"):
+                batcher.submit(["a.example.com"])
+        finally:
+            batcher.close()
+
+
+class TestLifecycle:
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(fake_classify)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(["a.example.com"])
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(fake_classify)
+        batcher.close()
+        batcher.close()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0}, {"window_s": -0.001},
+    ])
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(fake_classify, **kwargs)
+
+    def test_stats_keys(self, batcher):
+        batcher.submit(["a.example.com"])
+        stats = batcher.stats()
+        assert set(stats) == {"batches", "requests", "names",
+                              "coalesced_requests", "largest_batch"}
+        assert stats["largest_batch"] >= 1

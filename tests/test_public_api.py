@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.impact",
     "repro.experiments",
+    "repro.service",
     "repro.textutil",
 ]
 

@@ -1,0 +1,18 @@
+# reprolint: module=repro.experiments.fixture_bad_serve
+"""Corpus fixture: library module importing ``repro.service`` (R017 x2).
+
+The serving daemon embeds the library; a library module that imports
+``repro.service`` back drags sockets and the HTTP stack into every
+embedder (and into every offline experiment run).  The dependency must
+point the other way.
+"""
+
+import repro.service as _service
+from repro.service.engine import ClassificationEngine as _Engine
+
+__all__ = ["make_engine"]
+
+
+def make_engine(model, tree, hit_rates):
+    assert _service is not None
+    return _Engine(model, tree, hit_rates)

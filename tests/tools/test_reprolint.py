@@ -50,6 +50,12 @@ CORPUS_EXPECTATIONS = {
     "R017": ("bad_r017_surface_import.py", 2),
 }
 
+#: Additional bad fixtures beyond the one-file-per-rule table above
+#: (second shapes of a rule; see their dedicated tests).
+EXTRA_BAD_FIXTURES = (
+    "bad_r017_service_import.py",
+)
+
 #: Known-good twins: the same patterns, written the sanctioned way.
 GOOD_FIXTURES = (
     "good_r009_sorted_iteration.py",
@@ -90,6 +96,17 @@ def test_corpus_file_fires_rule(rule_id, filename, expected):
     assert all(v.rule_id == rule_id for v in violations), (
         f"{filename} should only trigger {rule_id}, got "
         f"{[v.render() for v in violations]}")
+
+
+def test_service_import_fixture_fires_r017_only():
+    """The second R017 shape: a library module importing the
+    ``repro.service`` package itself (legal under the R003 layering
+    DAG for experiments code, still a surface violation)."""
+    violations = [v for v in corpus_result().violations
+                  if Path(v.path).name == "bad_r017_service_import.py"]
+    assert [v.rule_id for v in violations] == ["R017"] * 2, (
+        f"expected R017 x2, got {[v.render() for v in violations]}")
+    assert all("repro.service" in v.message for v in violations)
 
 
 def test_good_fixtures_are_clean():
@@ -231,7 +248,8 @@ def test_discovery_skips_corpus_by_default():
 
 def test_explicit_corpus_path_is_linted():
     found = discover_files([str(CORPUS)])
-    assert len(found) == len(CORPUS_EXPECTATIONS) + len(GOOD_FIXTURES)
+    assert len(found) == (len(CORPUS_EXPECTATIONS) + len(EXTRA_BAD_FIXTURES)
+                          + len(GOOD_FIXTURES))
 
 
 def test_module_name_resolution():

@@ -3,14 +3,20 @@
 The reproduction is layered so the simulator can later be sharded and
 parallelized without import cycles (ROADMAP north-star)::
 
-    core ──► {dns, pdns} ──► traffic ──► analysis ──► impact ──► experiments
+    core ──► {dns, pdns} ──► traffic ──► analysis ──► impact ──►
+    experiments ──► service
 
 ``textutil`` is a leaf utility importable from every layer (including
 ``core``, whose profiler renders reports with it); ``analysis``
 and ``impact`` form the measurement band, with ``impact`` allowed to
 consume ``analysis`` results (e.g. pDNS dedup feeding the storage study)
-but never the reverse. ``experiments`` is the only layer allowed to see
-everything; nothing may import it back.
+but never the reverse. ``experiments`` and ``service`` are the two
+surface layers allowed to see everything below them; nothing may
+import either back (``service`` additionally has its own dedicated
+rule, R017).  ``experiments`` may import ``service`` — the CLI wires
+the ``serve`` subcommand — but not the reverse dependency cycle:
+``service`` consuming experiment contexts is a one-way edge because
+``experiments`` only touches ``service`` from its CLI surface.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ __all__ = ["ALLOWED_IMPORTS", "subpackage_of"]
 
 _EVERYTHING = frozenset({
     "textutil", "core", "dns", "pdns", "traffic", "analysis", "impact",
-    "experiments",
+    "experiments", "service",
 })
 
 #: For each first-level subpackage (or top-level module) of ``repro``,
@@ -36,6 +42,7 @@ ALLOWED_IMPORTS: Mapping[str, FrozenSet[str]] = {
     "impact": frozenset({"core", "dns", "pdns", "traffic", "analysis",
                          "textutil"}),
     "experiments": _EVERYTHING,
+    "service": _EVERYTHING - {"service"},
     # The package root and its __main__ shim wire the CLI together and
     # may touch anything.
     "": _EVERYTHING,
