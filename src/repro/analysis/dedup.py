@@ -12,11 +12,11 @@ all stored unique RRs disposable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.volume import ZONE_GROUPS, _in_group
 from repro.core.ranking import name_matches_groups
-from repro.pdns.database import PassiveDnsDatabase
+from repro.pdns.database import PassiveDnsDatabase, PdnsBackend
 from repro.pdns.records import FpDnsDataset, RRKey
 
 __all__ = ["NewRrDay", "DedupReport", "run_dedup_window"]
@@ -69,13 +69,18 @@ class DedupReport:
 
 def run_dedup_window(datasets: Sequence[FpDnsDataset],
                      disposable_groups: Set[Tuple[str, int]],
-                     database: PassiveDnsDatabase = None) -> DedupReport:
-    """Ingest a consecutive day window and report new-RR dynamics."""
-    db = database if database is not None else PassiveDnsDatabase()
+                     database: Optional[PdnsBackend] = None) -> DedupReport:
+    """Ingest a consecutive day window and report new-RR dynamics.
+
+    ``database`` may be any :class:`~repro.pdns.database.PdnsBackend`
+    — the in-memory database (default) or the segmented on-disk store.
+    """
+    db: PdnsBackend = (database if database is not None
+                       else PassiveDnsDatabase())
     days: List[NewRrDay] = []
     for dataset in datasets:
         day_keys = dataset.distinct_rrs()
-        fresh = [key for key in day_keys if key not in db]
+        fresh = db.novel_keys(day_keys)
         db.ingest_rrs(dataset.day, day_keys)
         new_google = sum(1 for key in fresh
                          if _in_group(key[0], ZONE_GROUPS["google"]))
@@ -89,7 +94,7 @@ def run_dedup_window(datasets: Sequence[FpDnsDataset],
             new_akamai=new_akamai, new_disposable=new_disposable,
             new_non_disposable=len(fresh) - new_disposable))
     disposable_total = sum(
-        1 for key in db.rr_keys()
+        1 for key in db.iter_rr_keys()
         if name_matches_groups(key[0], disposable_groups))
     return DedupReport(days=days, total_unique_rrs=len(db),
                        disposable_unique_rrs=disposable_total)

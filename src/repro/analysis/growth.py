@@ -13,8 +13,10 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.core.ranking import DailyMiningResult
+from repro.pdns.database import PdnsBackend
 
-__all__ = ["GrowthPoint", "GrowthSeries", "growth_series"]
+__all__ = ["GrowthPoint", "GrowthSeries", "StoreGrowthPoint",
+           "StoreGrowthSeries", "growth_series", "store_growth_series"]
 
 
 @dataclass(frozen=True)
@@ -78,3 +80,69 @@ def growth_series(results: Sequence[DailyMiningResult]) -> GrowthSeries:
         for result in results
     ]
     return GrowthSeries(points=points)
+
+
+# -- pDNS-DB growth (long-horizon store accounting) --------------------
+
+
+@dataclass(frozen=True)
+class StoreGrowthPoint:
+    """One day of passive-DNS database growth."""
+
+    day: str
+    new_rrs: int
+    cumulative_rrs: int
+    cumulative_bytes: int
+
+
+@dataclass
+class StoreGrowthSeries:
+    """Database size over every ingested day (Figure 5's cumulative
+    twin, usable at year scale against the segmented store)."""
+
+    points: List[StoreGrowthPoint]
+    bytes_measured: bool
+
+    @property
+    def final_rows(self) -> int:
+        return self.points[-1].cumulative_rrs if self.points else 0
+
+    @property
+    def final_bytes(self) -> int:
+        return self.points[-1].cumulative_bytes if self.points else 0
+
+    def doubling_days(self) -> List[str]:
+        """Days on which the store at least doubled (bootstrap edge)."""
+        days: List[str] = []
+        previous = 0
+        for point in self.points:
+            if previous and point.cumulative_rrs >= 2 * previous:
+                days.append(point.day)
+            previous = point.cumulative_rrs
+        return days
+
+
+def store_growth_series(database: PdnsBackend) -> StoreGrowthSeries:
+    """Cumulative store growth from the backend's per-day ledger.
+
+    Works identically for the in-memory database and the segmented
+    on-disk store; the byte column is the backend's own accounting
+    (row-model vs measured — see ``bytes_measured``).  Days are the
+    backend's ingested roster, sorted, including zero-new days.
+    """
+    per_day = database.new_records_per_day()
+    total_rows = sum(per_day.values())
+    total_bytes = database.storage_bytes()
+    per_row = (total_bytes / total_rows) if total_rows else 0.0
+    points: List[StoreGrowthPoint] = []
+    cumulative = 0
+    for day in sorted(database.ingested_days()):
+        cumulative += per_day.get(day, 0)
+        points.append(StoreGrowthPoint(
+            day=day, new_rrs=per_day.get(day, 0),
+            cumulative_rrs=cumulative,
+            cumulative_bytes=int(cumulative * per_row)))
+    return StoreGrowthSeries(
+        points=points,
+        bytes_measured=bool(getattr(database, "storage_is_measured",
+                                    False)))

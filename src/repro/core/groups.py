@@ -8,19 +8,31 @@ dependencies so it can be imported from anywhere.
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.core.names import label_count, parent
 
-__all__ = ["name_matches_groups"]
+__all__ = ["matching_group_zone", "name_matches_groups"]
 
 
-def name_matches_groups(name: str, groups: Set[Tuple[str, int]]) -> bool:
-    """True if ``name`` sits at a flagged (zone, depth) position."""
+def matching_group_zone(name: str,
+                        groups: Set[Tuple[str, int]]) -> Optional[str]:
+    """The flagged ancestor zone covering ``name``, or ``None``.
+
+    A ``(zone, depth)`` pair matches when the name sits at exactly
+    ``depth`` labels under the flagged zone.  Shared by the in-memory
+    pDNS database and the segmented on-disk store, whose wildcard
+    aggregation anchors the replacement row at this zone.
+    """
     depth = label_count(name)
     ancestor = parent(name)
     while ancestor is not None:
         if (ancestor, depth) in groups:
-            return True
+            return ancestor
         ancestor = parent(ancestor)
-    return False
+    return None
+
+
+def name_matches_groups(name: str, groups: Set[Tuple[str, int]]) -> bool:
+    """True if ``name`` sits at a flagged (zone, depth) position."""
+    return matching_group_zone(name, groups) is not None

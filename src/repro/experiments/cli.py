@@ -17,6 +17,13 @@ the benchmarks print.
 Without ``--dir`` it operates on the directories named by the
 ``REPRO_ARTIFACT_CACHE`` and ``REPRO_MINER_CACHE`` environment knobs.
 
+``pdns`` operates on segmented on-disk pdns stores
+(:mod:`repro.pdns.store`; docs/PERFORMANCE.md §8): ``stats`` prints
+segment counts/bytes and prefilter counters, ``compact`` k-way-merges
+segments (``--max-rows`` limits merging to small segments), and
+``prune`` destructively drops oldest segments to a ``--max-bytes``
+budget.  Without ``--dir`` it uses the ``REPRO_PDNS_STORE`` knob.
+
 ``serve`` starts the long-running classification daemon
 (:mod:`repro.service`; see docs/PERFORMANCE.md §7): it simulates or
 cache-loads the reference day, trains (or loads, with ``--model``)
@@ -80,6 +87,8 @@ _PROFILES: Dict[str, ScaleProfile] = {"small": SMALL, "medium": MEDIUM}
 
 _CACHE_ENV_KNOBS = ("REPRO_ARTIFACT_CACHE", "REPRO_MINER_CACHE")
 
+_PDNS_ENV_KNOB = "REPRO_PDNS_STORE"
+
 
 def _cache_directories(explicit: Optional[Sequence[str]]) -> List[Path]:
     """Directories the ``cache`` subcommand operates on: ``--dir``
@@ -113,6 +122,39 @@ def _run_cache(args: argparse.Namespace,
         return 0
     for directory in directories:
         print(directory_stats(directory).render())
+    return 0
+
+
+def _run_pdns(args: argparse.Namespace,
+              parser: argparse.ArgumentParser) -> int:
+    """The ``pdns`` subcommand: segmented-store stats/compact/prune."""
+    from repro.pdns.store import SegmentedPdnsStore
+
+    action = args.action or "stats"
+    if action not in ("stats", "compact", "prune"):
+        parser.error(f"unknown pdns action {action!r}; "
+                     "expected 'stats', 'compact' or 'prune'")
+    if args.cache_dirs:
+        directories = [Path(value) for value in args.cache_dirs]
+    else:
+        env_value = os.environ.get(_PDNS_ENV_KNOB)
+        directories = [Path(env_value)] if env_value else []
+    if not directories:
+        parser.error(f"no store directories: pass --dir or set "
+                     f"{_PDNS_ENV_KNOB}")
+    if action == "prune" and args.max_bytes is None:
+        parser.error("pdns prune requires --max-bytes")
+    for directory in directories:
+        store = SegmentedPdnsStore(directory, on_corrupt="skip")
+        if action == "compact":
+            print(f"{directory}: {store.compact(args.max_rows).render()}")
+        elif action == "prune":
+            removed = store.prune(args.max_bytes)
+            print(f"{directory}: pruned {len(removed)} segments")
+        else:
+            print(store.stats().render())
+        for _, error in store.corrupt_segments():
+            print(f"  corrupt segment skipped: {error}")
     return 0
 
 
@@ -186,22 +228,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'calibrate', "
-                             "'cache', 'serve', or 'all'/'list'")
+                             "'cache', 'pdns', 'serve', or 'all'/'list'")
     parser.add_argument("action", nargs="?", default=None,
-                        help="cache action: 'stats' (default) or 'prune'")
+                        help="cache action ('stats'/'prune') or pdns "
+                             "action ('stats'/'compact'/'prune')")
     parser.add_argument("--profile", choices=sorted(_PROFILES),
                         default="small",
                         help="simulation scale (default: small)")
     parser.add_argument("--dir", dest="cache_dirs", action="append",
                         metavar="DIR",
-                        help="cache directory for 'cache' (repeatable; "
-                             "default: the REPRO_*_CACHE env knobs)")
+                        help="cache/store directory for 'cache'/'pdns' "
+                             "(repeatable; default: the REPRO_*_CACHE / "
+                             "REPRO_PDNS_STORE env knobs)")
     parser.add_argument("--max-bytes", type=int, default=None,
-                        help="byte budget for 'cache prune'")
+                        help="byte budget for 'cache prune'/'pdns prune'")
+    parser.add_argument("--max-rows", type=int, default=None,
+                        help="only merge segments at most this big "
+                             "for 'pdns compact' (default: merge all)")
     args = parser.parse_args(arguments)
 
     if args.experiment == "cache":
         return _run_cache(args, parser)
+    if args.experiment == "pdns":
+        return _run_pdns(args, parser)
     if args.action is not None:
         parser.error(f"unexpected argument {args.action!r} "
                      f"for {args.experiment!r}")
@@ -225,6 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  calibrate   (validation scorecard; exit 1 on failure)")
         print("  cache       (artifact-cache stats/prune; "
               "--dir / --max-bytes)")
+        print("  pdns        (segmented-store stats/compact/prune; "
+              "--dir / --max-rows / --max-bytes)")
         print("  serve       (classification daemon; "
               "--host / --port / --model)")
         return 0

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.core.mining_pipeline import CalendarMiner, MinerResultCache
 from repro.core.parallelism import worker_count_from_env
 from repro.core.ranking import (DailyMiningResult, DisposableZoneRanker,
                                 build_tree_from_digest)
+from repro.pdns.database import PassiveDnsDatabase, PdnsBackend
 from repro.pdns.records import FpDnsDataset
 from repro.traffic.artifacts import FpDnsArtifactCache, artifact_key
 from repro.traffic.parallel import ShardedTraceSimulator
@@ -142,6 +144,8 @@ class ExperimentContext:
         #: Membership here (not in ``_datasets``) is the produced
         #: marker, so resident datasets can be evicted independently.
         self._produced: Dict[str, int] = {}
+        #: Fresh segmented-store roots handed out this session.
+        self._pdns_runs = 0
 
     def _calendar(self) -> List[MeasurementDate]:
         """Every standard date, in chronological order."""
@@ -374,6 +378,33 @@ class ExperimentContext:
     def mined_groups(self, date: MeasurementDate,
                      threshold: float = 0.9) -> Set[Tuple[str, int]]:
         return self.mining_result(date, threshold).groups
+
+    # -- passive-DNS backend --------------------------------------------
+
+    def pdns_database(self) -> PdnsBackend:
+        """A fresh, empty passive-DNS backend for one study run.
+
+        With ``REPRO_PDNS_STORE`` set, returns a
+        :class:`~repro.pdns.store.SegmentedPdnsStore` rooted in a fresh
+        subdirectory of that path (studies must start from an empty
+        store); otherwise the in-memory
+        :class:`~repro.pdns.database.PassiveDnsDatabase`.  The choice
+        never changes study *results* — the backends are
+        query-equivalent — only memory/disk placement.
+        """
+        root = os.environ.get("REPRO_PDNS_STORE")
+        if not root:
+            return PassiveDnsDatabase()
+        from repro.pdns.store import SegmentedPdnsStore
+
+        while True:
+            candidate = (Path(root)
+                         / f"{self.profile.name}-run{self._pdns_runs}")
+            self._pdns_runs += 1
+            # A leftover store from an earlier session must not leak
+            # its rows into this run; probe until an unused root.
+            if not any(candidate.glob("*.pdnsseg")):
+                return SegmentedPdnsStore(candidate)
 
     # -- ground truth -------------------------------------------------------
 

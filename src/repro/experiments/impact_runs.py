@@ -134,7 +134,10 @@ class Sec6cResult:
              format_percent(self.result.reduction_ratio, 2)),
             ("remaining fraction of disposable rows (paper: 0.7%)",
              format_percent(self.result.disposable_reduction_ratio, 2)),
-            ("storage before", f"{self.result.bytes_before / 1024:.0f} KiB"),
+            ("storage before"
+             + (" (measured on-disk)" if self.result.bytes_measured
+                else " (48 B/row model)"),
+             f"{self.result.bytes_before / 1024:.0f} KiB"),
             ("storage after",
              f"{self.result.bytes_after_wildcard / 1024:.0f} KiB"),
         ])
@@ -144,4 +147,5 @@ class Sec6cResult:
 def run_sec6c_pdns_storage(ctx: ExperimentContext) -> Sec6cResult:
     datasets = ctx.rpdns_window()
     groups = ctx.mined_groups(RPDNS_WINDOW_DATES[-1])
-    return Sec6cResult(result=run_pdns_storage_study(datasets, groups))
+    return Sec6cResult(result=run_pdns_storage_study(
+        datasets, groups, database=ctx.pdns_database()))

@@ -13,14 +13,17 @@ the zone was active.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import (Dict, Iterable, Iterator, List, Optional, Protocol,
+                    Set, Tuple, runtime_checkable)
 
+from repro.core.groups import matching_group_zone
 from repro.core.interning import DayDigest
-from repro.core.names import label_count, labels, parent
+from repro.core.names import labels, parent
 from repro.dns.message import RRType
 from repro.pdns.records import FpDnsDataset, RpDnsEntry, RRKey
 
-__all__ = ["IngestReport", "PassiveDnsDatabase", "wildcard_name"]
+__all__ = ["IngestReport", "PassiveDnsDatabase", "PdnsBackend",
+           "wildcard_name"]
 
 # Rough per-row storage cost, matching the paper's seven-to-nine GB for
 # a few hundred million rows (~40-60 B of name + type + rdata + date).
@@ -33,6 +36,37 @@ def wildcard_name(name: str) -> str:
     if rest is None:
         return "*"
     return "*." + rest
+
+
+@runtime_checkable
+class PdnsBackend(Protocol):
+    """What the analyses need from a passive-DNS database.
+
+    Both :class:`PassiveDnsDatabase` (in-memory) and
+    :class:`~repro.pdns.store.SegmentedPdnsStore` (on-disk segments)
+    satisfy this, so the dedup window, the Section VI-C storage study
+    and the growth series accept either backend interchangeably.
+    """
+
+    def ingest_rrs(self, day: str,
+                   rr_keys: Iterable[RRKey]) -> "IngestReport": ...
+
+    def novel_keys(self, rr_keys: Iterable[RRKey]) -> List[RRKey]: ...
+
+    def first_seen(self, key: RRKey) -> Optional[str]: ...
+
+    def iter_rr_keys(self) -> Iterator[RRKey]: ...
+
+    def new_records_per_day(self) -> Dict[str, int]: ...
+
+    def ingested_days(self) -> List[str]: ...
+
+    def storage_bytes(self) -> int: ...
+
+    def wildcard_aggregated_size(
+            self, disposable_groups: Set[Tuple[str, int]]) -> int: ...
+
+    def __len__(self) -> int: ...
 
 
 @dataclass
@@ -53,6 +87,10 @@ class IngestReport:
 
 class PassiveDnsDatabase:
     """Append-only store of distinct RRs with first-seen tracking."""
+
+    #: ``storage_bytes`` is the paper's 48-B/row model, not a
+    #: measurement (the segmented store reports real on-disk bytes).
+    storage_is_measured = False
 
     def __init__(self) -> None:
         self._first_seen: Dict[RRKey, str] = {}
@@ -113,12 +151,28 @@ class PassiveDnsDatabase:
         return self._first_seen.get(key)
 
     def entries(self) -> List[RpDnsEntry]:
-        """The full rpDNS dataset."""
-        return [RpDnsEntry(name, rtype, rdata, day)
-                for (name, rtype, rdata), day in self._first_seen.items()]
+        """The full rpDNS dataset (materialised; prefer
+        :meth:`iter_entries` in hot paths)."""
+        return list(self.iter_entries())
+
+    def iter_entries(self) -> Iterator[RpDnsEntry]:
+        """The full rpDNS dataset, streamed without a list copy."""
+        for (name, rtype, rdata), day in self._first_seen.items():
+            yield RpDnsEntry(name, rtype, rdata, day)
 
     def rr_keys(self) -> List[RRKey]:
+        """All stored RR keys (materialised; prefer
+        :meth:`iter_rr_keys` in hot paths)."""
         return list(self._first_seen)
+
+    def iter_rr_keys(self) -> Iterator[RRKey]:
+        """All stored RR keys, streamed without a list copy."""
+        return iter(self._first_seen)
+
+    def novel_keys(self, rr_keys: Iterable[RRKey]) -> List[RRKey]:
+        """The subset of ``rr_keys`` not yet stored, input order kept
+        (duplicates within the input stay duplicated)."""
+        return [key for key in rr_keys if key not in self._first_seen]
 
     # -- incremental query indexes --------------------------------------
 
@@ -189,18 +243,9 @@ class PassiveDnsDatabase:
     @staticmethod
     def _matching_zone(name: str,
                        groups: Set[Tuple[str, int]]) -> Optional[str]:
-        """The flagged ancestor zone covering ``name``, or ``None``.
-
-        A (zone, depth) pair matches when the name sits at exactly
-        that depth under the flagged zone.
-        """
-        depth = label_count(name)
-        current = parent(name)
-        while current is not None:
-            if (current, depth) in groups:
-                return current
-            current = parent(current)
-        return None
+        """The flagged ancestor zone covering ``name``, or ``None``
+        (shared matcher; the segmented store uses the same one)."""
+        return matching_group_zone(name, groups)
 
     @classmethod
     def _matches_disposable(cls, name: str,

@@ -18,9 +18,11 @@ from repro.core.names import labels
 from repro.core.groups import name_matches_groups
 from repro.dns.message import ResourceRecord, RRType
 from repro.dns.wire import encoded_name_size
+from repro.pdns.database import PdnsBackend
 from repro.pdns.records import FpDnsDataset, FpDnsEntry
 
-__all__ = ["ENTRY_METADATA_BYTES", "DatasetSizeReport",
+__all__ = ["ENTRY_METADATA_BYTES", "DatabaseSizeReport",
+           "DatasetSizeReport", "database_storage_report",
            "entry_storage_bytes", "estimate_dataset_size"]
 
 # Per-record collection metadata: timestamp (8) + anonymised client id
@@ -99,3 +101,47 @@ def estimate_dataset_size(dataset: FpDnsDataset,
         entries=entries,
         disposable_bytes=disposable if disposable_groups is not None
         else None)
+
+
+# -- pDNS-DB storage (rpDNS rows, not the raw fpDNS stream) ------------
+
+
+@dataclass
+class DatabaseSizeReport:
+    """Storage accounting for one passive-DNS database backend.
+
+    ``source`` labels where the bytes come from: ``"measured"`` for a
+    segmented on-disk store (real segment file sizes) or
+    ``"row-model"`` for the in-memory database, whose bytes are the
+    paper's fixed per-row estimate and must not be read as a
+    measurement.
+    """
+
+    rows: int
+    stored_bytes: int
+    days: int
+    source: str
+
+    @property
+    def bytes_per_row(self) -> float:
+        return self.stored_bytes / self.rows if self.rows else 0.0
+
+    def render(self) -> str:
+        return (f"pDNS-DB: {self.rows} rows over {self.days} days, "
+                f"{self.stored_bytes} bytes "
+                f"({self.bytes_per_row:.1f} B/row, {self.source})")
+
+
+def database_storage_report(database: PdnsBackend) -> DatabaseSizeReport:
+    """Size one pDNS backend, preferring measured on-disk bytes.
+
+    A :class:`~repro.pdns.store.SegmentedPdnsStore` reports its actual
+    segment bytes; the in-memory database falls back to the paper's
+    48-B/row model, labeled as such.
+    """
+    measured = bool(getattr(database, "storage_is_measured", False))
+    return DatabaseSizeReport(
+        rows=len(database),
+        stored_bytes=database.storage_bytes(),
+        days=len(database.ingested_days()),
+        source="measured" if measured else "row-model")

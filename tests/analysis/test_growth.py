@@ -2,9 +2,12 @@
 
 import pytest
 
-from repro.analysis.growth import growth_series
+from repro.analysis.growth import growth_series, store_growth_series
 from repro.core.miner import DisposableZoneFinding
 from repro.core.ranking import DailyMiningResult
+from repro.dns.message import RRType
+from repro.pdns.database import PassiveDnsDatabase
+from repro.pdns.store import SegmentedPdnsStore
 
 
 def result(day, queried_frac, resolved_frac, rr_frac, n_zones=3):
@@ -52,3 +55,59 @@ class TestGrowthSeries:
     def test_2ld_count(self):
         series = growth_series([result("d1", 0.2, 0.2, 0.2, n_zones=4)])
         assert series.points[0].n_disposable_2lds == 4
+
+
+class TestStoreGrowthSeries:
+    def _populate(self, backend):
+        backend.ingest_rrs("2011-02-01", [
+            ("a.x.com", RRType.A, "1.1.1.1"),
+            ("b.x.com", RRType.A, "1.1.1.2")])
+        backend.ingest_rrs("2011-02-02", [
+            ("a.x.com", RRType.A, "1.1.1.1"),     # duplicate
+            ("c.y.net", RRType.A, "2.2.2.2")])
+        backend.ingest_rrs("2011-02-03", [
+            ("a.x.com", RRType.A, "1.1.1.1")])    # zero-new day
+        return backend
+
+    def test_cumulative_series_in_memory(self):
+        series = store_growth_series(self._populate(PassiveDnsDatabase()))
+        assert [(p.day, p.new_rrs, p.cumulative_rrs)
+                for p in series.points] == [
+            ("2011-02-01", 2, 2), ("2011-02-02", 1, 3),
+            ("2011-02-03", 0, 3)]
+        assert series.final_rows == 3
+        assert not series.bytes_measured
+        assert series.final_bytes == 3 * 48
+
+    def test_segmented_store_equal_series(self, tmp_path):
+        memory = store_growth_series(self._populate(PassiveDnsDatabase()))
+        store = self._populate(SegmentedPdnsStore(tmp_path))
+        segmented = store_growth_series(store)
+        assert [(p.day, p.new_rrs, p.cumulative_rrs)
+                for p in segmented.points] == \
+            [(p.day, p.new_rrs, p.cumulative_rrs)
+             for p in memory.points]
+        assert segmented.bytes_measured
+        assert segmented.final_bytes == store.storage_bytes()
+
+    def test_series_survives_compaction(self, tmp_path):
+        store = self._populate(SegmentedPdnsStore(tmp_path))
+        before = store_growth_series(store).points
+        store.compact()
+        after = store_growth_series(store).points
+        assert [(p.day, p.new_rrs, p.cumulative_rrs) for p in after] == \
+            [(p.day, p.new_rrs, p.cumulative_rrs) for p in before]
+
+    def test_doubling_days(self):
+        db = PassiveDnsDatabase()
+        db.ingest_rrs("d1", [("a.x.com", RRType.A, "1.1.1.1")])
+        db.ingest_rrs("d2", [("b.x.com", RRType.A, "1.1.1.2"),
+                             ("c.x.com", RRType.A, "1.1.1.3")])
+        db.ingest_rrs("d3", [("d.x.com", RRType.A, "1.1.1.4")])
+        assert store_growth_series(db).doubling_days() == ["d2"]
+
+    def test_empty_backend(self):
+        series = store_growth_series(PassiveDnsDatabase())
+        assert series.points == []
+        assert series.final_rows == 0
+        assert series.final_bytes == 0

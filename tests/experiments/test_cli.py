@@ -163,3 +163,75 @@ class TestServeCommand:
         assert captured["closed"]
         assert captured["batcher_closed"]
         assert "shutting down" in capsys.readouterr().out
+
+
+class TestPdnsCommand:
+    def _populate(self, root):
+        from repro.dns.message import RRType
+        from repro.pdns.store import SegmentedPdnsStore
+
+        store = SegmentedPdnsStore(root)
+        store.ingest_rrs("2011-02-22", [
+            ("a.x.example.com", RRType.A, "10.0.0.1"),
+            ("b.x.example.com", RRType.A, "10.0.0.2")])
+        store.ingest_rrs("2011-02-23", [
+            ("c.y.example.net", RRType.A, "10.0.0.3")])
+        return store
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cli.main(["pdns", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 segments" in out and "3 rows" in out
+
+    def test_stats_is_default_action(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cli.main(["pdns", "--dir", str(tmp_path)]) == 0
+        assert "2 segments" in capsys.readouterr().out
+
+    def test_compact(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cli.main(["pdns", "compact", "--dir", str(tmp_path)]) == 0
+        assert "compacted 2 segments" in capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.pdnsseg"))) == 1
+
+    def test_prune(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cli.main(["pdns", "prune", "--dir", str(tmp_path),
+                         "--max-bytes", "0"]) == 0
+        assert "pruned 2 segments" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.pdnsseg"))
+
+    def test_prune_requires_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["pdns", "prune", "--dir", str(tmp_path)])
+
+    def test_env_knob_supplies_directory(self, tmp_path, capsys,
+                                         monkeypatch):
+        self._populate(tmp_path)
+        monkeypatch.setenv("REPRO_PDNS_STORE", str(tmp_path))
+        assert cli.main(["pdns", "stats"]) == 0
+        assert "2 segments" in capsys.readouterr().out
+
+    def test_no_directories_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PDNS_STORE", raising=False)
+        with pytest.raises(SystemExit):
+            cli.main(["pdns", "stats"])
+
+    def test_unknown_action_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["pdns", "wipe", "--dir", str(tmp_path)])
+
+    def test_corrupt_segment_reported_not_fatal(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        bad = sorted(tmp_path.glob("*.pdnsseg"))[0]
+        bad.write_bytes(b"#garbage\n")
+        assert cli.main(["pdns", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 segments" in out
+        assert "corrupt segment skipped" in out
+        assert bad.name in out
+
+    def test_list_mentions_pdns(self, capsys):
+        cli.main(["list"])
+        assert "pdns" in capsys.readouterr().out

@@ -223,3 +223,42 @@ class TestAcceleratedContext:
         assert warm._replayed > 0
         assert a.below == b.below
         assert a.above == b.above
+
+
+class TestPdnsBackendSelection:
+    def test_default_is_in_memory(self, monkeypatch):
+        from repro.pdns.database import PassiveDnsDatabase
+        monkeypatch.delenv("REPRO_PDNS_STORE", raising=False)
+        ctx = ExperimentContext(SMALL)
+        assert isinstance(ctx.pdns_database(), PassiveDnsDatabase)
+
+    def test_env_knob_selects_segmented_store(self, tmp_path, monkeypatch):
+        from repro.pdns.store import SegmentedPdnsStore
+        monkeypatch.setenv("REPRO_PDNS_STORE", str(tmp_path))
+        ctx = ExperimentContext(SMALL)
+        store = ctx.pdns_database()
+        assert isinstance(store, SegmentedPdnsStore)
+        assert store.root.parent == tmp_path
+        assert len(store) == 0
+
+    def test_each_run_gets_a_fresh_store(self, tmp_path, monkeypatch):
+        from repro.dns.message import RRType
+        monkeypatch.setenv("REPRO_PDNS_STORE", str(tmp_path))
+        ctx = ExperimentContext(SMALL)
+        first = ctx.pdns_database()
+        first.ingest_rrs("2011-02-22", [("a.x.com", RRType.A, "1.1.1.1")])
+        second = ctx.pdns_database()
+        assert second.root != first.root
+        assert len(second) == 0
+
+    def test_leftover_store_not_reused(self, tmp_path, monkeypatch):
+        from repro.dns.message import RRType
+        from repro.pdns.store import SegmentedPdnsStore
+        monkeypatch.setenv("REPRO_PDNS_STORE", str(tmp_path))
+        leftover = SegmentedPdnsStore(tmp_path / "small-run0")
+        leftover.ingest_rrs("2011-02-22",
+                            [("a.x.com", RRType.A, "1.1.1.1")])
+        ctx = ExperimentContext(SMALL)
+        store = ctx.pdns_database()
+        assert store.root != leftover.root
+        assert len(store) == 0

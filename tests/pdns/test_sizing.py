@@ -4,8 +4,10 @@ import pytest
 
 from repro.dns.message import RCode, RRType
 from repro.pdns.records import FpDnsDataset, FpDnsEntry
-from repro.pdns.sizing import (ENTRY_METADATA_BYTES, entry_storage_bytes,
-                               estimate_dataset_size)
+from repro.pdns.database import PassiveDnsDatabase
+from repro.pdns.sizing import (ENTRY_METADATA_BYTES, database_storage_report,
+                               entry_storage_bytes, estimate_dataset_size)
+from repro.pdns.store import SegmentedPdnsStore
 
 
 def entry(name, rcode=RCode.NOERROR, qtype=RRType.A, rdata="1.1.1.1"):
@@ -102,3 +104,30 @@ class TestPaperGrowthClaim:
             for e in stream if name_matches_groups(e.qname, truth))
         record_share = n_disposable / report.entries
         assert report.disposable_byte_share > record_share
+
+
+class TestDatabaseStorageReport:
+    def test_row_model_fallback_is_labeled(self):
+        db = PassiveDnsDatabase()
+        db.ingest_rrs("2011-02-22", [("a.x.com", RRType.A, "1.1.1.1"),
+                                     ("b.x.com", RRType.A, "1.1.1.2")])
+        report = database_storage_report(db)
+        assert report.source == "row-model"
+        assert report.rows == 2
+        assert report.stored_bytes == 2 * 48
+        assert "row-model" in report.render()
+
+    def test_segmented_store_reports_measured_bytes(self, tmp_path):
+        store = SegmentedPdnsStore(tmp_path)
+        store.ingest_rrs("2011-02-22", [("a.x.com", RRType.A, "1.1.1.1")])
+        report = database_storage_report(store)
+        assert report.source == "measured"
+        on_disk = sum(path.stat().st_size
+                      for path in tmp_path.glob("*.pdnsseg"))
+        assert report.stored_bytes == on_disk
+        assert "measured" in report.render()
+
+    def test_empty_database(self):
+        report = database_storage_report(PassiveDnsDatabase())
+        assert report.rows == 0
+        assert report.bytes_per_row == 0.0

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis): the segmented store is
+observationally equal to the in-memory database on arbitrary ingest
+schedules, and segment bytes are a pure function of logical content."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import rr_sort_key
+from repro.dns.message import RRType
+from repro.pdns.database import PassiveDnsDatabase
+from repro.pdns.segments import build_segment_bytes
+from repro.pdns.store import SegmentedPdnsStore
+
+label_st = st.text(alphabet=string.ascii_lowercase + string.digits,
+                   min_size=1, max_size=6)
+domain_st = st.lists(label_st, min_size=1, max_size=4).map(".".join)
+rdata_st = st.sampled_from(
+    [f"10.0.0.{octet}" for octet in range(8)] + ["host.example.net"])
+qtype_st = st.sampled_from([RRType.A, RRType.AAAA, RRType.CNAME])
+rr_key_st = st.tuples(domain_st, qtype_st, rdata_st)
+
+#: An ingest schedule: 1-5 days, each with 0-15 RR keys.
+schedule_st = st.lists(st.lists(rr_key_st, max_size=15),
+                       min_size=1, max_size=5)
+
+DAY_LABELS = [f"2011-05-{day:02d}" for day in range(1, 6)]
+
+
+def ingest_all(backend, schedule):
+    reports = []
+    for day, keys in zip(DAY_LABELS, schedule):
+        reports.append(backend.ingest_rrs(day, keys))
+    return reports
+
+
+class TestStoreMatchesOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(schedule_st)
+    def test_reports_ledger_and_keys(self, tmp_path_factory, schedule):
+        root = tmp_path_factory.mktemp("store")
+        store = SegmentedPdnsStore(root)
+        oracle = PassiveDnsDatabase()
+        ours = ingest_all(store, schedule)
+        theirs = ingest_all(oracle, schedule)
+        for mine, ref in zip(ours, theirs):
+            assert (mine.new_records, mine.duplicate_records) == \
+                (ref.new_records, ref.duplicate_records)
+        assert len(store) == len(oracle)
+        assert store.new_records_per_day() == oracle.new_records_per_day()
+        assert sorted(store.rr_keys(), key=rr_sort_key) == \
+            sorted(oracle.rr_keys(), key=rr_sort_key)
+
+    @settings(max_examples=25, deadline=None)
+    @given(schedule_st)
+    def test_point_and_zone_queries(self, tmp_path_factory, schedule):
+        root = tmp_path_factory.mktemp("store")
+        store = SegmentedPdnsStore(root, max_resident=1)
+        oracle = PassiveDnsDatabase()
+        ingest_all(store, schedule)
+        ingest_all(oracle, schedule)
+        seen_keys = {key for keys in schedule for key in keys}
+        for key in sorted(seen_keys, key=rr_sort_key):
+            assert store.first_seen(key) == oracle.first_seen(key)
+            name = key[0]
+            assert sorted(store.entries_for_name(name),
+                          key=lambda e: rr_sort_key(e.rr_key())) == \
+                sorted(oracle.entries_for_name(name),
+                       key=lambda e: rr_sort_key(e.rr_key()))
+            zone = name.split(".", 1)[-1] if "." in name else name
+            assert store.names_under_zone(zone) == \
+                oracle.names_under_zone(zone)
+
+    @settings(max_examples=15, deadline=None)
+    @given(schedule_st)
+    def test_compaction_changes_nothing_observable(self, tmp_path_factory,
+                                                   schedule):
+        root = tmp_path_factory.mktemp("store")
+        store = SegmentedPdnsStore(root)
+        oracle = PassiveDnsDatabase()
+        ingest_all(store, schedule)
+        ingest_all(oracle, schedule)
+        store.compact()
+        assert store.new_records_per_day() == oracle.new_records_per_day()
+        assert store.ingested_days() == sorted(oracle.ingested_days())
+        for keys in schedule:
+            for key in keys:
+                assert store.first_seen(key) == oracle.first_seen(key)
+
+
+class TestSegmentBytesArePure:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(rr_key_st, st.sampled_from(DAY_LABELS)),
+                    max_size=20),
+           st.randoms(use_true_random=False))
+    def test_input_order_never_leaks_into_bytes(self, items, rng):
+        rows = {}
+        for key, day in items:
+            rows.setdefault(key, day)
+        shuffled = list(rows.items())
+        rng.shuffle(shuffled)
+        assert build_segment_bytes(dict(shuffled), days=DAY_LABELS) == \
+            build_segment_bytes(rows, days=DAY_LABELS)
