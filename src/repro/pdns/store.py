@@ -22,7 +22,9 @@ records), then confirms the surviving candidates exactly against only
 the segments that might hold them.  First ingest wins, exactly like
 the in-memory database; days that contribute zero new rows still
 publish an (empty) segment so the per-day new-record ledger and day
-roster survive round trips and compaction.
+roster survive round trips and compaction — except when the day is
+already accounted for, in which case the re-ingest is idempotent and
+publishes nothing.
 
 Residency and compaction
 ------------------------
@@ -238,7 +240,10 @@ class SegmentedPdnsStore:
         duplicates and not stored again — first ingest wins, exactly
         like the in-memory database.  A day with zero new records
         still publishes an empty segment so the per-day ledger is
-        preserved.
+        preserved — unless the day is already accounted for, in which
+        case nothing is published (re-ingesting an already-ingested
+        day is idempotent: no redundant empty segment duplicating an
+        existing roster).
         """
         keys = list(rr_keys)
         unique: Dict[RRKey, None] = {}
@@ -246,6 +251,11 @@ class SegmentedPdnsStore:
             unique.setdefault(key)
         known = self._known_keys(list(unique))
         fresh = {key: day for key in unique if key not in known}
+        if not fresh and any(day in segment.meta.days
+                             for segment in self._segments):
+            return IngestReport(day=day, total_records_seen=len(keys),
+                                new_records=0,
+                                duplicate_records=len(keys))
         data = build_segment_bytes(fresh, days=[day])
         key = _segment_key(day, day, data)
         already_listed = {segment.path for segment in self._segments}
@@ -480,10 +490,17 @@ class SegmentedPdnsStore:
                                     bytes_before=bytes_before,
                                     bytes_after=self.storage_bytes())
         data = build_segment_bytes(rows, days=sorted(days))
-        self._artifacts.store_bytes(
-            _segment_key(min(days), max(days), data), data)
+        merged_key = _segment_key(min(days), max(days), data)
+        self._artifacts.store_bytes(merged_key, data)
         for path in merged_paths:
-            self._artifacts.delete(_key_of_path(path))
+            # An identity merge (every other input contributed nothing,
+            # e.g. a stray empty segment whose day roster duplicates a
+            # sibling's) yields bytes — and therefore a content key —
+            # equal to one input's; deleting that key would destroy the
+            # freshly published output.
+            key = _key_of_path(path)
+            if key != merged_key:
+                self._artifacts.delete(key)
         self._reload()
         return CompactionReport(merged_segments=len(merged_paths),
                                 merged_rows=len(rows),
@@ -491,7 +508,8 @@ class SegmentedPdnsStore:
                                 bytes_after=self.storage_bytes())
 
     def prune(self, max_bytes: int) -> List[str]:
-        """Drop least-recently-used segments until the store fits
+        """Drop the oldest segments (by publish time — the store never
+        refreshes segment mtimes on read) until the store fits
         ``max_bytes``.  **Destructive**: pruned rows are gone (this is
         retention policy, not cache eviction); returns removed keys."""
         removed = self._artifacts.prune(max_bytes)

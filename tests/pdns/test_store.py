@@ -8,6 +8,7 @@ from repro.core.records import rr_sort_key
 from repro.dns.message import RRType
 from repro.pdns.database import PassiveDnsDatabase, PdnsBackend
 from repro.pdns.io import FormatError
+from repro.pdns.segments import SEGMENT_SUFFIX, build_segment_bytes
 from repro.pdns.store import SegmentedPdnsStore
 
 DAYS = [f"2011-04-{day:02d}" for day in range(1, 9)]
@@ -155,6 +156,28 @@ class TestIngest:
         assert store.first_seen(key) == DAYS[0]
         assert len(store) == 1
 
+    def test_reingest_same_day_is_idempotent(self, tmp_path):
+        store = SegmentedPdnsStore(tmp_path)
+        store.ingest_rrs(DAYS[0], day_keys(0))
+        ledger = store.new_records_per_day()
+        report = store.ingest_rrs(DAYS[0], day_keys(0))
+        assert report.new_records == 0
+        assert report.duplicate_records == len(day_keys(0))
+        # No redundant empty segment duplicating the day roster.
+        assert store.stats().n_segments == 1
+        assert store.new_records_per_day() == ledger
+        assert store.ingested_days() == [DAYS[0]]
+        store.compact()
+        assert len(store) == len(dict.fromkeys(day_keys(0)))
+
+    def test_reingest_empty_day_is_idempotent(self, tmp_path):
+        store = SegmentedPdnsStore(tmp_path)
+        store.ingest_rrs(DAYS[0], [])
+        assert store.stats().n_segments == 1  # ledger day preserved
+        store.ingest_rrs(DAYS[0], [])
+        assert store.stats().n_segments == 1
+        assert store.new_records_per_day() == {DAYS[0]: 0}
+
     def test_reopen_from_disk(self, tmp_path):
         populate(SegmentedPdnsStore(tmp_path))
         reopened = SegmentedPdnsStore(tmp_path)
@@ -199,6 +222,38 @@ class TestCompaction:
         report = store.compact()
         assert report.merged_segments == 0
         assert report.bytes_before == report.bytes_after
+
+    def test_identity_merge_does_not_destroy_rows(self, tmp_path):
+        """Regression: when the merged output's content key equals a
+        merged input's key (identity merge), compact() must not delete
+        the output it just published.
+
+        A stray empty segment whose day roster duplicates a sibling's
+        (possible in stores written before re-ingest became idempotent)
+        makes the merge a no-op content-wise: merged bytes == the
+        non-empty input's bytes == the same content-addressed key.  The
+        delete loop used to remove that key, silently destroying every
+        row."""
+        store = SegmentedPdnsStore(tmp_path)
+        store.ingest_rrs(DAYS[0], day_keys(0))
+        before = dict(store.iter_rr_items())
+        assert before
+        # Plant the legacy duplicate-roster empty segment directly.
+        data = build_segment_bytes({}, days=[DAYS[0]])
+        digest = hashlib.sha256(data).hexdigest()[:16]
+        name = f"{DAYS[0]}--{DAYS[0]}--{digest}{SEGMENT_SUFFIX}"
+        (tmp_path / name).write_bytes(data)
+        store = SegmentedPdnsStore(tmp_path)
+        assert store.stats().n_segments == 2
+        report = store.compact()
+        assert report.merged_segments == 2
+        assert report.bytes_after > 0
+        assert dict(store.iter_rr_items()) == before
+        first_key = day_keys(0)[0]
+        assert store.first_seen(first_key) == DAYS[0]
+        # Survives a reopen: the merged bytes really are on disk.
+        reopened = SegmentedPdnsStore(tmp_path)
+        assert dict(reopened.iter_rr_items()) == before
 
 
 class TestPrefilterCounters:
